@@ -1,0 +1,94 @@
+// Command csbot connects bot clients to a csserver instance and plays:
+// each bot streams user commands at the configured rate and consumes the
+// 50 ms snapshot broadcast, recreating the client side of the traced
+// traffic.
+//
+//	csbot -addr 127.0.0.1:27015 -n 8 -rate 24 -for 30s
+//	csbot -browse 127.0.0.1:27010 -n 8          # auto-discover via a master
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"cstrace/internal/gameserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csbot: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:27015", "server address")
+		browse  = flag.String("browse", "", "master server address: discover and join the best server")
+		n       = flag.Int("n", 8, "number of bots")
+		rate    = flag.Float64("rate", 24, "user commands per second per bot")
+		runFor  = flag.Duration("for", 30*time.Second, "how long to play (0 = until interrupt)")
+		namePfx = flag.String("name", "bot", "player name prefix")
+	)
+	flag.Parse()
+
+	if *browse != "" {
+		lines, err := gameserver.Browse(*browse, 2*time.Second)
+		if err != nil {
+			log.Fatalf("browse: %v", err)
+		}
+		if len(lines) == 0 {
+			log.Fatal("browse: no servers registered")
+		}
+		best := lines[0]
+		log.Printf("auto-discovered %q at %s (%d/%d on %s, rtt %v)",
+			best.Info.ServerName, best.Addr, best.Info.Players,
+			best.Info.MaxPlayers, best.Info.Map, best.RTT.Round(time.Microsecond))
+		*addr = best.Addr.String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
+
+	var wg sync.WaitGroup
+	bots := make([]*gameserver.Bot, 0, *n)
+	for i := 0; i < *n; i++ {
+		cfg := gameserver.BotConfig{
+			ServerAddr:     *addr,
+			Name:           fmt.Sprintf("%s%02d", *namePfx, i),
+			CmdRate:        *rate,
+			ConnectTimeout: 3 * time.Second,
+			Seed:           uint64(i + 1),
+		}
+		b, err := gameserver.Dial(cfg)
+		if err != nil {
+			log.Printf("bot %d: %v", i, err)
+			continue
+		}
+		log.Printf("bot %d connected as player %d on %s", i, b.PlayerID(), b.MapName())
+		bots = append(bots, b)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = b.Run(ctx)
+		}()
+	}
+	if len(bots) == 0 {
+		log.Fatal("no bots connected")
+	}
+	<-ctx.Done()
+	wg.Wait()
+
+	for i, b := range bots {
+		st := b.Stats()
+		log.Printf("bot %d: sent %d cmds (%d B), received %d snapshots (%d B), last tick %d",
+			i, st.CmdsSent, st.BytesSent, st.SnapshotsRecv, st.BytesRecv, st.LastTick)
+	}
+}

@@ -1,0 +1,88 @@
+// Command csserver runs the reference UDP game server: a 50 ms snapshot
+// broadcast loop with slot-limited admission, the live counterpart of the
+// workload the paper traces. Point csbot instances at it and watch the
+// traffic structure emerge.
+//
+//	csserver -addr 127.0.0.1:27015 -slots 22 -stats 10s
+//	csserver -master 127.0.0.1:27010            # also register for discovery
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"cstrace/internal/discovery"
+	"cstrace/internal/gameserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csserver: ")
+
+	var (
+		addr     = flag.String("addr", "127.0.0.1:27015", "UDP listen address")
+		slots    = flag.Int("slots", 22, "player capacity")
+		tick     = flag.Duration("tick", 50*time.Millisecond, "snapshot broadcast interval")
+		timeout  = flag.Duration("timeout", 5*time.Second, "client idle timeout")
+		mapName  = flag.String("map", "de_dust2", "map name")
+		srvName  = flag.String("name", "cstrace reference server", "server browser display name")
+		master   = flag.String("master", "", "master server address to register with (optional)")
+		beat     = flag.Duration("heartbeat", time.Minute, "master heartbeat period")
+		statsInt = flag.Duration("stats", 10*time.Second, "stats print interval")
+	)
+	flag.Parse()
+
+	cfg := gameserver.Config{
+		Addr:          *addr,
+		Slots:         *slots,
+		TickInterval:  *tick,
+		ClientTimeout: *timeout,
+		MapName:       *mapName,
+		ServerName:    *srvName,
+	}
+	srv, err := gameserver.Listen(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (%d slots, %v ticks, map %s)",
+		srv.Addr(), *slots, *tick, *mapName)
+
+	if *master != "" {
+		port := uint16(srv.Addr().(*net.UDPAddr).Port)
+		reg, err := discovery.Register(*master, port, *beat)
+		if err != nil {
+			log.Fatalf("master registration: %v", err)
+		}
+		defer reg.Stop()
+		log.Printf("registered with master %s (heartbeat %v)", *master, *beat)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	go func() {
+		t := time.NewTicker(*statsInt)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				st := srv.Stats()
+				log.Printf("players=%d ticks=%d in=%d pkts/%d B out=%d pkts/%d B accepted=%d rejected=%d timeouts=%d",
+					srv.NumClients(), st.Ticks, st.PacketsIn, st.BytesIn,
+					st.PacketsOut, st.BytesOut, st.Accepted, st.Rejected, st.Timeouts)
+			}
+		}
+	}()
+
+	if err := srv.Serve(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}

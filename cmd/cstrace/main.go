@@ -1,0 +1,282 @@
+// Command cstrace is the reproduction harness: it regenerates the paper's
+// tables and figures from the calibrated workload model.
+//
+// Modes:
+//
+//	cstrace -mode week  -seed 1            full-week reproduction (Tables I-III, Figs 1-13)
+//	cstrace -mode quick -seed 1            30-minute smoke reproduction
+//	cstrace -mode nat   -seed 1            NAT experiment (Table IV, Figs 14-15)
+//	cstrace -mode gen   -out trace.cst     generate a binary trace file
+//	cstrace -mode analyze -in trace.cst    analyze a previously generated trace
+//	cstrace -mode pcap  -out trace.pcap    export a (short) trace as pcap or pcapng
+//	cstrace -mode web   -seed 1            web/TCP baseline through the NAT device
+//	cstrace -mode aggregate -seed 1        population self-similarity study
+//	cstrace -mode provision                capacity planning from the paper's budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"strings"
+
+	"cstrace"
+	"cstrace/internal/analysis"
+	"cstrace/internal/gamesim"
+	"cstrace/internal/nat"
+	"cstrace/internal/population"
+	"cstrace/internal/provision"
+	"cstrace/internal/report"
+	"cstrace/internal/trace"
+	"cstrace/internal/webtraffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cstrace: ")
+
+	var (
+		mode     = flag.String("mode", "quick", "week | quick | nat | gen | analyze | pcap | web | aggregate | provision")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		duration = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web)")
+		inFile   = flag.String("in", "", "input trace file (analyze)")
+		outFile  = flag.String("out", "", "output file (gen/pcap; .pcapng selects pcapng)")
+		players  = flag.Int("players", 100000, "target concurrent players (provision)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var err error
+	switch *mode {
+	case "week":
+		err = runReproduce(cstrace.Full(*seed), *duration)
+	case "quick":
+		err = runReproduce(cstrace.Quick(*seed), *duration)
+	case "nat":
+		err = runNAT(*seed)
+	case "gen":
+		err = runGen(*seed, *duration, *outFile)
+	case "analyze":
+		err = runAnalyze(*inFile)
+	case "pcap":
+		err = runPcap(*seed, *duration, *outFile)
+	case "web":
+		err = runWeb(*seed, *duration)
+	case "aggregate":
+		err = runAggregate(*seed)
+	case "provision":
+		err = runProvision(*players)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cstrace: %s mode finished in %v\n", *mode, time.Since(start).Round(time.Millisecond))
+}
+
+func runReproduce(cfg cstrace.Config, override time.Duration) error {
+	if override > 0 {
+		cfg.Game.Duration = override
+		cfg.Suite = analysis.DefaultSuiteConfig(override)
+	}
+	res, err := cstrace.Reproduce(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("Per-slot bandwidth: %.1f kbs across %d slots (paper: ~40 kbs)\n",
+		res.PerSlotKbs(), cfg.Game.Slots)
+	return nil
+}
+
+func runNAT(seed uint64) error {
+	res, err := cstrace.ReproduceNAT(seed)
+	if err != nil {
+		return err
+	}
+	report.TableIV(os.Stdout, res.Counts)
+	report.Series(os.Stdout, "Figure 14a: packet load clients->NAT (pps)", res.ClientsToNAT, 72, 7)
+	report.Series(os.Stdout, "Figure 14b: packet load NAT->server (pps)", res.NATToServer, 72, 7)
+	report.Series(os.Stdout, "Figure 15a: packet load server->NAT (pps)", res.ServerToNAT, 72, 7)
+	report.Series(os.Stdout, "Figure 15b: packet load NAT->clients (pps)", res.NATToClients, 72, 7)
+	fmt.Printf("Forwarding delay: in mean %.1f ms / max %.1f ms, out mean %.1f ms / max %.1f ms\n",
+		res.MeanDelayIn*1e3, res.MaxDelayIn*1e3, res.MeanDelayOut*1e3, res.MaxDelayOut*1e3)
+	return nil
+}
+
+func runGen(seed uint64, d time.Duration, out string) error {
+	if out == "" {
+		return fmt.Errorf("gen: -out required")
+	}
+	if d == 0 {
+		d = time.Hour
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cfg := gamesim.PaperConfig(seed)
+	cfg.Duration = d
+	cfg.Outages = nil
+	w := trace.NewWriter(f)
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, w)
+	st, err := gamesim.Run(cfg, sorter, nil)
+	if err != nil {
+		return err
+	}
+	sorter.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d records (%d in / %d out) to %s",
+		w.Count(), st.PacketsIn, st.PacketsOut, out)
+	return nil
+}
+
+func runAnalyze(in string) error {
+	if in == "" {
+		return fmt.Errorf("analyze: -in required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Duration is discovered from the stream, so build the suite afterward
+	// by buffering through a first pass of counters only... a single pass
+	// with the default week-scale suite is simpler and correct: collectors
+	// size themselves from record timestamps.
+	suite, err := analysis.NewSuite(analysis.SuiteConfig{})
+	if err != nil {
+		return err
+	}
+	n, err := trace.NewReader(f).ReadAll(suite)
+	if err != nil {
+		return err
+	}
+	suite.Close()
+	t2 := suite.Count.TableII(0)
+	report.TableII(os.Stdout, t2)
+	report.TableIII(os.Stdout, suite.Count.TableIII())
+	re := analysis.Regions(suite.VT.Points(), 10*time.Millisecond, 50*time.Millisecond, 30*time.Minute+48*time.Second)
+	report.VarianceTime(os.Stdout, suite.VT.Points(), re)
+	log.Printf("analyzed %d records", n)
+	return nil
+}
+
+func runPcap(seed uint64, d time.Duration, out string) error {
+	if out == "" {
+		return fmt.Errorf("pcap: -out required")
+	}
+	if d == 0 {
+		d = time.Minute
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cfg := gamesim.PaperConfig(seed)
+	cfg.Duration = d
+	cfg.Outages = nil
+	start := time.Date(2002, 4, 11, 8, 55, 4, 0, time.UTC)
+	pw := trace.NewPCAPWriter(f, start)
+	if strings.HasSuffix(out, ".pcapng") {
+		pw = trace.NewPCAPNGWriter(f, start)
+	}
+	var n int64
+	var writeErr error
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.HandlerFunc(func(r trace.Record) {
+		if writeErr == nil {
+			writeErr = pw.Write(r)
+			n++
+		}
+	}))
+	if _, err := gamesim.Run(cfg, sorter, nil); err != nil {
+		return err
+	}
+	sorter.Flush()
+	if writeErr != nil {
+		return writeErr
+	}
+	log.Printf("wrote %d packets to %s", n, out)
+	return nil
+}
+
+func runWeb(seed uint64, d time.Duration) error {
+	cfg := webtraffic.DefaultConfig(seed)
+	if d > 0 {
+		cfg.Duration = d
+	}
+	res, err := webtraffic.RunNAT(cfg, nat.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("web workload: %d sessions, %d pages, %d connections\n",
+		st.Sessions, st.Pages, st.Connections)
+	fmt.Printf("  packets %d (in %d / out %d), mean wire packet %.1f B\n",
+		st.Packets(), st.PacketsIn, st.PacketsOut, st.MeanWirePacket())
+	fmt.Printf("  mean bandwidth %.0f kbs, %.0f lookups per Mbps (game: ~904)\n",
+		float64(st.MeanBandwidth())/1e3, st.PPSPerMbps())
+	fmt.Printf("through the Barricade model: loss in %.3f%% / out %.3f%% (game: 1.3%% / 0.46%%)\n",
+		100*res.LossIn(), 100*res.LossOut())
+	return nil
+}
+
+func runAggregate(seed uint64) error {
+	cfg := population.Config{
+		Seed:        seed,
+		Duration:    96 * time.Hour,
+		Warmup:      4 * time.Hour,
+		Resolution:  30 * time.Second,
+		ArrivalRate: 0.4,
+	}
+	res, err := population.SelfSimilarityExperiment(cfg, 1.4, 300)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregate population over %v (mean %.0f concurrent players):\n",
+		cfg.Duration, res.MeanOccupancy)
+	fmt.Printf("  Pareto(α=%.1f) sessions: H = %.3f (theory %.2f)\n", res.Alpha, res.Heavy.H, res.TheoryH)
+	fmt.Printf("  exponential sessions   : H = %.3f (theory 0.50)\n", res.Exp.H)
+	fmt.Println("heavy-tailed user sessions make aggregate game traffic long-range")
+	fmt.Println("dependent even though each busy server is individually predictable.")
+	return nil
+}
+
+func runProvision(players int) error {
+	b := provision.PaperBudget()
+	plan, err := provision.PlanFor(b, players, 22, 50*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan for %d concurrent players on 22-slot servers:\n", players)
+	fmt.Printf("  servers        : %d\n", plan.Servers)
+	fmt.Printf("  total bandwidth: %.1f Mbs\n", plan.TotalBps/1e6)
+	fmt.Printf("  mean load      : %.0f pps (peak %.0f pps under aligned ticks)\n",
+		plan.TotalMeanPPS, plan.PeakPPS)
+	fmt.Printf("  min lookup rate: %.0f pps\n\n", plan.MinLookupPPS)
+
+	demand := provision.Demand(b, 20, 50*time.Millisecond)
+	for _, dev := range []provision.DeviceSpec{provision.Barricade(), provision.MidRangeRouter()} {
+		a, err := provision.Assess(dev, demand, 1, provision.DefaultLatencyBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%.0f pps): feasible=%v — %s\n", dev.Name, dev.LookupPPS, a.Feasible, a.Reason)
+		fmt.Printf("  max servers behind it: %d\n",
+			provision.MaxServers(dev, demand, provision.DefaultLatencyBudget))
+	}
+	return nil
+}

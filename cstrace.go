@@ -1,0 +1,136 @@
+// Package cstrace reproduces "Provisioning On-line Games: A Traffic
+// Analysis of a Busy Counter-Strike Server" (Feng, Chang, Feng, Walpole;
+// IMC 2002) as a library.
+//
+// The original study captured a week-long, 500-million-packet trace of a
+// busy 22-slot Counter-Strike server and characterized it: highly
+// predictable long-term rates pegged to the saturation of last-mile modem
+// links, extreme 50 ms periodicity from the server's synchronous snapshot
+// broadcast, tiny packets (40 B in / 130 B out application payload), and a
+// NAT device experiment showing that small-packet bursts overwhelm routing
+// gear rated far above the traffic's bit rate.
+//
+// That trace is long gone, so this package pairs a mechanism-level workload
+// generator calibrated to the paper's published aggregates (internal/gamesim)
+// with a streaming implementation of every analysis in the paper's
+// evaluation (internal/analysis), a queueing model of the NAT experiment
+// (internal/nat), and the route-caching exploration of §IV-B
+// (internal/routecache). A real UDP game server and bots
+// (internal/gameserver) exercise the same pipeline over the loopback.
+//
+// Quick start:
+//
+//	res, err := cstrace.Reproduce(cstrace.Quick(1))
+//	if err != nil { ... }
+//	res.WriteReport(os.Stdout)
+//
+// Reproduce(Full(seed)) regenerates every table and figure of the paper;
+// see EXPERIMENTS.md for the paper-vs-measured record.
+package cstrace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/gamesim"
+	"cstrace/internal/nat"
+	"cstrace/internal/trace"
+)
+
+// Config selects what to reproduce.
+type Config struct {
+	// Game is the workload model; gamesim.PaperConfig(seed) reproduces the
+	// paper's server.
+	Game gamesim.Config
+	// Suite configures the analysis collectors; zero value = paper suite.
+	Suite analysis.SuiteConfig
+	// Extra, if non-nil, also receives every generated record (e.g. a
+	// trace.Writer to persist the trace).
+	Extra trace.Handler
+}
+
+// Full returns the full-week reproduction configuration.
+func Full(seed uint64) Config {
+	g := gamesim.PaperConfig(seed)
+	return Config{Game: g, Suite: analysis.DefaultSuiteConfig(g.Duration)}
+}
+
+// Quick returns a 30-minute configuration for examples and smoke tests:
+// arrivals are boosted so the short window runs at the busy-server load the
+// paper measured.
+func Quick(seed uint64) Config {
+	g := gamesim.PaperConfig(seed)
+	g.Duration = 30 * time.Minute
+	g.Warmup = 10 * time.Minute
+	g.Outages = nil
+	g.AttemptRate *= 5
+	g.DiurnalAmp = 0
+	return Config{Game: g, Suite: analysis.DefaultSuiteConfig(g.Duration)}
+}
+
+// Results bundles the reproduced tables and figure series.
+type Results struct {
+	Config Config
+	Stats  gamesim.Stats
+	Suite  *analysis.Suite
+
+	TableI   analysis.TableI
+	TableII  analysis.TableII
+	TableIII analysis.TableIII
+	Regions  analysis.RegionEstimates
+}
+
+// Reproduce runs the workload through the full analysis suite.
+func Reproduce(cfg Config) (*Results, error) {
+	if cfg.Suite.Duration == 0 {
+		cfg.Suite = analysis.DefaultSuiteConfig(cfg.Game.Duration)
+	}
+	suite, err := analysis.NewSuite(cfg.Suite)
+	if err != nil {
+		return nil, err
+	}
+	var h trace.Handler = suite
+	if cfg.Extra != nil {
+		h = trace.Tee(suite, cfg.Extra)
+	}
+	st, err := gamesim.Run(cfg.Game, h, suite.Observe)
+	if err != nil {
+		return nil, err
+	}
+	suite.Close()
+
+	return &Results{
+		Config:   cfg,
+		Stats:    st,
+		Suite:    suite,
+		TableI:   analysis.TableIFromStats(st),
+		TableII:  suite.Count.TableII(cfg.Game.Duration),
+		TableIII: suite.Count.TableIII(),
+		Regions: analysis.Regions(suite.VT.Points(), cfg.Suite.VarTimeBase,
+			cfg.Game.TickInterval, cfg.Game.MapDuration+cfg.Game.MapChangePause),
+	}, nil
+}
+
+// PerSlotKbs returns the paper's headline figure: mean bandwidth divided by
+// slot count (~40 kbs on the paper's server — modem saturation).
+func (r *Results) PerSlotKbs() float64 {
+	return analysis.PerSlotKbs(r.TableII, r.Config.Game.Slots)
+}
+
+// ReproduceNAT runs the §IV-A NAT experiment (Table IV, Figs 14-15).
+func ReproduceNAT(seed uint64) (nat.ExperimentResult, error) {
+	return nat.RunExperiment(gamesim.NATExperimentConfig(seed), nat.DefaultConfig(seed))
+}
+
+// WriteReport renders every reproduced table and figure to w.
+func (r *Results) WriteReport(w io.Writer) error {
+	return writeReport(w, r)
+}
+
+// String summarizes the headline numbers.
+func (r *Results) String() string {
+	return fmt.Sprintf("cstrace: %d packets, %s mean bw, %.1f kbs/slot, H(sub-tick)=%.2f",
+		r.TableII.TotalPackets, r.TableII.MeanBW, r.PerSlotKbs(), r.Regions.SubTick.H)
+}

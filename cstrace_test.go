@@ -1,0 +1,152 @@
+package cstrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/trace"
+)
+
+func TestQuickReproduction(t *testing.T) {
+	res, err := Reproduce(Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableII.TotalPackets == 0 {
+		t.Fatal("no traffic")
+	}
+	// Structural checks from the paper.
+	if res.TableII.PacketsIn <= res.TableII.PacketsOut {
+		t.Error("in packets should exceed out")
+	}
+	if res.TableII.MeanBWOut <= res.TableII.MeanBWIn {
+		t.Error("out bandwidth should exceed in")
+	}
+	if res.TableIII.MeanOut <= 2.5*res.TableIII.MeanIn {
+		t.Errorf("size ratio: out %.1f vs in %.1f", res.TableIII.MeanOut, res.TableIII.MeanIn)
+	}
+	if res.Regions.SubTick.H >= 0.5 {
+		t.Errorf("sub-tick H = %.2f, want < 0.5", res.Regions.SubTick.H)
+	}
+	k := res.PerSlotKbs()
+	if k < 20 || k > 60 {
+		t.Errorf("per-slot kbs = %.1f", k)
+	}
+	if !strings.Contains(res.String(), "kbs/slot") {
+		t.Error("String()")
+	}
+}
+
+func TestReproduceWithExtraHandler(t *testing.T) {
+	cfg := Quick(2)
+	cfg.Game.Duration = 5 * time.Minute
+	cfg.Game.Warmup = time.Minute
+	cfg.Suite.Duration = 0 // exercise the default path
+	var n int64
+	cfg.Extra = trace.HandlerFunc(func(trace.Record) { n++ })
+	res, err := Reproduce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.TableII.TotalPackets {
+		t.Errorf("extra handler saw %d records, tables say %d", n, res.TableII.TotalPackets)
+	}
+}
+
+func TestWriteReportContainsEverything(t *testing.T) {
+	cfg := Quick(3)
+	cfg.Game.Duration = 5 * time.Minute
+	cfg.Game.Warmup = time.Minute
+	res, err := Reproduce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III",
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4a", "Figure 4d",
+		"Figure 5", "Figure 6", "Figure 7a", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReproduceNAT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30-minute NAT experiment")
+	}
+	res, err := ReproduceNAT(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.LossIn() <= res.Counts.LossOut() {
+		t.Errorf("loss asymmetry violated: in %.4f out %.4f",
+			res.Counts.LossIn(), res.Counts.LossOut())
+	}
+}
+
+func TestReproduceValidatesConfig(t *testing.T) {
+	var cfg Config // zero game config is invalid
+	if _, err := Reproduce(cfg); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestMicrostructureCollectors(t *testing.T) {
+	// End-to-end check of the extension collectors wired into the suite:
+	// composition, interarrival burstiness asymmetry, and tick recovery,
+	// all from one generated window.
+	cfg := Quick(3)
+	cfg.Game.Duration = 5 * time.Minute
+	cfg.Suite = analysis.DefaultSuiteConfig(cfg.Game.Duration)
+	res, err := Reproduce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if share := res.Suite.Kinds.Share(trace.KindGame); share < 0.99 {
+		t.Errorf("game share = %.4f, want > 0.99 (§II: state updates dominate)", share)
+	}
+
+	cvIn := res.Suite.Gaps.CV(trace.In)
+	cvOut := res.Suite.Gaps.CV(trace.Out)
+	if cvOut < 2 {
+		t.Errorf("outbound interarrival CV = %.2f, want ≫ 1 (synchronized bursts)", cvOut)
+	}
+	if cvIn > 1.5 {
+		t.Errorf("inbound interarrival CV = %.2f, want Poisson-like (§III-B: not synchronized)", cvIn)
+	}
+	if cvOut <= cvIn {
+		t.Errorf("burstiness asymmetry inverted: out %.2f vs in %.2f", cvOut, cvIn)
+	}
+
+	tick, corr := res.Suite.Tick.Tick()
+	if tick != cfg.Game.TickInterval {
+		t.Errorf("recovered tick = %v, want %v", tick, cfg.Game.TickInterval)
+	}
+	if corr < 0.5 {
+		t.Errorf("tick autocorrelation = %.2f, want strong", corr)
+	}
+
+	// The report must include the new sections.
+	var buf bytes.Buffer
+	if err := res.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 13", "Traffic composition", "Interarrival structure", "recovered server tick"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Aggregate: the paper's §IV-B caveat made concrete. One busy server is
+// predictable (H ≈ ½ at long time scales, Fig 5), but aggregate game
+// traffic inherits the statistics of the player population: if session
+// lengths are heavy-tailed, the number of concurrent players — and with it
+// the aggregate packet rate, which is linear in players — is long-range
+// dependent. This example superposes Poisson player arrivals with Pareto
+// vs exponential sessions and estimates H from the occupancy series using
+// the paper's own aggregated-variance method.
+//
+//	go run ./examples/aggregate
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cstrace/internal/population"
+)
+
+func main() {
+	cfg := population.Config{
+		Seed:        11,
+		Duration:    96 * time.Hour,
+		Warmup:      4 * time.Hour,
+		Resolution:  30 * time.Second,
+		ArrivalRate: 0.4, // players/sec across the server fleet
+	}
+	const alpha, meanSession = 1.4, 300.0
+
+	res, err := population.SelfSimilarityExperiment(cfg, alpha, meanSession)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("population: λ=%.2f/s, E[session]=%.0fs, mean concurrent ≈ %.0f players\n",
+		cfg.ArrivalRate, meanSession, res.MeanOccupancy)
+	fmt.Printf("\nHurst estimates (aggregated-variance, the paper's Fig 5 method):\n")
+	fmt.Printf("  Pareto(α=%.1f) sessions : H = %.3f  (theory: H = (3−α)/2 = %.2f)\n",
+		res.Alpha, res.Heavy.H, res.TheoryH)
+	fmt.Printf("  exponential sessions    : H = %.3f  (theory: ½)\n", res.Exp.H)
+
+	fmt.Println("\nvariance-time points (log10 m vs log10 normalized variance):")
+	fmt.Printf("%10s %12s %12s\n", "log10(m)", "heavy", "exp")
+	for i := range res.HeavyPoints {
+		if i >= len(res.ExpPoints) {
+			break
+		}
+		h := res.HeavyPoints[i]
+		e := res.ExpPoints[i]
+		fmt.Printf("%10.2f %12.3f %12.3f\n", h.Log10M, h.Log10Var, e.Log10Var)
+	}
+
+	// The linear-in-players scaling (§IV-B) turns occupancy into traffic.
+	pp := population.PaperPerPlayer()
+	occ, err := population.Occupancy(populationConfigWithPareto(cfg, alpha, meanSession))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pps, bps := pp.Scale(occ)
+	var peakPPS, peakBps float64
+	for i := range pps {
+		if pps[i] > peakPPS {
+			peakPPS = pps[i]
+			peakBps = bps[i]
+		}
+	}
+	fmt.Printf("\naggregate traffic under the per-player budget (%.1f pps, %.1f kbs each):\n",
+		pp.PPS, pp.Bps/1e3)
+	fmt.Printf("  peak: %.0f pps, %.1f Mbs — provision for the population tail,\n", peakPPS, peakBps/1e6)
+	fmt.Println("  not the mean: long-range dependence means excursions persist.")
+}
+
+func populationConfigWithPareto(cfg population.Config, alpha, mean float64) population.Config {
+	out := cfg
+	out.Session = population.ParetoSession(alpha, mean)
+	return out
+}

@@ -1,0 +1,108 @@
+// Lastmile: the paper's central design claim — "this particular game was
+// designed to saturate the narrowest last-mile link" — replayed through
+// access-link models. One client's slice of the busy server's traffic is
+// pushed through each access technology of the era; the modem runs hot but
+// playable, and an "l337" high-rate configuration that fits broadband
+// drowns a modem in queueing loss.
+//
+//	go run ./examples/lastmile
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cstrace/internal/gamesim"
+	"cstrace/internal/netem"
+	"cstrace/internal/provision"
+	"cstrace/internal/trace"
+)
+
+func main() {
+	// Capture a busy quarter hour and keep the single busiest client.
+	cfg := gamesim.PaperConfig(5)
+	cfg.Duration = 15 * time.Minute
+	cfg.Warmup = 10 * time.Minute
+	cfg.Outages = nil
+	cfg.AttemptRate *= 5
+	cfg.DiurnalAmp = 0
+
+	var all trace.Collect
+	if _, err := gamesim.Run(cfg, &all, nil); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[uint32]int{}
+	for _, r := range all.Records {
+		counts[r.Client]++
+	}
+	var busiest uint32
+	for c, n := range counts {
+		if n > counts[busiest] {
+			busiest = c
+		}
+	}
+	var flow []trace.Record
+	for _, r := range all.Records {
+		if r.Client == busiest {
+			flow = append(flow, r)
+		}
+	}
+	fmt.Printf("busiest client: %d packets over %v\n\n", len(flow), cfg.Duration)
+
+	fmt.Println("replay through access profiles (down = server→client):")
+	fmt.Printf("%-10s %9s %9s %11s %11s %9s\n",
+		"profile", "loss dn", "loss up", "delay dn", "p.max dn", "util dn")
+	for _, p := range netem.Profiles() {
+		var sink trace.Collect
+		lm, err := netem.New(p, 1, &sink)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range flow {
+			lm.Handle(r)
+		}
+		d := lm.Down()
+		u := lm.Up()
+		fmt.Printf("%-10s %8.2f%% %8.2f%% %10.1fms %10.1fms %8.2f\n",
+			p.Name, 100*d.LossRate(), 100*u.LossRate(),
+			1e3*d.Delay.Mean(), 1e3*d.Delay.Max(), d.Utilization())
+	}
+
+	fmt.Println("\nanalytic check against the paper's per-player budget:")
+	b := provision.PaperBudget()
+	fmt.Printf("%-10s %9s %9s %10s %s\n", "profile", "util dn", "util up", "sat.ratio", "verdict")
+	for _, p := range netem.Profiles() {
+		r := provision.CheckLastMile(b, p)
+		verdict := "comfortable"
+		if r.Saturated {
+			verdict = "saturated (by design)"
+		}
+		if !r.Fits {
+			verdict = "does not fit"
+		}
+		fmt.Printf("%-10s %9.2f %9.2f %10.2f %s\n",
+			p.Name, r.DownUtil, r.UpUtil, r.SaturationRatio, verdict)
+	}
+
+	// The "l337" counterexample: a cranked-up update rate (the Fig 11
+	// tail) into a modem.
+	fmt.Println("\n\"l337\" config (high update rate) through a modem:")
+	elite := make([]trace.Record, 0, 4096)
+	for i := 0; i < 3000; i++ {
+		elite = append(elite, trace.Record{
+			T: time.Duration(i) * 20 * time.Millisecond, Dir: trace.Out, App: 250,
+		})
+	}
+	var sink trace.Collect
+	lm, err := netem.New(netem.Modem56k(), 2, &sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range elite {
+		lm.Handle(r)
+	}
+	d := lm.Down()
+	fmt.Printf("offered 123 kbs into 45 kbs: loss %.1f%%, goodput pegged at %.0f kbs\n",
+		100*d.LossRate(), float64(d.Goodput())/1e3)
+}

@@ -1,0 +1,26 @@
+// Quickstart: reproduce the paper's core tables on a 30-minute simulated
+// window of the busy server and print the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cstrace"
+)
+
+func main() {
+	res, err := cstrace.Reproduce(cstrace.Quick(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("modem check: %.1f kbs per slot (the paper's last-mile saturation is ~40)\n",
+		res.PerSlotKbs())
+}

@@ -1,0 +1,56 @@
+// Route caching: the paper's §IV-B "good news". Game traffic's small,
+// periodic packets over a stable destination set make route caching very
+// effective — and preferential policies keyed on packet size or frequency
+// protect game routes from being churned out by web cross-traffic.
+//
+//	go run ./examples/routecache
+package main
+
+import (
+	"fmt"
+
+	"cstrace/internal/routecache"
+)
+
+func main() {
+	fib := routecache.BuildFIB(20000, 1)
+	game := routecache.GameWorkload(200000, 22, 0.0005, 2)
+	web := routecache.WebWorkload(200000, 50000, 3)
+	mixed := routecache.Mix(game, web, 0.5, 4)
+
+	workloads := []struct {
+		name string
+		pkts []routecache.Packet
+	}{
+		{"game-only", game},
+		{"web-only", web},
+		{"mixed 50/50", mixed},
+	}
+	policies := []routecache.Policy{
+		routecache.PolicyNone,
+		routecache.PolicyLRU,
+		routecache.PolicyLFU,
+		routecache.PolicySizePref,
+		routecache.PolicyFreqPref,
+	}
+
+	const cacheSize = 64
+	fmt.Printf("route cache comparison (cache=%d entries, FIB=%d prefixes)\n\n", cacheSize, fib.Len())
+	for _, w := range workloads {
+		fmt.Printf("%s (%d packets)\n", w.name, len(w.pkts))
+		fmt.Println("  policy     | hit ratio | mean lookup cost | evictions")
+		for _, p := range policies {
+			c, err := routecache.NewCache(routecache.DefaultCacheConfig(p, cacheSize), fib)
+			if err != nil {
+				panic(err)
+			}
+			m := routecache.Run(c, w.pkts)
+			fmt.Printf("  %-10s | %8.2f%% | %16.2f | %d\n",
+				p, m.HitRatio()*100, m.MeanCost(), m.Evictions)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The periodicity and predictability of game packets (the paper, §IV-B)")
+	fmt.Println("shows up as near-perfect cacheability; size-preferential admission")
+	fmt.Println("keeps that true even under heavy web-traffic pressure.")
+}

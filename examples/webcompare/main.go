@@ -1,0 +1,57 @@
+// Webcompare: the §IV-A argument end to end. The same consumer forwarding
+// device is offered (a) one busy Counter-Strike server's traffic and (b) a
+// web/bulk-TCP workload of comparable bit rate. The game's tiny, 50 ms-
+// synchronized packets overwhelm the device's route-lookup engine while the
+// web traffic — near an order of magnitude larger per packet — passes
+// almost untouched.
+//
+//	go run ./examples/webcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cstrace"
+	"cstrace/internal/nat"
+	"cstrace/internal/webtraffic"
+)
+
+func main() {
+	seed := uint64(7)
+
+	fmt.Println("== Game traffic through the SMC Barricade model (paper §IV-A) ==")
+	game, err := cstrace.ReproduceNAT(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gameOffered := game.Counts.ClientToNAT + game.Counts.ServerToNAT
+	fmt.Printf("offered packets : %d\n", gameOffered)
+	fmt.Printf("loss in/out     : %.2f%% / %.2f%%  (paper: 1.3%% / 0.46%%)\n",
+		100*game.Counts.LossIn(), 100*game.Counts.LossOut())
+
+	fmt.Println("\n== Web traffic of comparable bit rate through the same device ==")
+	webCfg := webtraffic.DefaultConfig(seed)
+	webCfg.Duration = 30 * time.Minute
+	web, err := webtraffic.RunNAT(webCfg, nat.DefaultConfig(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offered packets : %d over %v\n", web.Stats.Packets(), web.Stats.Span.Round(time.Second))
+	fmt.Printf("mean bandwidth  : %.0f kbs (game server ran ≈880 kbs)\n", float64(web.Stats.MeanBandwidth())/1e3)
+	fmt.Printf("loss in/out     : %.3f%% / %.3f%%\n", 100*web.LossIn(), 100*web.LossOut())
+
+	fmt.Println("\n== Why: the packet-size and lookup-rate contrast ==")
+	fmt.Printf("%-22s %14s %14s\n", "", "game", "web")
+	// Game constants from Table II: 64.42 GiB over 500 M packets is a
+	// 138.3 B mean wire packet; 798.11 pps over 883 kbs is ≈904 lookups
+	// per megabit.
+	fmt.Printf("%-22s %11.1f B %11.1f B\n", "mean wire packet",
+		138.3, web.Stats.MeanWirePacket())
+	fmt.Printf("%-22s %10.0f pps %10.0f pps\n", "lookups per Mbps",
+		904.0, web.Stats.PPSPerMbps())
+	fmt.Println("\nRouters are sized for 125-250 B packets [Partridge et al.]; game")
+	fmt.Println("traffic sits far below that band, web traffic above it — equal bits,")
+	fmt.Println("several times the lookups.")
+}

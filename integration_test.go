@@ -1,0 +1,188 @@
+package cstrace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/gamesim"
+	"cstrace/internal/nat"
+	"cstrace/internal/trace"
+)
+
+// TestTracePersistenceRoundTrip verifies the full storage path: a generated
+// window written to the binary trace format and read back produces
+// bit-identical analysis results.
+func TestTracePersistenceRoundTrip(t *testing.T) {
+	cfg := gamesim.PaperConfig(5)
+	cfg.Duration = 4 * time.Minute
+	cfg.Warmup = time.Minute
+	cfg.Outages = nil
+	cfg.AttemptRate = 0.3
+	cfg.DiurnalAmp = 0
+
+	// Pass 1: analyze directly while writing the trace.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	direct, err := analysis.NewSuite(analysis.DefaultSuiteConfig(cfg.Duration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.Tee(direct, w))
+	if _, err := gamesim.Run(cfg, sorter, nil); err != nil {
+		t.Fatal(err)
+	}
+	sorter.Flush()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	direct.Close()
+
+	// Pass 2: read the trace back and analyze again.
+	replay, err := analysis.NewSuite(analysis.DefaultSuiteConfig(cfg.Duration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := trace.NewReader(&buf).ReadAll(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay.Close()
+
+	if n != w.Count() {
+		t.Fatalf("wrote %d records, read %d", w.Count(), n)
+	}
+	d2, r2 := direct.Count.TableII(cfg.Duration), replay.Count.TableII(cfg.Duration)
+	if d2 != r2 {
+		t.Errorf("Table II diverged:\ndirect: %+v\nreplay: %+v", d2, r2)
+	}
+	d3, r3 := direct.Count.TableIII(), replay.Count.TableIII()
+	if d3 != r3 {
+		t.Errorf("Table III diverged:\ndirect: %+v\nreplay: %+v", d3, r3)
+	}
+	dp, rp := direct.VT.Points(), replay.VT.Points()
+	if len(dp) != len(rp) {
+		t.Fatalf("variance-time points: %d vs %d", len(dp), len(rp))
+	}
+	for i := range dp {
+		if dp[i].M != rp[i].M || math.Abs(dp[i].NormVar-rp[i].NormVar) > 1e-12 {
+			t.Errorf("variance-time m=%d diverged: %v vs %v", dp[i].M, dp[i].NormVar, rp[i].NormVar)
+		}
+	}
+}
+
+// TestPCAPExportRoundTrip verifies the pcap path: exported frames decode
+// back into records with identical direction/size/timing statistics.
+func TestPCAPExportRoundTrip(t *testing.T) {
+	cfg := gamesim.PaperConfig(6)
+	cfg.Duration = 30 * time.Second
+	cfg.Warmup = 0
+	cfg.Outages = nil
+	cfg.AttemptRate = 0.5
+	cfg.DiurnalAmp = 0
+
+	var buf bytes.Buffer
+	pw := trace.NewPCAPWriter(&buf, time.Date(2002, 4, 11, 8, 55, 4, 0, time.UTC))
+	var wrote int64
+	var whereErr error
+	var directIn, directOut, directBytes int64
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.HandlerFunc(func(r trace.Record) {
+		if whereErr == nil {
+			whereErr = pw.Write(r)
+			wrote++
+			if r.Dir == trace.In {
+				directIn++
+			} else {
+				directOut++
+			}
+			directBytes += int64(r.App)
+		}
+	}))
+	if _, err := gamesim.Run(cfg, sorter, nil); err != nil {
+		t.Fatal(err)
+	}
+	sorter.Flush()
+	if whereErr != nil {
+		t.Fatal(whereErr)
+	}
+
+	var got trace.Collect
+	n, skipped, err := trace.ReadPCAP(&buf, trace.DefaultServerAddr, trace.DefaultServerPort, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d packets", skipped)
+	}
+	if n != wrote {
+		t.Fatalf("wrote %d, read %d", wrote, n)
+	}
+	var in, out, bytesTotal int64
+	for _, r := range got.Records {
+		if r.Dir == trace.In {
+			in++
+		} else {
+			out++
+		}
+		bytesTotal += int64(r.App)
+	}
+	if in != directIn || out != directOut || bytesTotal != directBytes {
+		t.Errorf("pcap replay stats diverged: in %d/%d out %d/%d bytes %d/%d",
+			in, directIn, out, directOut, bytesTotal, directBytes)
+	}
+}
+
+// TestNATDeviceDownstreamOfGenerator checks the full chain used by the
+// provisioning example: generator -> sort -> device -> analysis, with
+// conservation holding end to end.
+func TestNATDeviceDownstreamOfGenerator(t *testing.T) {
+	cfg := gamesim.NATExperimentConfig(3)
+	cfg.Duration = 3 * time.Minute
+
+	var delivered analysis.Counters
+	dev, err := nat.New(nat.DefaultConfig(3), &delivered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, dev)
+	st, err := gamesim.Run(cfg, sorter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorter.Flush()
+
+	c := dev.Counts()
+	if c.ClientToNAT != st.PacketsIn || c.ServerToNAT != st.PacketsOut {
+		t.Errorf("offered != generated: %d/%d vs %d/%d",
+			c.ClientToNAT, c.ServerToNAT, st.PacketsIn, st.PacketsOut)
+	}
+	if delivered.PacketsIn != c.NATToServer || delivered.PacketsOut != c.NATToClients {
+		t.Errorf("downstream counts diverge: %d/%d vs %d/%d",
+			delivered.PacketsIn, delivered.PacketsOut, c.NATToServer, c.NATToClients)
+	}
+	if c.NATToServer > c.ClientToNAT || c.NATToClients > c.ServerToNAT {
+		t.Error("conservation violated")
+	}
+}
+
+// TestSeedIndependenceOfShape verifies that the headline structure is not a
+// seed artifact: three seeds all reproduce the paper's qualitative findings.
+func TestSeedIndependenceOfShape(t *testing.T) {
+	for seed := uint64(11); seed <= 13; seed++ {
+		res, err := Reproduce(Quick(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TableII.PacketsIn <= res.TableII.PacketsOut {
+			t.Errorf("seed %d: packet asymmetry lost", seed)
+		}
+		if res.TableIII.MeanOut <= 2.5*res.TableIII.MeanIn {
+			t.Errorf("seed %d: size ratio lost", seed)
+		}
+		if res.Regions.SubTick.H >= 0.5 {
+			t.Errorf("seed %d: sub-tick smoothing lost (H=%.2f)", seed, res.Regions.SubTick.H)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package analysis implements the paper's trace characterization as a
+// library of streaming collectors: network/application usage counters
+// (Tables II-III), per-minute bandwidth/packet-load/player series (Figs 1-4),
+// the multi-scale variance-time analysis (Figs 5-10), the per-session
+// bandwidth histogram (Fig 11), and packet-size distributions (Figs 12-13).
+//
+// All collectors run in a single pass over the record stream in bounded
+// memory, so the full half-billion-packet reproduction streams straight from
+// the generator without materializing a trace.
+package analysis
+
+import (
+	"time"
+
+	"cstrace/internal/stats"
+	"cstrace/internal/timeseries"
+	"cstrace/internal/trace"
+	"cstrace/internal/units"
+)
+
+// Counters accumulates the aggregate usage numbers behind Tables II and III.
+type Counters struct {
+	PacketsIn, PacketsOut   int64
+	AppBytesIn, AppBytesOut int64
+	End                     time.Duration // highest timestamp seen
+}
+
+// Handle implements trace.Handler.
+func (c *Counters) Handle(r trace.Record) {
+	if r.Dir == trace.In {
+		c.PacketsIn++
+		c.AppBytesIn += int64(r.App)
+	} else {
+		c.PacketsOut++
+		c.AppBytesOut += int64(r.App)
+	}
+	if r.T > c.End {
+		c.End = r.T
+	}
+}
+
+// Packets returns the total packet count.
+func (c *Counters) Packets() int64 { return c.PacketsIn + c.PacketsOut }
+
+// WireBytesIn returns inbound wire bytes under the paper's accounting.
+func (c *Counters) WireBytesIn() int64 {
+	return c.AppBytesIn + c.PacketsIn*units.WireOverhead
+}
+
+// WireBytesOut returns outbound wire bytes.
+func (c *Counters) WireBytesOut() int64 {
+	return c.AppBytesOut + c.PacketsOut*units.WireOverhead
+}
+
+// WireBytes returns total wire bytes.
+func (c *Counters) WireBytes() int64 { return c.WireBytesIn() + c.WireBytesOut() }
+
+// TableII is the paper's network usage summary.
+type TableII struct {
+	TotalPackets, PacketsIn, PacketsOut int64
+	TotalBytes, BytesIn, BytesOut       units.Bytes
+	MeanPPS, MeanPPSIn, MeanPPSOut      units.PacketsPerSecond
+	MeanBW, MeanBWIn, MeanBWOut         units.BitsPerSecond
+}
+
+// TableII computes the paper's Table II over the observed duration (pass the
+// nominal trace duration; zero means "use the last timestamp").
+func (c *Counters) TableII(duration time.Duration) TableII {
+	if duration <= 0 {
+		duration = c.End
+	}
+	sec := duration.Seconds()
+	return TableII{
+		TotalPackets: c.Packets(),
+		PacketsIn:    c.PacketsIn,
+		PacketsOut:   c.PacketsOut,
+		TotalBytes:   units.Bytes(c.WireBytes()),
+		BytesIn:      units.Bytes(c.WireBytesIn()),
+		BytesOut:     units.Bytes(c.WireBytesOut()),
+		MeanPPS:      units.PacketRate(c.Packets(), sec),
+		MeanPPSIn:    units.PacketRate(c.PacketsIn, sec),
+		MeanPPSOut:   units.PacketRate(c.PacketsOut, sec),
+		MeanBW:       units.Rate(units.Bytes(c.WireBytes()), sec),
+		MeanBWIn:     units.Rate(units.Bytes(c.WireBytesIn()), sec),
+		MeanBWOut:    units.Rate(units.Bytes(c.WireBytesOut()), sec),
+	}
+}
+
+// TableIII is the paper's application-layer summary.
+type TableIII struct {
+	TotalBytes, BytesIn, BytesOut units.Bytes
+	MeanSize, MeanIn, MeanOut     float64 // application bytes per packet
+}
+
+// TableIII computes the paper's Table III.
+func (c *Counters) TableIII() TableIII {
+	t := TableIII{
+		TotalBytes: units.Bytes(c.AppBytesIn + c.AppBytesOut),
+		BytesIn:    units.Bytes(c.AppBytesIn),
+		BytesOut:   units.Bytes(c.AppBytesOut),
+	}
+	if n := c.Packets(); n > 0 {
+		t.MeanSize = float64(c.AppBytesIn+c.AppBytesOut) / float64(n)
+	}
+	if c.PacketsIn > 0 {
+		t.MeanIn = float64(c.AppBytesIn) / float64(c.PacketsIn)
+	}
+	if c.PacketsOut > 0 {
+		t.MeanOut = float64(c.AppBytesOut) / float64(c.PacketsOut)
+	}
+	return t
+}
+
+// SizeDist collects application payload size distributions (Figs 12-13).
+type SizeDist struct {
+	In, Out, Total *stats.IntHistogram
+}
+
+// NewSizeDist creates histograms covering payloads up to max bytes.
+func NewSizeDist(max int) *SizeDist {
+	return &SizeDist{
+		In:    stats.NewIntHistogram(max),
+		Out:   stats.NewIntHistogram(max),
+		Total: stats.NewIntHistogram(max),
+	}
+}
+
+// Handle implements trace.Handler.
+func (s *SizeDist) Handle(r trace.Record) {
+	v := int(r.App)
+	s.Total.Add(v)
+	if r.Dir == trace.In {
+		s.In.Add(v)
+	} else {
+		s.Out.Add(v)
+	}
+}
+
+// MinuteSeries collects the per-minute bandwidth and packet-load series of
+// Figs 1, 2 and 4.
+type MinuteSeries struct {
+	BitsIn, BitsOut *timeseries.Binner // wire bits per minute
+	PktsIn, PktsOut *timeseries.Binner
+}
+
+// NewMinuteSeries creates the collector.
+func NewMinuteSeries() *MinuteSeries {
+	return &MinuteSeries{
+		BitsIn:  timeseries.MustBinner(time.Minute),
+		BitsOut: timeseries.MustBinner(time.Minute),
+		PktsIn:  timeseries.MustBinner(time.Minute),
+		PktsOut: timeseries.MustBinner(time.Minute),
+	}
+}
+
+// Handle implements trace.Handler.
+func (m *MinuteSeries) Handle(r trace.Record) {
+	bits := float64(r.Wire() * 8)
+	if r.Dir == trace.In {
+		m.BitsIn.Add(r.T, bits)
+		m.PktsIn.Add(r.T, 1)
+	} else {
+		m.BitsOut.Add(r.T, bits)
+		m.PktsOut.Add(r.T, 1)
+	}
+}
+
+// PadTo extends all four series through t.
+func (m *MinuteSeries) PadTo(t time.Duration) {
+	m.BitsIn.PadTo(t)
+	m.BitsOut.PadTo(t)
+	m.PktsIn.PadTo(t)
+	m.PktsOut.PadTo(t)
+}
+
+// KbsIn returns the per-minute inbound bandwidth in kbs (Fig 4a).
+func (m *MinuteSeries) KbsIn() []float64 { return scale(m.BitsIn.Rates(), 1e-3) }
+
+// KbsOut returns the per-minute outbound bandwidth in kbs (Fig 4b).
+func (m *MinuteSeries) KbsOut() []float64 { return scale(m.BitsOut.Rates(), 1e-3) }
+
+// KbsTotal returns the per-minute total bandwidth in kbs (Fig 1).
+func (m *MinuteSeries) KbsTotal() []float64 {
+	return sum2(m.KbsIn(), m.KbsOut())
+}
+
+// PPSIn returns per-minute inbound packet rates (Fig 4c).
+func (m *MinuteSeries) PPSIn() []float64 { return m.PktsIn.Rates() }
+
+// PPSOut returns per-minute outbound packet rates (Fig 4d).
+func (m *MinuteSeries) PPSOut() []float64 { return m.PktsOut.Rates() }
+
+// PPSTotal returns per-minute total packet rates (Fig 2).
+func (m *MinuteSeries) PPSTotal() []float64 { return sum2(m.PPSIn(), m.PPSOut()) }
+
+func scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+func sum2(a, b []float64) []float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(a) {
+			out[i] += a[i]
+		}
+		if i < len(b) {
+			out[i] += b[i]
+		}
+	}
+	return out
+}
+
+// IntervalWindow collects the first N bins of the packet-load process at a
+// chosen interval size — the paper's Figs 6-10 ("the first 200 intervals").
+type IntervalWindow struct {
+	interval              time.Duration
+	n                     int
+	total, inBins, outBin []float64
+}
+
+// NewIntervalWindow creates a window of n bins of the given width.
+func NewIntervalWindow(interval time.Duration, n int) *IntervalWindow {
+	return &IntervalWindow{
+		interval: interval,
+		n:        n,
+		total:    make([]float64, n),
+		inBins:   make([]float64, n),
+		outBin:   make([]float64, n),
+	}
+}
+
+// Handle implements trace.Handler.
+func (w *IntervalWindow) Handle(r trace.Record) {
+	i := int(r.T / w.interval)
+	if i < 0 || i >= w.n {
+		return
+	}
+	w.total[i]++
+	if r.Dir == trace.In {
+		w.inBins[i]++
+	} else {
+		w.outBin[i]++
+	}
+}
+
+// Interval returns the bin width.
+func (w *IntervalWindow) Interval() time.Duration { return w.interval }
+
+// TotalPPS returns the per-bin total packet rate.
+func (w *IntervalWindow) TotalPPS() []float64 { return scale(w.total, 1/w.interval.Seconds()) }
+
+// InPPS returns the per-bin inbound packet rate.
+func (w *IntervalWindow) InPPS() []float64 { return scale(w.inBins, 1/w.interval.Seconds()) }
+
+// OutPPS returns the per-bin outbound packet rate.
+func (w *IntervalWindow) OutPPS() []float64 { return scale(w.outBin, 1/w.interval.Seconds()) }

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+
+	"cstrace/internal/stats"
+	"cstrace/internal/trace"
+)
+
+// Interarrival collects per-direction packet interarrival times. The paper
+// reads burstiness off binned plots (Figs 6-7); the interarrival view makes
+// the same structure quantitative — outbound times split between ~0 (within
+// a broadcast burst) and the 50 ms tick, while inbound times look like a
+// smooth superposition of independent client streams — and it is what
+// source models (Borella; internal/sourcemodel) consume.
+type Interarrival struct {
+	last  [2]time.Duration
+	seen  [2]bool
+	summ  [2]stats.Summary
+	hist  [2][]int64 // log₂-spaced microsecond buckets
+	total [2]int64
+}
+
+// interarrivalBuckets is the number of log₂ microsecond buckets: bucket i
+// holds gaps in [2^i, 2^(i+1)) µs, bucket 0 holds sub-microsecond gaps, the
+// last bucket is open-ended (≥ ~134 s).
+const interarrivalBuckets = 28
+
+// NewInterarrival creates the collector.
+func NewInterarrival() *Interarrival {
+	ia := &Interarrival{}
+	ia.hist[trace.In] = make([]int64, interarrivalBuckets)
+	ia.hist[trace.Out] = make([]int64, interarrivalBuckets)
+	return ia
+}
+
+// Handle implements trace.Handler.
+func (ia *Interarrival) Handle(r trace.Record) {
+	d := r.Dir
+	if ia.seen[d] {
+		gap := r.T - ia.last[d]
+		if gap >= 0 {
+			ia.summ[d].Add(gap.Seconds())
+			ia.hist[d][iaBucket(gap)]++
+			ia.total[d]++
+		}
+	}
+	ia.seen[d] = true
+	ia.last[d] = r.T
+}
+
+func iaBucket(gap time.Duration) int {
+	us := gap.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	b := 64 - bits.LeadingZeros64(uint64(us))
+	if b >= interarrivalBuckets {
+		return interarrivalBuckets - 1
+	}
+	return b
+}
+
+// Mean returns the mean interarrival time in seconds for the direction.
+func (ia *Interarrival) Mean(d trace.Direction) float64 { return ia.summ[d].Mean() }
+
+// CV returns the coefficient of variation (σ/mean) — the burstiness scalar:
+// ≈1 for Poisson, ≫1 for the server's burst-then-silence pattern.
+func (ia *Interarrival) CV(d trace.Direction) float64 {
+	m := ia.summ[d].Mean()
+	if m == 0 {
+		return 0
+	}
+	return ia.summ[d].StdDev() / m
+}
+
+// Quantile returns an approximate q-quantile (0<q<1) of the interarrival
+// distribution from the log-spaced histogram (upper edge of the containing
+// bucket).
+func (ia *Interarrival) Quantile(d trace.Direction, q float64) time.Duration {
+	if ia.total[d] == 0 {
+		return 0
+	}
+	target := int64(q * float64(ia.total[d]))
+	var cum int64
+	for i, c := range ia.hist[d] {
+		cum += c
+		if cum > target {
+			return time.Duration(1<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<interarrivalBuckets) * time.Microsecond
+}
+
+// Histogram returns (bucket upper edge, count) pairs for plotting.
+func (ia *Interarrival) Histogram(d trace.Direction) ([]time.Duration, []int64) {
+	edges := make([]time.Duration, interarrivalBuckets)
+	counts := make([]int64, interarrivalBuckets)
+	for i := range edges {
+		edges[i] = time.Duration(1<<uint(i+1)) * time.Microsecond
+		counts[i] = ia.hist[d][i]
+	}
+	return edges, counts
+}
+
+// KindRow is one class of traffic in the composition table.
+type KindRow struct {
+	Kind      trace.Kind
+	Packets   int64
+	AppBytes  int64
+	WireBytes int64
+}
+
+// KindBreakdown tallies traffic by application message class (§II's
+// inventory of traffic sources: game state, handshakes, text, voice,
+// logo/map downloads).
+type KindBreakdown struct {
+	rows map[trace.Kind]*KindRow
+}
+
+// NewKindBreakdown creates the collector.
+func NewKindBreakdown() *KindBreakdown {
+	return &KindBreakdown{rows: make(map[trace.Kind]*KindRow)}
+}
+
+// Handle implements trace.Handler.
+func (k *KindBreakdown) Handle(r trace.Record) {
+	row := k.rows[r.Kind]
+	if row == nil {
+		row = &KindRow{Kind: r.Kind}
+		k.rows[r.Kind] = row
+	}
+	row.Packets++
+	row.AppBytes += int64(r.App)
+	row.WireBytes += int64(r.Wire())
+}
+
+// Rows returns the composition sorted by descending packet count.
+func (k *KindBreakdown) Rows() []KindRow {
+	out := make([]KindRow, 0, len(k.rows))
+	for _, r := range k.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Share returns the packet share of one kind in [0,1].
+func (k *KindBreakdown) Share(kind trace.Kind) float64 {
+	var total, mine int64
+	for _, r := range k.rows {
+		total += r.Packets
+		if r.Kind == kind {
+			mine = r.Packets
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(mine) / float64(total)
+}
+
+// Periodicity detects the server tick by autocorrelating the binned packet
+// count of one direction — the quantitative counterpart of "the periodicity
+// comes from the game server deterministically flooding its clients with
+// state updates about every 50ms" (§III-B). Bin the outbound stream at a
+// resolution well under the tick (10 ms default elsewhere), then the first
+// dominant positive-lag peak of the autocorrelation is the tick.
+type Periodicity struct {
+	bin     time.Duration
+	maxLag  int
+	dir     trace.Direction
+	current int64   // count in the bin being filled
+	binIdx  int64   // index of the bin being filled
+	recent  []int64 // ring of the last maxLag bin counts
+	n       int64   // completed bins
+
+	sum, sumSq float64
+	lagSum     []float64 // Σ x_t·x_{t−l} for l = 1..maxLag
+}
+
+// NewPeriodicity creates a detector for the given direction with the given
+// bin width, scanning lags 1..maxLag bins.
+func NewPeriodicity(dir trace.Direction, bin time.Duration, maxLag int) *Periodicity {
+	if maxLag < 1 {
+		maxLag = 1
+	}
+	return &Periodicity{
+		bin:    bin,
+		maxLag: maxLag,
+		dir:    dir,
+		recent: make([]int64, maxLag),
+		lagSum: make([]float64, maxLag+1),
+	}
+}
+
+// Handle implements trace.Handler.
+func (p *Periodicity) Handle(r trace.Record) {
+	if r.Dir != p.dir {
+		return
+	}
+	idx := int64(r.T / p.bin)
+	for idx > p.binIdx {
+		p.closeBin()
+	}
+	p.current++
+}
+
+// closeBin finalizes the currently filling bin and moves to the next.
+func (p *Periodicity) closeBin() {
+	x := float64(p.current)
+	p.sum += x
+	p.sumSq += x * x
+	for l := 1; l <= p.maxLag; l++ {
+		if p.n-int64(l) >= 0 {
+			prev := p.recent[(p.n-int64(l))%int64(p.maxLag)]
+			p.lagSum[l] += x * float64(prev)
+		}
+	}
+	p.recent[p.n%int64(p.maxLag)] = p.current
+	p.n++
+	p.binIdx++
+	p.current = 0
+}
+
+// Autocorrelation returns the normalized autocorrelation at lags 1..maxLag.
+func (p *Periodicity) Autocorrelation() []float64 {
+	n := float64(p.n)
+	if n < 2 {
+		return nil
+	}
+	mean := p.sum / n
+	variance := p.sumSq/n - mean*mean
+	out := make([]float64, p.maxLag)
+	if variance <= 0 {
+		return out
+	}
+	for l := 1; l <= p.maxLag; l++ {
+		m := n - float64(l)
+		if m <= 0 {
+			continue
+		}
+		// E[x_t·x_{t−l}] − mean²; biased estimator, fine for peaks.
+		out[l-1] = (p.lagSum[l]/m - mean*mean) / variance
+	}
+	return out
+}
+
+// Tick returns the detected period (the fundamental — every multiple of the
+// true period also peaks, so the first lag whose correlation is a local
+// maximum near the global one is the tick) and its correlation value.
+// It returns zero when no positive peak exists.
+func (p *Periodicity) Tick() (time.Duration, float64) {
+	ac := p.Autocorrelation()
+	bestVal := 0.0
+	for _, v := range ac {
+		if v > bestVal {
+			bestVal = v
+		}
+	}
+	if bestVal <= 0 || math.IsNaN(bestVal) {
+		return 0, 0
+	}
+	for i, v := range ac {
+		if v < 0.9*bestVal {
+			continue
+		}
+		left := v
+		if i > 0 {
+			left = ac[i-1]
+		}
+		right := v
+		if i+1 < len(ac) {
+			right = ac[i+1]
+		}
+		if v >= left && v >= right {
+			return time.Duration(i+1) * p.bin, v
+		}
+	}
+	return 0, 0
+}
+
+// Flush finalizes the last partially-filled bin. Call once, before reading
+// results.
+func (p *Periodicity) Flush() {
+	if p.current > 0 {
+		p.closeBin()
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"time"
+
+	"cstrace/internal/stats"
+	"cstrace/internal/trace"
+)
+
+// FlowStats summarizes one session's traffic.
+type FlowStats struct {
+	Client    uint32
+	First     time.Duration
+	Last      time.Duration
+	Packets   int64
+	WireBytes int64
+	AppBytes  int64
+}
+
+// Duration returns the flow's active span.
+func (f FlowStats) Duration() time.Duration { return f.Last - f.First }
+
+// MeanKbs returns the flow's mean wire bandwidth in kbs over its span
+// (both directions combined, as measured at the server).
+func (f FlowStats) MeanKbs() float64 {
+	d := f.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.WireBytes) * 8 / d / 1e3
+}
+
+// FlowBandwidth groups traffic by session and produces the paper's Fig 11:
+// the histogram of mean bandwidth across sessions longer than a cutoff.
+// Handshake traffic with no session (Client 0) is ignored.
+type FlowBandwidth struct {
+	flows map[uint32]*FlowStats
+}
+
+// NewFlowBandwidth creates the collector.
+func NewFlowBandwidth() *FlowBandwidth {
+	return &FlowBandwidth{flows: make(map[uint32]*FlowStats)}
+}
+
+// Handle implements trace.Handler.
+func (fb *FlowBandwidth) Handle(r trace.Record) {
+	if r.Client == 0 {
+		return
+	}
+	f := fb.flows[r.Client]
+	if f == nil {
+		f = &FlowStats{Client: r.Client, First: r.T}
+		fb.flows[r.Client] = f
+	}
+	if r.T > f.Last {
+		f.Last = r.T
+	}
+	if r.T < f.First {
+		f.First = r.T
+	}
+	f.Packets++
+	f.AppBytes += int64(r.App)
+	f.WireBytes += int64(r.Wire())
+}
+
+// NumFlows returns the number of sessions observed.
+func (fb *FlowBandwidth) NumFlows() int { return len(fb.flows) }
+
+// Histogram bins mean session bandwidth (bits/sec) for sessions lasting at
+// least minDuration, over [0, maxBps) with the given number of bins —
+// Fig 11 uses sessions > 30 s on [0, 150000) b/s.
+func (fb *FlowBandwidth) Histogram(minDuration time.Duration, maxBps float64, bins int) *stats.Histogram {
+	h := stats.MustHistogram(0, maxBps, bins)
+	for _, f := range fb.flows {
+		if f.Duration() >= minDuration {
+			h.Add(f.MeanKbs() * 1e3)
+		}
+	}
+	return h
+}
+
+// Flows returns per-session stats for sessions lasting at least minDuration.
+func (fb *FlowBandwidth) Flows(minDuration time.Duration) []FlowStats {
+	out := make([]FlowStats, 0, len(fb.flows))
+	for _, f := range fb.flows {
+		if f.Duration() >= minDuration {
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of qualifying sessions whose mean
+// bandwidth is below bps (e.g. the modem barrier at 56 kb/s).
+func (fb *FlowBandwidth) FractionBelow(minDuration time.Duration, bps float64) float64 {
+	var total, below int
+	for _, f := range fb.flows {
+		if f.Duration() < minDuration {
+			continue
+		}
+		total++
+		if f.MeanKbs()*1e3 < bps {
+			below++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(below) / float64(total)
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"time"
+
+	"cstrace/internal/hurst"
+	"cstrace/internal/trace"
+)
+
+// VarTime streams the total packet-count process, binned at a base interval
+// (the paper uses m = 10 ms), into a dyadic variance-time ladder — the
+// machinery behind Fig 5 and the Hurst estimates.
+//
+// Record streams from the generator are time-ordered only up to one server
+// tick of slack (per-client schedules interleave within a tick window), so
+// VarTime keeps a small ring of open bins and flushes them to the ladder
+// once the stream has safely moved past.
+type VarTime struct {
+	base    time.Duration
+	ladder  *hurst.Dyadic
+	ring    []float64
+	head    int64 // index of the oldest unflushed bin
+	maxIdx  int64 // highest bin index seen
+	started bool
+}
+
+// ringSlack is how many base bins of reordering the collector tolerates
+// (64 × 10 ms = 640 ms, far beyond the one-tick disorder bound).
+const ringSlack = 64
+
+// NewVarTime creates the collector. levels is the number of dyadic
+// aggregation levels (m up to 2^(levels-1) base bins).
+func NewVarTime(base time.Duration, levels int) (*VarTime, error) {
+	d, err := hurst.NewDyadic(levels)
+	if err != nil {
+		return nil, err
+	}
+	return &VarTime{base: base, ladder: d, ring: make([]float64, ringSlack)}, nil
+}
+
+// Handle implements trace.Handler.
+func (v *VarTime) Handle(r trace.Record) {
+	idx := int64(r.T / v.base)
+	if !v.started {
+		v.started = true
+	}
+	if idx < v.head {
+		// Deep reordering beyond the slack window: account the packet to
+		// the oldest open bin rather than losing it.
+		idx = v.head
+	}
+	for idx >= v.head+int64(len(v.ring)) {
+		v.flushOne()
+	}
+	v.ring[idx%int64(len(v.ring))]++
+	if idx > v.maxIdx {
+		v.maxIdx = idx
+	}
+}
+
+func (v *VarTime) flushOne() {
+	slot := v.head % int64(len(v.ring))
+	v.ladder.Add(v.ring[slot])
+	v.ring[slot] = 0
+	v.head++
+}
+
+// Close flushes bins through the end of the trace (pass the nominal trace
+// duration so trailing silence is represented as empty bins; zero flushes
+// only through the last packet seen).
+func (v *VarTime) Close(duration time.Duration) {
+	end := v.maxIdx + 1
+	if !v.started {
+		end = 0 // nothing ever arrived; only the duration defines bins
+	}
+	if duration > 0 {
+		if n := int64(duration / v.base); n > end {
+			end = n
+		}
+	}
+	for v.head < end {
+		v.flushOne()
+	}
+}
+
+// Points returns the variance-time points accumulated so far (call Close
+// first for exact results).
+func (v *VarTime) Points() []hurst.Point { return v.ladder.Points() }
+
+// Base returns the base interval.
+func (v *VarTime) Base() time.Duration { return v.base }
+
+// RegionEstimates fits the Hurst parameter in the paper's three regions:
+// below the server tick (m < tick), the plateau between the tick and the map
+// rotation period, and beyond the map period.
+type RegionEstimates struct {
+	SubTick  hurst.Estimate // m < 50 ms: paper sees H < 1/2
+	Plateau  hurst.Estimate // 50 ms – 30 min: high remaining variability
+	LongTerm hurst.Estimate // > 30 min: H ≈ 1/2
+}
+
+// Regions fits the three regions given the tick and map-rotation periods.
+func Regions(points []hurst.Point, base, tick, mapPeriod time.Duration) RegionEstimates {
+	tickM := int(tick / base)
+	mapM := int(mapPeriod / base)
+	var out RegionEstimates
+	if e, err := hurst.EstimateFromPoints(points, 1, tickM); err == nil {
+		out.SubTick = e
+	}
+	if e, err := hurst.EstimateFromPoints(points, tickM+1, mapM); err == nil {
+		out.Plateau = e
+	}
+	if e, err := hurst.EstimateFromPoints(points, mapM+1, 1<<62); err == nil {
+		out.LongTerm = e
+	}
+	return out
+}

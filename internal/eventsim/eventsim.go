@@ -1,0 +1,141 @@
+// Package eventsim is a small deterministic discrete-event simulation
+// kernel: a future-event list ordered by (time, sequence) with a monotonic
+// clock. The game workload generator schedules session arrivals, departures,
+// map rotations and outages on it; the NAT model schedules service
+// completions.
+//
+// Determinism: ties are broken by insertion sequence, so a run is fully
+// reproducible for a given seed and schedule.
+package eventsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func(now time.Duration)
+	index  int // heap index; -1 once popped or canceled
+	active bool
+}
+
+// Time returns the event's scheduled time.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.active }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulation kernel. The zero value is ready to use.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at the absolute simulation time t. Scheduling in
+// the past (t < Now) runs the event at the current time instead: the kernel
+// never moves backwards.
+func (s *Sim) At(t time.Duration, fn func(now time.Duration)) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, active: true}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d time.Duration, fn func(now time.Duration)) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling a fired or already-canceled
+// event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || !e.active || e.index < 0 {
+		return
+	}
+	e.active = false
+	heap.Remove(&s.events, e.index)
+}
+
+// Step runs the next event. It returns false when no events remain.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if !e.active {
+			continue
+		}
+		e.active = false
+		s.now = e.at
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the event list is exhausted or the
+// next event is strictly after limit. The clock is left at the time of the
+// last executed event (or limit, if nothing at/before it remains, so
+// repeated RunUntil calls make progress).
+func (s *Sim) RunUntil(limit time.Duration) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if !next.active {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > limit {
+			break
+		}
+		s.Step()
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+// Run executes all events to exhaustion.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}

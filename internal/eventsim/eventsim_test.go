@@ -1,0 +1,161 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrdering(t *testing.T) {
+	var s Sim
+	var got []int
+	s.At(3*time.Second, func(time.Duration) { got = append(got, 3) })
+	s.At(1*time.Second, func(time.Duration) { got = append(got, 1) })
+	s.At(2*time.Second, func(time.Duration) { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	var s Sim
+	var got []string
+	s.At(time.Second, func(time.Duration) { got = append(got, "a") })
+	s.At(time.Second, func(time.Duration) { got = append(got, "b") })
+	s.At(time.Second, func(time.Duration) { got = append(got, "c") })
+	s.Run()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("tie order = %v (must be insertion order)", got)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var fired []time.Duration
+	s.After(time.Second, func(now time.Duration) {
+		fired = append(fired, now)
+		s.After(2*time.Second, func(now time.Duration) {
+			fired = append(fired, now)
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	var s Sim
+	var at time.Duration = -1
+	s.At(5*time.Second, func(now time.Duration) {
+		s.At(time.Second, func(now time.Duration) { at = now }) // in the past
+	})
+	s.Run()
+	if at != 5*time.Second {
+		t.Errorf("past event ran at %v, want clamped to 5s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Sim
+	ran := false
+	e := s.At(time.Second, func(time.Duration) { ran = true })
+	if !e.Scheduled() {
+		t.Error("event should be scheduled")
+	}
+	s.Cancel(e)
+	if e.Scheduled() {
+		t.Error("event should not be scheduled after cancel")
+	}
+	s.Run()
+	if ran {
+		t.Error("canceled event ran")
+	}
+	s.Cancel(e)   // double cancel is a no-op
+	s.Cancel(nil) // nil is a no-op
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var s Sim
+	var got []int
+	e1 := s.At(1*time.Second, func(time.Duration) { got = append(got, 1) })
+	s.At(2*time.Second, func(time.Duration) { got = append(got, 2) })
+	e3 := s.At(3*time.Second, func(time.Duration) { got = append(got, 3) })
+	s.Cancel(e1)
+	s.Cancel(e3)
+	s.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Second, func(time.Duration) { got = append(got, i) })
+	}
+	s.RunUntil(3 * time.Second)
+	if len(got) != 3 {
+		t.Errorf("got = %v, want 3 events", got)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(got) != 5 {
+		t.Errorf("got = %v", got)
+	}
+	// Clock advances to the limit even with nothing to do.
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", s.Now())
+	}
+}
+
+func TestRunUntilEventExactlyAtLimit(t *testing.T) {
+	var s Sim
+	ran := false
+	s.At(2*time.Second, func(time.Duration) { ran = true })
+	s.RunUntil(2 * time.Second)
+	if !ran {
+		t.Error("event at the limit should run (inclusive)")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Error("Step on empty sim should return false")
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	var s Sim
+	const n = 10000
+	count := 0
+	// Insert in a scrambled deterministic order.
+	for i := 0; i < n; i++ {
+		tm := time.Duration((i*7919)%n) * time.Millisecond
+		s.At(tm, func(time.Duration) { count++ })
+	}
+	var last time.Duration = -1
+	for s.Pending() > 0 {
+		if !s.Step() {
+			break
+		}
+		if s.Now() < last {
+			t.Fatal("clock moved backwards")
+		}
+		last = s.Now()
+	}
+	if count != n {
+		t.Errorf("ran %d events, want %d", count, n)
+	}
+}

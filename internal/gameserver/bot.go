@@ -1,0 +1,208 @@
+package gameserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cstrace/internal/dist"
+	"cstrace/internal/protocol"
+)
+
+// BotConfig parameterizes a bot client.
+type BotConfig struct {
+	// ServerAddr is the server's UDP address.
+	ServerAddr string
+	// Name is the player name sent in the handshake.
+	Name string
+	// CmdRate is the command send rate in packets/second (the trace's
+	// ordinary clients run ~24 pps; "l337" ones crank it up).
+	CmdRate float64
+	// ConnectTimeout bounds the handshake.
+	ConnectTimeout time.Duration
+	// Seed drives the bot's movement.
+	Seed uint64
+}
+
+// DefaultBotConfig returns an ordinary-client bot.
+func DefaultBotConfig(addr string) BotConfig {
+	return BotConfig{
+		ServerAddr:     addr,
+		Name:           "bot",
+		CmdRate:        24,
+		ConnectTimeout: 2 * time.Second,
+		Seed:           1,
+	}
+}
+
+// BotStats counts one bot's traffic.
+type BotStats struct {
+	CmdsSent      int64
+	SnapshotsRecv int64
+	BytesSent     int64
+	BytesRecv     int64
+	LastTick      uint32
+	Entities      int
+}
+
+// Bot is a connected client.
+type Bot struct {
+	cfg      BotConfig
+	conn     net.Conn
+	playerID uint8
+	mapName  string
+	rng      *dist.RNG
+
+	statsMu sync.Mutex
+	stats   BotStats
+}
+
+// Dial connects a bot: it performs the handshake and returns once a slot is
+// granted. A ConnectReject is reported as ErrServerFull.
+func Dial(cfg BotConfig) (*Bot, error) {
+	if cfg.CmdRate <= 0 {
+		return nil, errors.New("gameserver: CmdRate must be positive")
+	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", cfg.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gameserver: dial: %w", err)
+	}
+	b := &Bot{cfg: cfg, conn: conn, rng: dist.NewRNG(cfg.Seed)}
+
+	req, err := (&protocol.ConnectRequest{Name: cfg.Name}).Marshal(nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(cfg.ConnectTimeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	buf := make([]byte, 2048)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("gameserver: handshake: %w", err)
+		}
+		typ, err := protocol.Peek(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch typ {
+		case protocol.MsgConnectAccept:
+			var acc protocol.ConnectAccept
+			if acc.Unmarshal(buf[:n]) != nil {
+				continue
+			}
+			b.playerID = acc.PlayerID
+			b.mapName = acc.MapName
+			_ = conn.SetReadDeadline(time.Time{})
+			return b, nil
+		case protocol.MsgConnectReject:
+			conn.Close()
+			return nil, ErrServerFull
+		default:
+			// Snapshot raced ahead of the accept; keep waiting.
+		}
+	}
+}
+
+// ErrServerFull reports a refused connection.
+var ErrServerFull = errors.New("gameserver: server full")
+
+// PlayerID returns the granted slot id.
+func (b *Bot) PlayerID() uint8 { return b.playerID }
+
+// MapName returns the map reported by the server.
+func (b *Bot) MapName() string { return b.mapName }
+
+// Run plays until ctx is done: it streams user commands at CmdRate and
+// consumes snapshots. It sends a Disconnect on the way out.
+func (b *Bot) Run(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4096)
+		var snap protocol.Snapshot
+		for {
+			if err := b.conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond)); err != nil {
+				return
+			}
+			n, err := b.conn.Read(buf)
+			if err != nil {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+					continue
+				}
+			}
+			if typ, err := protocol.Peek(buf[:n]); err == nil && typ == protocol.MsgSnapshot {
+				if snap.Unmarshal(buf[:n]) == nil {
+					b.statsMu.Lock()
+					b.stats.SnapshotsRecv++
+					b.stats.BytesRecv += int64(n)
+					b.stats.LastTick = snap.Tick
+					b.stats.Entities = len(snap.Entities)
+					b.statsMu.Unlock()
+				}
+			}
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / b.cfg.CmdRate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var seq uint32
+	for {
+		select {
+		case <-ctx.Done():
+			msg, err := (&protocol.Disconnect{PlayerID: b.playerID, Reason: "done"}).Marshal(nil)
+			if err == nil {
+				_, _ = b.conn.Write(msg)
+			}
+			b.conn.Close()
+			<-done
+			return nil
+		case <-ticker.C:
+			seq++
+			cmd := protocol.UserCmd{
+				PlayerID: b.playerID,
+				Seq:      seq,
+				Buttons:  uint16(b.rng.Uint64()),
+				Pitch:    int16(b.rng.Uint64()),
+				Yaw:      int16(b.rng.Uint64()),
+				MoveX:    int8(b.rng.Intn(3) - 1),
+				MoveY:    int8(b.rng.Intn(3) - 1),
+			}
+			msg, err := cmd.Marshal(nil)
+			if err != nil {
+				continue
+			}
+			if n, err := b.conn.Write(msg); err == nil {
+				b.statsMu.Lock()
+				b.stats.CmdsSent++
+				b.stats.BytesSent += int64(n)
+				b.statsMu.Unlock()
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the bot's counters.
+func (b *Bot) Stats() BotStats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.stats
+}

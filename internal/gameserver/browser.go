@@ -1,0 +1,46 @@
+package gameserver
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"cstrace/internal/discovery"
+	"cstrace/internal/protocol"
+)
+
+// ServerLine is one row of the in-game server browser: where, what, how
+// full, how far.
+type ServerLine struct {
+	Addr netip.AddrPort
+	Info protocol.InfoResponse
+	RTT  time.Duration
+}
+
+// Browse performs the full auto-discovery cycle the paper's players relied
+// on: fetch the address list from the master, probe every server with an
+// info query, and return the responsive ones sorted by ascending RTT
+// (the browser's default ranking). Unresponsive servers are dropped — which
+// is exactly why an outage-paused server loses its discovery-dependent
+// player inflow.
+func Browse(masterAddr string, timeout time.Duration) ([]ServerLine, error) {
+	addrs, err := discovery.Query(masterAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]ServerLine, 0, len(addrs))
+	for _, ap := range addrs {
+		info, rtt, err := QueryInfo(ap.String(), timeout)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, ServerLine{Addr: ap, Info: info, RTT: rtt})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].RTT != lines[j].RTT {
+			return lines[i].RTT < lines[j].RTT
+		}
+		return lines[i].Addr.String() < lines[j].Addr.String()
+	})
+	return lines, nil
+}

@@ -1,0 +1,8 @@
+package gameserver
+
+import "net"
+
+// netDial opens a raw UDP connection for protocol-abuse tests.
+func netDial(addr string) (net.Conn, error) {
+	return net.Dial("udp", addr)
+}

@@ -1,0 +1,50 @@
+package gameserver
+
+import (
+	"net"
+	"time"
+
+	"cstrace/internal/protocol"
+)
+
+// QueryInfo probes a game server with an InfoRequest and returns its
+// browser line and the probe's round-trip time. It is the client side of
+// the in-game server browser: discovery (internal/discovery) yields
+// addresses, QueryInfo ranks them.
+func QueryInfo(addr string, timeout time.Duration) (protocol.InfoResponse, time.Duration, error) {
+	var resp protocol.InfoResponse
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return resp, 0, err
+	}
+	defer conn.Close()
+
+	var req protocol.InfoRequest
+	b, err := req.Marshal(nil)
+	if err != nil {
+		return resp, 0, err
+	}
+	start := time.Now()
+	if _, err := conn.Write(b); err != nil {
+		return resp, 0, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return resp, 0, err
+	}
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return resp, 0, err
+		}
+		// A snapshot or other stray datagram may arrive first if the
+		// prober shares a port with a live session; skip non-responses.
+		if typ, err := protocol.Peek(buf[:n]); err != nil || typ != protocol.MsgInfoResponse {
+			continue
+		}
+		if err := resp.Unmarshal(buf[:n]); err != nil {
+			return resp, 0, err
+		}
+		return resp, time.Since(start), nil
+	}
+}

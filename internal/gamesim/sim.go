@@ -1,0 +1,585 @@
+package gamesim
+
+import (
+	"math"
+	"time"
+
+	"cstrace/internal/dist"
+	"cstrace/internal/eventsim"
+	"cstrace/internal/trace"
+)
+
+// EventType classifies session lifecycle events.
+type EventType uint8
+
+const (
+	// EventAttempt is a connection attempt reaching the server.
+	EventAttempt EventType = iota
+	// EventConnect is an accepted attempt (session established).
+	EventConnect
+	// EventRefuse is an attempt rejected for lack of a free slot.
+	EventRefuse
+	// EventDisconnect is a session ending (leave, kick or outage timeout).
+	EventDisconnect
+)
+
+// SessionEvent reports one session lifecycle change.
+type SessionEvent struct {
+	T       time.Duration
+	Type    EventType
+	Session uint32 // established session id (0 for refused attempts)
+	Client  uint32 // population identity (1-based)
+	Players int    // active players after the event
+}
+
+// EventFunc receives session events in time order. It may be nil.
+type EventFunc func(SessionEvent)
+
+// Stats summarizes a completed run; it provides the raw numbers behind the
+// paper's Table I.
+type Stats struct {
+	Duration           time.Duration
+	MapsPlayed         int
+	Attempts           int
+	Established        int
+	Refused            int
+	UniqueAttempting   int
+	UniqueEstablishing int
+	MaxConcurrent      int
+	TotalSessionTime   time.Duration // summed over established sessions
+	PacketsIn          int64
+	PacketsOut         int64
+	AppBytesIn         int64
+	AppBytesOut        int64
+	PlayerSeconds      float64 // integral of active player count over time
+}
+
+// MeanSessionSec returns the average established session length in seconds.
+func (s Stats) MeanSessionSec() float64 {
+	if s.Established == 0 {
+		return 0
+	}
+	return s.TotalSessionTime.Seconds() / float64(s.Established)
+}
+
+// MeanPlayers returns the time-average number of active players.
+func (s Stats) MeanPlayers() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return s.PlayerSeconds / s.Duration.Seconds()
+}
+
+// Handshake payload sizes (bytes), modeled on the Half-Life connection
+// exchange.
+const (
+	connectReqBytes  = 42
+	connectOKBytes   = 110
+	rejectBytes      = 36
+	disconnectBytes  = 38
+	keepaliveDivisor = 10 // command-rate reduction while the server changes maps
+)
+
+type player struct {
+	session     uint32
+	client      uint32
+	elite       bool
+	active      bool
+	idx         int // position in the active slice
+	connectedAt time.Duration
+
+	nextCmd  time.Duration
+	cmdGap   time.Duration
+	nextSnap time.Duration // used by elites and the desync ablation
+	snapGap  time.Duration
+
+	counted bool // established during the recorded window
+
+	dlOut     int // remaining logo bytes server -> client
+	dlIn      int // remaining logo bytes client -> server
+	dlNextOut time.Duration
+	dlNextIn  time.Duration
+}
+
+type sim struct {
+	cfg    Config
+	h      trace.Handler
+	ev     EventFunc
+	kernel eventsim.Sim
+
+	rng      *dist.RNG // control-plane randomness
+	sizeRNG  *dist.RNG // payload sizing (hot path)
+	roundRNG *dist.RNG // round schedule (advanced only while generating traffic)
+	zipf     *dist.Zipf
+
+	players     []*player
+	nextSession uint32
+	nextTourist uint32
+	paused      bool // map changeover in progress
+	outage      bool
+	warm        bool // recording has started
+
+	window time.Duration // current emission window start
+
+	roundStart time.Duration
+	roundEnd   time.Duration
+	roundLevel float64
+
+	uniqueAttempt map[uint32]bool
+	uniqueEst     map[uint32]bool
+	lastCount     time.Duration // for PlayerSeconds integration
+
+	stats Stats
+}
+
+// Run simulates the configured server, streaming every packet record to h
+// (which may be nil to run only the session/control plane, e.g. to study
+// Table I quantities quickly) and lifecycle events to ev (may be nil).
+func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	s := &sim{
+		cfg:           cfg,
+		h:             h,
+		ev:            ev,
+		rng:           dist.NewRNG(cfg.Seed),
+		uniqueAttempt: make(map[uint32]bool),
+		uniqueEst:     make(map[uint32]bool),
+	}
+	s.sizeRNG = s.rng.Split()
+	s.roundRNG = s.rng.Split()
+	var err error
+	s.zipf, err = dist.NewZipf(cfg.Population, cfg.PopularityExp)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	s.warm = cfg.Warmup == 0
+	if !s.warm {
+		s.kernel.At(cfg.Warmup, func(now time.Duration) { s.startRecording(now) })
+	}
+	s.scheduleFreshArrival()
+	s.scheduleMapCycle(0)
+	for _, o := range cfg.Outages {
+		o := o
+		s.kernel.At(cfg.Warmup+o.At, func(now time.Duration) { s.outageStart(o.Duration) })
+	}
+	s.newRound(0)
+
+	total := cfg.Warmup + cfg.Duration
+	if h == nil {
+		// Control plane only: no per-tick traffic.
+		s.kernel.RunUntil(total)
+	} else {
+		dt := cfg.TickInterval
+		for t := time.Duration(0); t < total; t += dt {
+			s.window = t
+			s.kernel.RunUntil(t)
+			end := t + dt
+			if end > total {
+				end = total
+			}
+			s.generateWindow(t, end)
+		}
+	}
+	s.finish()
+	return s.stats, nil
+}
+
+// startRecording marks the end of the warm-up phase: statistics restart and
+// sessions already in progress stop counting toward session-length figures
+// (they established before the trace began).
+func (s *sim) startRecording(now time.Duration) {
+	s.warm = true
+	s.stats = Stats{}
+	s.uniqueAttempt = make(map[uint32]bool)
+	s.uniqueEst = make(map[uint32]bool)
+	s.lastCount = now
+	for _, p := range s.players {
+		p.counted = false
+		// Surface the initial population to event consumers: one connect
+		// per player already on the server as the trace begins.
+		s.event(now, EventConnect, p.session, p.client)
+	}
+	if len(s.players) > s.stats.MaxConcurrent {
+		s.stats.MaxConcurrent = len(s.players)
+	}
+}
+
+func (s *sim) emit(r trace.Record) {
+	if s.h == nil || !s.warm {
+		return
+	}
+	r.T -= s.cfg.Warmup
+	s.h.Handle(r)
+	if r.Dir == trace.In {
+		s.stats.PacketsIn++
+		s.stats.AppBytesIn += int64(r.App)
+	} else {
+		s.stats.PacketsOut++
+		s.stats.AppBytesOut += int64(r.App)
+	}
+}
+
+func (s *sim) event(t time.Duration, typ EventType, session, client uint32) {
+	if s.ev == nil || !s.warm {
+		return // warm-up churn is not part of the recorded trace
+	}
+	rel := t - s.cfg.Warmup
+	if rel < 0 {
+		rel = 0
+	}
+	s.ev(SessionEvent{T: rel, Type: typ, Session: session, Client: client, Players: len(s.players)})
+}
+
+// integrateCount must be called immediately before the player count changes.
+func (s *sim) integrateCount(now time.Duration) {
+	s.stats.PlayerSeconds += float64(len(s.players)) * (now - s.lastCount).Seconds()
+	s.lastCount = now
+}
+
+// --- arrival / departure control plane ---
+
+// scheduleFreshArrival draws the next fresh attempt from the diurnal
+// non-homogeneous Poisson process by Lewis-Shedler thinning: candidate gaps
+// at the peak rate, kept with probability λ(t)/λmax.
+func (s *sim) scheduleFreshArrival() {
+	peak := s.cfg.AttemptRate * (1 + s.cfg.DiurnalAmp)
+	gap := time.Duration(s.rng.ExpFloat64() / peak * float64(time.Second))
+	s.kernel.After(gap, func(now time.Duration) {
+		if s.rng.Float64()*peak <= s.attemptRate(now) {
+			if s.rng.Bool(s.cfg.TouristFrac) {
+				// A one-time visitor: a fresh identity that will not
+				// retry if refused.
+				s.nextTourist++
+				s.attemptOnce(now, uint32(s.cfg.Population)+s.nextTourist, false)
+			} else {
+				s.attemptOnce(now, uint32(s.zipf.Rank(s.rng))+1, true)
+			}
+		}
+		s.scheduleFreshArrival()
+	})
+}
+
+// attemptRate is the instantaneous fresh-attempt rate λ(t).
+func (s *sim) attemptRate(t time.Duration) float64 {
+	if s.cfg.DiurnalAmp == 0 {
+		return s.cfg.AttemptRate
+	}
+	const day = 24 * time.Hour
+	phase := 2 * math.Pi * float64(t-s.cfg.Warmup-s.cfg.DiurnalPeak) / float64(day)
+	return s.cfg.AttemptRate * (1 + s.cfg.DiurnalAmp*math.Cos(phase))
+}
+
+// attemptOnce processes one connection attempt; mayRetry distinguishes
+// regulars (who may retry a refusal) from one-time tourists.
+func (s *sim) attemptOnce(now time.Duration, client uint32, mayRetry bool) {
+	if s.outage {
+		return // the attempt never reaches the server
+	}
+	s.stats.Attempts++
+	s.uniqueAttempt[client] = true
+	s.event(now, EventAttempt, 0, client)
+	s.emit(trace.Record{T: s.window, Dir: trace.In, Kind: trace.KindHandshake, Client: 0, App: connectReqBytes})
+
+	if len(s.players) >= s.cfg.Slots {
+		s.stats.Refused++
+		s.event(now, EventRefuse, 0, client)
+		s.emit(trace.Record{T: s.window, Dir: trace.Out, Kind: trace.KindHandshake, Client: 0, App: rejectBytes})
+		if mayRetry && s.rng.Bool(s.cfg.RetryProb) {
+			delay := time.Duration(s.cfg.RetryDelay.Sample(s.rng) * float64(time.Second))
+			s.kernel.After(delay, func(now time.Duration) { s.attemptOnce(now, client, true) })
+		}
+		return
+	}
+	s.connect(now, client)
+}
+
+func (s *sim) connect(now time.Duration, client uint32) {
+	s.nextSession++
+	s.stats.Established++
+	s.uniqueEst[client] = true
+
+	p := &player{
+		session:     s.nextSession,
+		client:      client,
+		active:      true,
+		counted:     s.warm,
+		connectedAt: now,
+		elite:       s.rng.Bool(s.cfg.EliteFrac),
+	}
+	rate := s.cfg.CmdRate
+	if p.elite {
+		rate = s.cfg.EliteCmdRate
+		p.snapGap = time.Duration(float64(time.Second) / s.cfg.EliteSnapHz)
+	} else {
+		p.snapGap = s.cfg.TickInterval
+	}
+	p.cmdGap = time.Duration(float64(time.Second) / rate)
+	p.nextCmd = now + time.Duration(s.rng.Float64()*float64(p.cmdGap))
+	p.nextSnap = now + time.Duration(s.rng.Float64()*float64(p.snapGap))
+
+	if s.rng.Bool(s.cfg.LogoDownloadProb) {
+		p.dlOut = s.cfg.LogoBytes
+		p.dlNextOut = now + time.Duration(s.rng.Float64()*float64(time.Second))
+	}
+	if s.rng.Bool(s.cfg.LogoUploadProb) {
+		p.dlIn = s.cfg.LogoBytes
+		p.dlNextIn = now + time.Duration(s.rng.Float64()*float64(time.Second))
+	}
+
+	s.integrateCount(now)
+	p.idx = len(s.players)
+	s.players = append(s.players, p)
+	if len(s.players) > s.stats.MaxConcurrent {
+		s.stats.MaxConcurrent = len(s.players)
+	}
+	s.event(now, EventConnect, p.session, client)
+	s.emit(trace.Record{T: s.window, Dir: trace.Out, Kind: trace.KindHandshake, Client: p.session, App: connectOKBytes})
+
+	life := s.cfg.SessionMean
+	d := dist.LogNormalFromMean(life, s.cfg.SessionSigma).Sample(s.rng)
+	if d < s.cfg.MinSession {
+		d = s.cfg.MinSession
+	}
+	s.kernel.After(time.Duration(d*float64(time.Second)), func(now time.Duration) {
+		s.disconnect(now, p, true)
+	})
+}
+
+// disconnect removes p; polite disconnects emit the leave datagram, timeout
+// disconnects (outages) do not.
+func (s *sim) disconnect(now time.Duration, p *player, polite bool) {
+	if !p.active {
+		return
+	}
+	p.active = false
+	s.integrateCount(now)
+	last := len(s.players) - 1
+	s.players[p.idx] = s.players[last]
+	s.players[p.idx].idx = p.idx
+	s.players = s.players[:last]
+	if p.counted {
+		s.stats.TotalSessionTime += now - p.connectedAt
+	}
+	if polite && !s.outage {
+		s.emit(trace.Record{T: s.window, Dir: trace.In, Kind: trace.KindHandshake, Client: p.session, App: disconnectBytes})
+	}
+	s.event(now, EventDisconnect, p.session, p.client)
+}
+
+// --- map rotation ---
+
+func (s *sim) scheduleMapCycle(start time.Duration) {
+	s.stats.MapsPlayed++
+	end := start + s.cfg.MapDuration
+	s.kernel.At(end, func(now time.Duration) {
+		s.paused = true
+		// Some players quit rather than sit through the change.
+		for i := len(s.players) - 1; i >= 0; i-- {
+			if s.rng.Bool(s.cfg.MapLeaveProb) {
+				s.disconnect(now, s.players[i], true)
+			}
+		}
+		s.kernel.After(s.cfg.MapChangePause, func(now time.Duration) {
+			s.paused = false
+			s.newRound(now)
+			s.scheduleMapCycle(now)
+		})
+	})
+}
+
+// --- rounds / activity ---
+
+func (s *sim) newRound(now time.Duration) {
+	s.roundStart = now
+	d := s.cfg.RoundDuration.Sample(s.roundRNG)
+	if d < 30 {
+		d = 30
+	}
+	s.roundEnd = now + time.Duration(d*float64(time.Second))
+	s.roundLevel = 0.85 + 0.3*s.roundRNG.Float64()
+}
+
+// activity returns the round-phase activity multiplier at time t: low during
+// freeze time, ramping over the round with a mid-round peak.
+func (s *sim) activity(t time.Duration) float64 {
+	if t >= s.roundEnd {
+		s.newRound(t)
+	}
+	freezeEnd := s.roundStart + s.cfg.FreezeTime
+	if t < freezeEnd {
+		return 0.55 * s.roundLevel
+	}
+	span := s.roundEnd - freezeEnd
+	if span <= 0 {
+		return s.roundLevel
+	}
+	x := float64(t-freezeEnd) / float64(span)
+	return s.roundLevel * (0.8 + 0.5*math.Sin(math.Pi*x))
+}
+
+// --- outages ---
+
+func (s *sim) outageStart(d time.Duration) {
+	s.outage = true
+	s.kernel.After(d, func(now time.Duration) {
+		s.outage = false
+		// Both sides time out; everyone is dropped at the same instant
+		// (the paper: "all of the players or a majority of players were
+		// disconnected ... at identical points in time").
+		for i := len(s.players) - 1; i >= 0; i-- {
+			p := s.players[i]
+			s.disconnect(now, p, false)
+			// Players who recorded the address reconnect promptly; the
+			// rest relied on server auto-discovery and drift back via
+			// the normal arrival process.
+			if s.rng.Bool(s.cfg.ReconnectProb) {
+				client := p.client
+				delay := time.Duration(s.cfg.ReconnectIn.Sample(s.rng) * float64(time.Second))
+				s.kernel.After(delay, func(now time.Duration) { s.attemptOnce(now, client, true) })
+			}
+		}
+	})
+}
+
+// --- traffic generation ---
+
+// snapSize draws one snapshot payload size given the current activity level.
+func (s *sim) snapSize(players int, act float64, elite bool) uint16 {
+	mu := s.cfg.SnapBase + s.cfg.SnapPerPlayer*float64(players)*act
+	if elite {
+		// High-rate clients receive more frequent, smaller deltas.
+		mu *= 0.6
+	}
+	v := mu + s.cfg.SnapSigma*s.sizeRNG.NormFloat64()
+	if v < float64(s.cfg.SnapMin) {
+		v = float64(s.cfg.SnapMin)
+	}
+	if v > float64(s.cfg.SnapMax) {
+		v = float64(s.cfg.SnapMax)
+	}
+	return uint16(v)
+}
+
+func (s *sim) cmdSize() uint16 {
+	return uint16(s.cfg.InPayload.Sample(s.sizeRNG))
+}
+
+func (s *sim) generateWindow(start, end time.Duration) {
+	if s.outage {
+		// Total connectivity loss: nothing reaches the tap. Client-side
+		// schedules still advance so streams resume naturally.
+		for _, p := range s.players {
+			for p.nextCmd < end {
+				p.nextCmd += s.jitteredGap(p.cmdGap)
+			}
+			for p.nextSnap < end {
+				p.nextSnap += p.snapGap
+			}
+		}
+		return
+	}
+
+	serverUp := !s.paused
+	var act float64
+	if serverUp {
+		act = s.activity(start)
+	}
+
+	// Synchronous snapshot broadcast: one packet per ordinary client, sent
+	// back-to-back at the tick instant (the paper's 50 ms bursts).
+	if serverUp && !s.cfg.DesynchronizeTicks {
+		n := len(s.players)
+		burst := 0
+		for _, p := range s.players {
+			if p.elite {
+				continue
+			}
+			t := start + time.Duration(burst)*s.cfg.BurstSpacing
+			s.emit(trace.Record{T: t, Dir: trace.Out, Kind: trace.KindGame, Client: p.session, App: s.snapSize(n, act, false)})
+			burst++
+		}
+	}
+
+	n := len(s.players)
+	for _, p := range s.players {
+		// Inbound command stream (throttled to keepalives during the
+		// map-change pause while the client sits at the loading screen).
+		gapScale := 1
+		if s.paused {
+			gapScale = keepaliveDivisor
+		}
+		for p.nextCmd < end {
+			if p.nextCmd >= start {
+				s.emit(trace.Record{T: p.nextCmd, Dir: trace.In, Kind: trace.KindGame, Client: p.session, App: s.cmdSize()})
+			}
+			p.nextCmd += s.jitteredGap(p.cmdGap) * time.Duration(gapScale)
+		}
+
+		// Per-client snapshot schedules: elites at their elevated rate,
+		// and everyone when the desync ablation is on.
+		if serverUp && (p.elite || s.cfg.DesynchronizeTicks) {
+			for p.nextSnap < end {
+				if p.nextSnap >= start {
+					s.emit(trace.Record{T: p.nextSnap, Dir: trace.Out, Kind: trace.KindGame, Client: p.session, App: s.snapSize(n, act, p.elite)})
+				}
+				p.nextSnap += p.snapGap
+			}
+		} else if !serverUp {
+			for p.nextSnap < end {
+				p.nextSnap += p.snapGap
+			}
+		}
+
+		// Rate-limited logo transfers.
+		if serverUp && p.dlOut > 0 {
+			gap := time.Duration(float64(s.cfg.LogoPacket) / s.cfg.LogoRate * float64(time.Second))
+			for p.dlOut > 0 && p.dlNextOut < end {
+				sz := s.cfg.LogoPacket
+				if sz > p.dlOut {
+					sz = p.dlOut
+				}
+				p.dlOut -= sz
+				if p.dlNextOut >= start {
+					s.emit(trace.Record{T: p.dlNextOut, Dir: trace.Out, Kind: trace.KindDownload, Client: p.session, App: uint16(sz)})
+				}
+				p.dlNextOut += gap
+			}
+		}
+		if serverUp && p.dlIn > 0 {
+			gap := time.Duration(float64(s.cfg.LogoPacket) / s.cfg.LogoRate * float64(time.Second))
+			for p.dlIn > 0 && p.dlNextIn < end {
+				sz := s.cfg.LogoPacket
+				if sz > p.dlIn {
+					sz = p.dlIn
+				}
+				p.dlIn -= sz
+				if p.dlNextIn >= start {
+					s.emit(trace.Record{T: p.dlNextIn, Dir: trace.In, Kind: trace.KindDownload, Client: p.session, App: uint16(sz)})
+				}
+				p.dlNextIn += gap
+			}
+		}
+	}
+}
+
+// jitteredGap applies symmetric fractional jitter to a base interval.
+func (s *sim) jitteredGap(base time.Duration) time.Duration {
+	j := 1 + s.cfg.CmdJitter*(2*s.sizeRNG.Float64()-1)
+	return time.Duration(float64(base) * j)
+}
+
+func (s *sim) finish() {
+	total := s.cfg.Warmup + s.cfg.Duration
+	s.integrateCount(total)
+	for _, p := range s.players {
+		if p.counted {
+			s.stats.TotalSessionTime += total - p.connectedAt
+		}
+	}
+	s.stats.Duration = s.cfg.Duration
+	s.stats.UniqueAttempting = len(s.uniqueAttempt)
+	s.stats.UniqueEstablishing = len(s.uniqueEst)
+}

@@ -1,0 +1,203 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"cstrace/internal/gamesim"
+	"cstrace/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Capacity: 0, QueueIn: 1, QueueOut: 1},
+		{Capacity: 100, ServiceJitter: -0.1, QueueIn: 1, QueueOut: 1},
+		{Capacity: 100, ServiceJitter: 1.0, QueueIn: 1, QueueOut: 1},
+		{Capacity: 100, QueueIn: 0, QueueOut: 1},
+		{Capacity: 100, QueueIn: 1, QueueOut: 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c, nil); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	if _, err := New(DefaultConfig(1), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// offered = delivered + dropped, per direction.
+	d, err := New(Config{Capacity: 100, QueueIn: 2, QueueOut: 2, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		dir := trace.In
+		if i%3 == 0 {
+			dir = trace.Out
+		}
+		d.Handle(trace.Record{T: time.Duration(i) * time.Millisecond, Dir: dir, App: 40})
+	}
+	c := d.Counts()
+	if c.ClientToNAT+c.ServerToNAT != 1000 {
+		t.Errorf("offered total %d", c.ClientToNAT+c.ServerToNAT)
+	}
+	if c.NATToServer > c.ClientToNAT || c.NATToClients > c.ServerToNAT {
+		t.Error("delivered exceeds offered")
+	}
+}
+
+func TestNoLossUnderLightLoad(t *testing.T) {
+	d, _ := New(Config{Capacity: 10000, QueueIn: 10, QueueOut: 10, Seed: 2}, nil)
+	for i := 0; i < 10000; i++ {
+		d.Handle(trace.Record{T: time.Duration(i) * time.Millisecond, Dir: trace.In, App: 40})
+	}
+	c := d.Counts()
+	if c.LossIn() != 0 {
+		t.Errorf("light load should be lossless, got %.4f", c.LossIn())
+	}
+}
+
+func TestOverloadDropsButForwardsInOrder(t *testing.T) {
+	var last time.Duration = -1
+	ordered := true
+	next := trace.HandlerFunc(func(r trace.Record) {
+		if r.T < last {
+			ordered = false
+		}
+		last = r.T
+	})
+	// 10x overload.
+	d, _ := New(Config{Capacity: 100, QueueIn: 5, QueueOut: 5, Seed: 3}, next)
+	for i := 0; i < 5000; i++ {
+		d.Handle(trace.Record{T: time.Duration(i) * time.Millisecond, Dir: trace.In, App: 40})
+	}
+	c := d.Counts()
+	if c.LossIn() < 0.5 {
+		t.Errorf("10x overload should drop heavily, got %.3f", c.LossIn())
+	}
+	if !ordered {
+		t.Error("forwarded stream must be time-sorted")
+	}
+	// Delivered rate approaches capacity.
+	rate := float64(c.NATToServer) / 5.0
+	if rate < 80 || rate > 120 {
+		t.Errorf("delivered rate %.0f pps, want ~100 (capacity-bound)", rate)
+	}
+}
+
+func TestBurstAsymmetry(t *testing.T) {
+	// Synthetic reproduction of the paper's mechanism: a 20-packet
+	// synchronized burst each 50 ms (out) plus smooth arrivals (in).
+	// The smooth direction must lose more than the bursty one given a
+	// deep LAN buffer and a shallow WAN buffer.
+	d, _ := New(Config{Capacity: 1250, ServiceJitter: 0.5, QueueIn: 7, QueueOut: 23, Seed: 4}, nil)
+	var recs []trace.Record
+	for tick := 0; tick < 36000; tick++ { // 30 min of 50 ms ticks
+		base := time.Duration(tick) * 50 * time.Millisecond
+		for i := 0; i < 21; i++ {
+			recs = append(recs, trace.Record{T: base + time.Duration(i)*15*time.Microsecond, Dir: trace.Out, App: 130})
+		}
+		for i := 0; i < 26; i++ {
+			off := time.Duration(i)*1923*time.Microsecond + time.Duration(tick%7)*280*time.Microsecond
+			recs = append(recs, trace.Record{T: base + off, Dir: trace.In, App: 40})
+		}
+	}
+	// Records are close to sorted; sort strictly by T (stable merge of the
+	// two patterns).
+	sortRecords(recs)
+	for _, r := range recs {
+		d.Handle(r)
+	}
+	c := d.Counts()
+	if c.LossIn() <= 2*c.LossOut() {
+		t.Errorf("incoming loss (%.4f) should far exceed outgoing (%.4f)", c.LossIn(), c.LossOut())
+	}
+	if c.LossIn() == 0 {
+		t.Error("expected some incoming loss at this load")
+	}
+}
+
+func sortRecords(recs []trace.Record) {
+	// Insertion sort is fine: input is nearly sorted.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].T < recs[j-1].T; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Counts {
+		d, _ := New(DefaultConfig(7), nil)
+		for i := 0; i < 20000; i++ {
+			dir := trace.In
+			if i%2 == 0 {
+				dir = trace.Out
+			}
+			d.Handle(trace.Record{T: time.Duration(i) * 700 * time.Microsecond, Dir: dir, App: 80})
+		}
+		return d.Counts()
+	}
+	if run() != run() {
+		t.Error("same seed must give identical counts")
+	}
+}
+
+func TestExperimentReproducesTableIV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30-minute NAT experiment")
+	}
+	res, err := RunExperiment(gamesim.NATExperimentConfig(42), DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counts
+
+	// Paper Table IV: 1.3% incoming loss, 0.46% outgoing (see package doc
+	// on the 0.046% typo). Bands allow for model stochasticity.
+	if got := c.LossIn(); got < 0.006 || got > 0.025 {
+		t.Errorf("incoming loss = %.4f, want ~0.013", got)
+	}
+	if got := c.LossOut(); got < 0.001 || got > 0.012 {
+		t.Errorf("outgoing loss = %.4f, want ~0.0046", got)
+	}
+	if c.LossIn() <= 1.5*c.LossOut() {
+		t.Errorf("asymmetry: in %.4f should clearly exceed out %.4f", c.LossIn(), c.LossOut())
+	}
+
+	// Offered volumes should be in the ballpark of the paper's 30-minute
+	// map (853,035 in / 677,278 out).
+	if c.ClientToNAT < 500_000 || c.ClientToNAT > 1_200_000 {
+		t.Errorf("clients->NAT packets = %d, want ~853k", c.ClientToNAT)
+	}
+	if c.ServerToNAT < 400_000 || c.ServerToNAT > 1_000_000 {
+		t.Errorf("server->NAT packets = %d, want ~677k", c.ServerToNAT)
+	}
+
+	// Figs 14-15: series present and showing drop-outs on the delivered
+	// side of the incoming path: some seconds lose >5% of offered packets.
+	if len(res.ClientsToNAT) != 1800 || len(res.NATToServer) != 1800 {
+		t.Fatalf("series lengths %d/%d", len(res.ClientsToNAT), len(res.NATToServer))
+	}
+	dropouts := 0
+	for i := range res.ClientsToNAT {
+		if res.ClientsToNAT[i] > 0 && res.NATToServer[i] < 0.95*res.ClientsToNAT[i] {
+			dropouts++
+		}
+	}
+	if dropouts == 0 {
+		t.Error("expected visible per-second drop-outs on NAT->server (Fig 14b)")
+	}
+
+	// The paper: buffering 50 ms spikes consumes >1/4 of tolerable latency.
+	// Our mean forwarding delay must stay in the same regime (milliseconds,
+	// spiking toward tens of ms).
+	if res.MaxDelayIn < 0.005 {
+		t.Errorf("max incoming delay %.4fs implausibly small", res.MaxDelayIn)
+	}
+	t.Logf("loss in %.3f%% out %.3f%%; offered in %d out %d; delay mean/max in %.1f/%.1f ms",
+		c.LossIn()*100, c.LossOut()*100, c.ClientToNAT, c.ServerToNAT,
+		res.MeanDelayIn*1e3, res.MaxDelayIn*1e3)
+}

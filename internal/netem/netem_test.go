@@ -1,0 +1,249 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cstrace/internal/trace"
+)
+
+// periodicFlow builds a constant-rate flow of n packets of the given app
+// payload, dir, spaced by gap.
+func periodicFlow(n int, app uint16, dir trace.Direction, gap time.Duration) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{T: time.Duration(i) * gap, Dir: dir, Client: 1, App: app}
+	}
+	return recs
+}
+
+func TestConservation(t *testing.T) {
+	var got trace.Collect
+	l, err := NewLink(45e3, 60*time.Millisecond, 0, 4096, 1, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload: 50 packets back-to-back of ~188 wire bytes into a 4 KB
+	// buffer.
+	for _, r := range periodicFlow(50, 130, trace.Out, 0) {
+		l.Handle(r)
+	}
+	st := l.Stats()
+	if st.Offered != 50 {
+		t.Fatalf("offered = %d", st.Offered)
+	}
+	if st.Delivered+st.Dropped != st.Offered {
+		t.Errorf("delivered %d + dropped %d != offered %d", st.Delivered, st.Dropped, st.Offered)
+	}
+	if int64(len(got.Records)) != st.Delivered {
+		t.Errorf("forwarded %d, stats say %d", len(got.Records), st.Delivered)
+	}
+	if st.Dropped == 0 {
+		t.Error("expected drop-tail losses on instantaneous burst")
+	}
+	// Buffer fits floor(4096/188) = 21 packets.
+	if st.Delivered != 21 {
+		t.Errorf("delivered = %d, want 21", st.Delivered)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	var got trace.Collect
+	rate := 45e3
+	l, err := NewLink(rate, 0, 0, 1<<20, 1, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 packets at t=0; the last must depart at ~(totalBits/rate).
+	n, app := 10, uint16(130)
+	for _, r := range periodicFlow(n, app, trace.Out, 0) {
+		l.Handle(r)
+	}
+	wire := int64(130 + 58)
+	want := time.Duration(float64(int64(n)*wire*8) / rate * float64(time.Second))
+	lastT := got.Records[len(got.Records)-1].T
+	if diff := lastT - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("last departure %v, want ~%v", lastT, want)
+	}
+	if u := l.Stats().Utilization(); u < 0.99 || u > 1.01 {
+		t.Errorf("utilization = %.3f, want ~1", u)
+	}
+}
+
+func TestDelayFloorAndOrder(t *testing.T) {
+	var got trace.Collect
+	prop := 60 * time.Millisecond
+	l, err := NewLink(45e3, prop, 8*time.Millisecond, 1<<20, 7, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range periodicFlow(200, 40, trace.In, 10*time.Millisecond) {
+		l.Handle(r)
+	}
+	last := time.Duration(-1)
+	for i, r := range got.Records {
+		if r.T < last {
+			t.Fatalf("record %d overtakes: %v < %v", i, r.T, last)
+		}
+		last = r.T
+		in := time.Duration(i) * 10 * time.Millisecond
+		if r.T-in < prop {
+			t.Fatalf("record %d delay %v below propagation %v", i, r.T-in, prop)
+		}
+	}
+	if mean := l.Stats().Delay.Mean(); mean < prop.Seconds() {
+		t.Errorf("mean delay %.4f below propagation floor", mean)
+	}
+}
+
+func TestQueueDrainsBetweenBursts(t *testing.T) {
+	var got trace.Collect
+	l, err := NewLink(45e3, 0, 0, 2048, 1, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two bursts of 10 x 188 B (1880 B, fits the 2 KB buffer) separated
+	// by a second of idle: the second burst must not see a full queue.
+	burst := periodicFlow(10, 130, trace.Out, 0)
+	for _, r := range burst {
+		l.Handle(r)
+	}
+	for _, r := range burst {
+		r.T += time.Second
+		l.Handle(r)
+	}
+	if st := l.Stats(); st.Dropped != 0 {
+		t.Errorf("dropped %d packets; queue should have drained", st.Dropped)
+	}
+}
+
+func TestModemSaturation(t *testing.T) {
+	// The paper's core claim, seen from the last mile. An ordinary
+	// client's downstream (~25 kbs of the ~40 kbs total budget) fits a
+	// modem; an "l337" client's cranked-up rate (~100 kbs) cannot.
+	run := func(app uint16, gap time.Duration) *LinkStats {
+		var sink trace.Collect
+		m, err := New(Modem56k(), 1, &sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range periodicFlow(2000, app, trace.Out, gap) {
+			m.Handle(r)
+		}
+		return m.Down()
+	}
+
+	// Ordinary: 130 B app (188 wire) every 60 ms = 25 kbs.
+	ordinary := run(130, 60*time.Millisecond)
+	if lr := ordinary.LossRate(); lr != 0 {
+		t.Errorf("ordinary flow loss %.3f, want 0", lr)
+	}
+	if d := ordinary.Delay.Mean(); d > 0.150 {
+		t.Errorf("ordinary flow mean delay %.3fs, want playable (<150 ms)", d)
+	}
+
+	// Elite: 250 B app (308 wire) every 20 ms = 123 kbs into 45 kbs.
+	elite := run(250, 20*time.Millisecond)
+	if lr := elite.LossRate(); lr < 0.3 {
+		t.Errorf("elite flow loss %.3f, want heavy (>0.3)", lr)
+	}
+	// The link itself saturates: goodput pegs at the line rate.
+	if g := float64(elite.Goodput()); g < 40e3 || g > 46e3 {
+		t.Errorf("elite goodput %.0f, want pegged at ~45k line rate", g)
+	}
+}
+
+func TestLastMileRouting(t *testing.T) {
+	var sink trace.Collect
+	m, err := New(DSL(), 3, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Handle(trace.Record{T: 0, Dir: trace.Out, App: 130})
+	m.Handle(trace.Record{T: 0, Dir: trace.In, App: 40})
+	if m.Down().Offered != 1 || m.Up().Offered != 1 {
+		t.Errorf("routing wrong: down %d up %d", m.Down().Offered, m.Up().Offered)
+	}
+	if len(sink.Records) != 2 {
+		t.Fatalf("forwarded %d", len(sink.Records))
+	}
+	for _, r := range sink.Records {
+		if r.T <= 0 {
+			t.Error("forwarded record not restamped")
+		}
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	prev := 0.0
+	for _, p := range Profiles() {
+		if p.DownBps <= 0 || p.UpBps <= 0 || p.BufBytes <= 0 {
+			t.Errorf("%s: non-positive parameters", p.Name)
+		}
+		if p.UpBps > p.DownBps {
+			t.Errorf("%s: uplink faster than downlink", p.Name)
+		}
+		if p.DownBps < prev {
+			t.Errorf("%s: profiles not ordered slowest-first", p.Name)
+		}
+		prev = p.DownBps
+		if _, err := New(p, 1, trace.HandlerFunc(func(trace.Record) {})); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	sink := trace.HandlerFunc(func(trace.Record) {})
+	if _, err := NewLink(0, 0, 0, 1, 1, sink); err == nil {
+		t.Error("accepted zero rate")
+	}
+	if _, err := NewLink(1e6, 0, 0, 0, 1, sink); err == nil {
+		t.Error("accepted zero buffer")
+	}
+	if _, err := NewLink(1e6, 0, 0, 1024, 1, nil); err == nil {
+		t.Error("accepted nil handler")
+	}
+}
+
+func TestLinkProperties(t *testing.T) {
+	// For arbitrary small workloads: conservation holds, output is
+	// monotone, and every delivered packet is delayed by at least the
+	// serialization time of its own bytes.
+	f := func(seed uint64, sizes []uint8, gapsMs []uint8) bool {
+		n := len(sizes)
+		if len(gapsMs) < n {
+			n = len(gapsMs)
+		}
+		if n == 0 {
+			return true
+		}
+		var got trace.Collect
+		rate := 64e3
+		l, err := NewLink(rate, 10*time.Millisecond, time.Millisecond, 8192, seed, &got)
+		if err != nil {
+			return false
+		}
+		var t0 time.Duration
+		for i := 0; i < n; i++ {
+			t0 += time.Duration(gapsMs[i]) * time.Millisecond
+			l.Handle(trace.Record{T: t0, App: uint16(sizes[i])})
+		}
+		st := l.Stats()
+		if st.Delivered+st.Dropped != st.Offered || st.Offered != int64(n) {
+			return false
+		}
+		last := time.Duration(-1)
+		for _, r := range got.Records {
+			if r.T < last {
+				return false
+			}
+			last = r.T
+		}
+		return int64(len(got.Records)) == st.Delivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP message (the only combination the capture
+// link carries: hardware type 1, protocol type 0x0800, 6/4 byte addresses).
+type ARP struct {
+	Operation uint16
+	SenderMAC MAC
+	SenderIP  netip.Addr
+	TargetMAC MAC
+	TargetIP  netip.Addr
+
+	contents []byte
+}
+
+// arpLen is the fixed message size for the Ethernet/IPv4 combination.
+const arpLen = 28
+
+// LayerType implements Layer.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// LayerContents implements Layer.
+func (a *ARP) LayerContents() []byte { return a.contents }
+
+// LayerPayload implements Layer. ARP carries no payload.
+func (a *ARP) LayerPayload() []byte { return nil }
+
+// NextLayerType implements DecodingLayer.
+func (a *ARP) NextLayerType() LayerType { return LayerTypeNone }
+
+// DecodeFromBytes implements DecodingLayer.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < arpLen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 || // hardware: Ethernet
+		binary.BigEndian.Uint16(data[2:4]) != EtherTypeIPv4 ||
+		data[4] != 6 || data[5] != 4 {
+		return ErrBadLength
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(data[14:18]))
+	copy(a.TargetMAC[:], data[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(data[24:28]))
+	a.contents = data[:arpLen]
+	return nil
+}
+
+// HeaderLen returns the serialized message length.
+func (a *ARP) HeaderLen() int { return arpLen }
+
+// SerializeTo writes the message into b, which must have room (HeaderLen
+// bytes).
+func (a *ARP) SerializeTo(b []byte) (int, error) {
+	if len(b) < arpLen {
+		return 0, ErrTruncated
+	}
+	if !a.SenderIP.Is4() || !a.TargetIP.Is4() {
+		return 0, ErrBadVersion
+	}
+	binary.BigEndian.PutUint16(b[0:2], 1)
+	binary.BigEndian.PutUint16(b[2:4], EtherTypeIPv4)
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], a.Operation)
+	copy(b[8:14], a.SenderMAC[:])
+	sip := a.SenderIP.As4()
+	copy(b[14:18], sip[:])
+	copy(b[18:24], a.TargetMAC[:])
+	tip := a.TargetIP.As4()
+	copy(b[24:28], tip[:])
+	return arpLen, nil
+}

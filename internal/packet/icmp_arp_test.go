@@ -1,0 +1,153 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestICMPv4EchoRoundTrip(t *testing.T) {
+	in := &ICMPv4{Type: ICMPv4TypeEchoRequest, ID: 0x1234, Seq: 7}
+	payload := []byte("ping payload")
+	buf := make([]byte, in.HeaderLen()+len(payload))
+	if _, err := in.SerializeTo(buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf[in.HeaderLen():], payload)
+
+	var out ICMPv4
+	if err := out.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Code != in.Code || out.ID != in.ID || out.Seq != in.Seq {
+		t.Errorf("decoded %+v, want %+v", out, in)
+	}
+	if !bytes.Equal(out.LayerPayload(), payload) {
+		t.Errorf("payload = %q", out.LayerPayload())
+	}
+}
+
+func TestICMPv4RejectsCorruption(t *testing.T) {
+	in := &ICMPv4{Type: ICMPv4TypeEchoReply, ID: 1, Seq: 2}
+	buf := make([]byte, 8)
+	if _, err := in.SerializeTo(buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf[4] ^= 0xff
+	var out ICMPv4
+	if err := out.DecodeFromBytes(buf); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+	if err := out.DecodeFromBytes(buf[:7]); err != ErrTruncated {
+		t.Errorf("short err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestICMPv4QuickRoundTrip(t *testing.T) {
+	f := func(typ, code uint8, id, seq uint16, payload []byte) bool {
+		in := &ICMPv4{Type: typ, Code: code, ID: id, Seq: seq}
+		buf := make([]byte, 8+len(payload))
+		if _, err := in.SerializeTo(buf, payload); err != nil {
+			return false
+		}
+		copy(buf[8:], payload)
+		var out ICMPv4
+		if err := out.DecodeFromBytes(buf); err != nil {
+			return false
+		}
+		return out.Type == typ && out.Code == code && out.ID == id &&
+			out.Seq == seq && bytes.Equal(out.LayerPayload(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARPRoundTripThroughParser(t *testing.T) {
+	in := &ARP{
+		Operation: ARPRequest,
+		SenderMAC: MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		SenderIP:  netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		TargetIP:  netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+	}
+	eth := &Ethernet{
+		DstMAC:    MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		SrcMAC:    in.SenderMAC,
+		EtherType: EtherTypeARP,
+	}
+	frame := make([]byte, eth.HeaderLen()+in.HeaderLen())
+	if _, err := eth.SerializeTo(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.SerializeTo(frame[eth.HeaderLen():]); err != nil {
+		t.Fatal(err)
+	}
+
+	var p Parser
+	var decoded []LayerType
+	if err := p.DecodeLayers(frame, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[1] != LayerTypeARP {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if p.ARP.Operation != ARPRequest || p.ARP.SenderIP != in.SenderIP || p.ARP.TargetIP != in.TargetIP {
+		t.Errorf("ARP = %+v, want %+v", p.ARP, *in)
+	}
+}
+
+func TestARPRejectsNonEthernetIPv4(t *testing.T) {
+	var a ARP
+	b := make([]byte, 28)
+	b[1] = 1                // hardware type 1 ...
+	b[3] = 0x08             // ... but protocol type 0x08xx wrong second byte below
+	b[2], b[3] = 0x86, 0xdd // IPv6 ethertype
+	b[4], b[5] = 6, 4
+	if err := a.DecodeFromBytes(b); err != ErrBadLength {
+		t.Errorf("err = %v, want ErrBadLength", err)
+	}
+	if err := a.DecodeFromBytes(b[:27]); err != ErrTruncated {
+		t.Errorf("short err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestICMPThroughIPv4Parser(t *testing.T) {
+	icmp := &ICMPv4{Type: ICMPv4TypeEchoRequest, ID: 9, Seq: 1}
+	payload := []byte("rtt probe")
+	msg := make([]byte, 8+len(payload))
+	if _, err := icmp.SerializeTo(msg, payload); err != nil {
+		t.Fatal(err)
+	}
+	copy(msg[8:], payload)
+
+	eth := &Ethernet{EtherType: EtherTypeIPv4}
+	ip := &IPv4{
+		TTL:      64,
+		Protocol: IPProtoICMPv4,
+		Src:      netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		Dst:      netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+		TotalLen: uint16(20 + len(msg)),
+	}
+	frame := make([]byte, eth.HeaderLen()+20+len(msg))
+	if _, err := eth.SerializeTo(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.SerializeTo(frame[eth.HeaderLen():]); err != nil {
+		t.Fatal(err)
+	}
+	copy(frame[eth.HeaderLen()+20:], msg)
+
+	var p Parser
+	var decoded []LayerType
+	if err := p.DecodeLayers(frame, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeICMPv4, LayerTypePayload}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded = %v, want %v", decoded, want)
+	}
+	if p.ICMP.ID != 9 || !bytes.Equal(p.AppPayload, payload) {
+		t.Errorf("ICMP = %+v payload %q", p.ICMP, p.AppPayload)
+	}
+}

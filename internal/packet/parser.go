@@ -1,0 +1,148 @@
+package packet
+
+// Parser decodes an Ethernet frame into preallocated layers without
+// allocating, in the manner of gopacket's DecodingLayerParser. It handles
+// the stacks the trace tooling processes — Ethernet(+802.1Q)/IPv4 over UDP
+// (game traffic), TCP (bulk/web baseline), ICMPv4 (probes) and ARP — and it
+// is the hot path for bulk trace processing.
+type Parser struct {
+	Eth  Ethernet
+	IP   IPv4
+	UDP  UDP
+	TCP  TCP
+	ICMP ICMPv4
+	ARP  ARP
+	// AppPayload aliases into the most recent packet's application bytes.
+	AppPayload []byte
+}
+
+// DecodeLayers parses data starting at the Ethernet layer, appending the
+// types of successfully decoded layers to decoded (which is reset first).
+// Decoding stops without error at the first layer type the parser does not
+// handle; the undecoded remainder is left in AppPayload.
+func (p *Parser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	p.AppPayload = nil
+
+	if err := p.Eth.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerTypeEthernet)
+	switch p.Eth.NextLayerType() {
+	case LayerTypeIPv4:
+	case LayerTypeARP:
+		if err := p.ARP.DecodeFromBytes(p.Eth.LayerPayload()); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeARP)
+		return nil
+	default:
+		p.AppPayload = p.Eth.LayerPayload()
+		return nil
+	}
+
+	if err := p.IP.DecodeFromBytes(p.Eth.LayerPayload()); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerTypeIPv4)
+
+	switch p.IP.NextLayerType() {
+	case LayerTypeUDP:
+		if err := p.UDP.DecodeFromBytes(p.IP.LayerPayload()); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeUDP)
+		p.AppPayload = p.UDP.LayerPayload()
+	case LayerTypeTCP:
+		if err := p.TCP.DecodeFromBytes(p.IP.LayerPayload()); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeTCP)
+		p.AppPayload = p.TCP.LayerPayload()
+	case LayerTypeICMPv4:
+		if err := p.ICMP.DecodeFromBytes(p.IP.LayerPayload()); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeICMPv4)
+		p.AppPayload = p.ICMP.LayerPayload()
+	default:
+		p.AppPayload = p.IP.LayerPayload()
+		return nil
+	}
+	if len(p.AppPayload) > 0 {
+		*decoded = append(*decoded, LayerTypePayload)
+	}
+	return nil
+}
+
+// Serializer builds Ethernet/IPv4/UDP frames into a reusable buffer. Lengths
+// and checksums are fixed up automatically, so callers only set addressing
+// fields and the payload.
+type Serializer struct {
+	buf []byte
+}
+
+// Frame assembles a frame from the given layers and payload and returns a
+// slice owned by the Serializer (valid until the next call).
+//
+// eth.EtherType, ip.TotalLen, ip.Protocol and udp.Length are set by Frame.
+func (s *Serializer) Frame(eth *Ethernet, ip *IPv4, udp *UDP, payload []byte) ([]byte, error) {
+	ethLen := eth.HeaderLen()
+	total := ethLen + ip.HeaderLen() + udp.HeaderLen() + len(payload)
+	if cap(s.buf) < total {
+		s.buf = make([]byte, total)
+	}
+	b := s.buf[:total]
+
+	eth.EtherType = EtherTypeIPv4
+	ip.Protocol = IPProtoUDP
+	ip.TotalLen = uint16(ip.HeaderLen() + udp.HeaderLen() + len(payload))
+	udp.Length = uint16(udp.HeaderLen() + len(payload))
+
+	if _, err := eth.SerializeTo(b); err != nil {
+		return nil, err
+	}
+	if _, err := ip.SerializeTo(b[ethLen:]); err != nil {
+		return nil, err
+	}
+	off := ethLen + ip.HeaderLen()
+	if _, err := udp.SerializeTo(b[off:]); err != nil {
+		return nil, err
+	}
+	copy(b[off+udp.HeaderLen():], payload)
+	return b, nil
+}
+
+// TCPFrame assembles an Ethernet/IPv4/TCP frame, computing the TCP checksum
+// over the pseudo-header. As with Frame, the returned slice is owned by the
+// Serializer and valid until the next call.
+//
+// eth.EtherType, ip.TotalLen, ip.Protocol and tcp.Checksum are set here.
+func (s *Serializer) TCPFrame(eth *Ethernet, ip *IPv4, tcp *TCP, payload []byte) ([]byte, error) {
+	ethLen := eth.HeaderLen()
+	total := ethLen + ip.HeaderLen() + tcp.HeaderLen() + len(payload)
+	if cap(s.buf) < total {
+		s.buf = make([]byte, total)
+	}
+	b := s.buf[:total]
+
+	eth.EtherType = EtherTypeIPv4
+	ip.Protocol = IPProtoTCP
+	ip.TotalLen = uint16(ip.HeaderLen() + tcp.HeaderLen() + len(payload))
+
+	if _, err := eth.SerializeTo(b); err != nil {
+		return nil, err
+	}
+	if _, err := ip.SerializeTo(b[ethLen:]); err != nil {
+		return nil, err
+	}
+	if err := tcp.ComputeChecksum(ip.Src, ip.Dst, payload); err != nil {
+		return nil, err
+	}
+	off := ethLen + ip.HeaderLen()
+	if _, err := tcp.SerializeTo(b[off:]); err != nil {
+		return nil, err
+	}
+	copy(b[off+tcp.HeaderLen():], payload)
+	return b, nil
+}

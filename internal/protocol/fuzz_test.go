@@ -1,0 +1,60 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanicsOnRandomBytes feeds arbitrary bytes to every
+// message decoder: the server's read loop hands them whatever arrives on
+// the socket.
+func TestUnmarshalNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Peek(data)
+		var cr ConnectRequest
+		_ = cr.Unmarshal(data)
+		var ca ConnectAccept
+		_ = ca.Unmarshal(data)
+		var cj ConnectReject
+		_ = cj.Unmarshal(data)
+		var uc UserCmd
+		_ = uc.Unmarshal(data)
+		var sn Snapshot
+		_ = sn.Unmarshal(data)
+		var dc Disconnect
+		_ = dc.Unmarshal(data)
+		var ir InfoRequest
+		_ = ir.Unmarshal(data)
+		var resp InfoResponse
+		_ = resp.Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalNeverPanicsOnMutatedValidMessages flips each byte of a valid
+// message in turn — the classic off-by-one hunting ground.
+func TestUnmarshalNeverPanicsOnMutatedValidMessages(t *testing.T) {
+	resp := InfoResponse{ServerName: "srv", Map: "de_dust2", Players: 18, MaxPlayers: 22, Tick: 50}
+	b, err := resp.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		for _, delta := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), b...)
+			mut[i] ^= delta
+			var out InfoResponse
+			_ = out.Unmarshal(mut)
+			if typ, err := Peek(mut); err == nil && typ == MsgInfoResponse {
+				// Valid header: decode may succeed or fail, but
+				// strings must stay within bounds.
+				if len(out.ServerName) > MaxName || len(out.Map) > MaxName {
+					t.Fatalf("byte %d: oversized field decoded", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package protocol defines the wire format spoken by the reference game
+// server and its bot clients: a compact binary UDP protocol shaped like the
+// Half-Life/Counter-Strike exchange the paper traces — a connect handshake,
+// a steady client command stream of ~40-byte datagrams, and server snapshot
+// broadcasts whose size scales with the number of entities in view.
+//
+// Every message starts with a 3-byte header: magic 'G', protocol version,
+// and a message type. All multi-byte fields are big-endian.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the protocol version.
+const Version = 1
+
+const magic = 'G'
+
+// MsgType identifies a message.
+type MsgType uint8
+
+const (
+	// MsgConnectRequest asks for a player slot.
+	MsgConnectRequest MsgType = iota + 1
+	// MsgConnectAccept grants a slot.
+	MsgConnectAccept
+	// MsgConnectReject refuses the connection (server full).
+	MsgConnectReject
+	// MsgUserCmd carries one client input sample.
+	MsgUserCmd
+	// MsgSnapshot carries the server's world-state broadcast.
+	MsgSnapshot
+	// MsgDisconnect announces a clean leave (either side).
+	MsgDisconnect
+	// MsgInfoRequest probes a server for its browser line (A2S_INFO
+	// style).
+	MsgInfoRequest
+	// MsgInfoResponse answers with name, map and occupancy.
+	MsgInfoResponse
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgConnectRequest:
+		return "connect-request"
+	case MsgConnectAccept:
+		return "connect-accept"
+	case MsgConnectReject:
+		return "connect-reject"
+	case MsgUserCmd:
+		return "usercmd"
+	case MsgSnapshot:
+		return "snapshot"
+	case MsgDisconnect:
+		return "disconnect"
+	case MsgInfoRequest:
+		return "info-request"
+	case MsgInfoResponse:
+		return "info-response"
+	}
+	return "unknown"
+}
+
+// Wire format errors.
+var (
+	ErrTruncated  = errors.New("protocol: truncated message")
+	ErrBadMagic   = errors.New("protocol: bad magic")
+	ErrBadVersion = errors.New("protocol: version mismatch")
+	ErrBadType    = errors.New("protocol: unknown message type")
+	ErrTooLong    = errors.New("protocol: field too long")
+)
+
+// MaxName bounds player name length.
+const MaxName = 31
+
+// MaxEntities bounds entities per snapshot (a full 32-slot server plus
+// projectiles).
+const MaxEntities = 64
+
+// Peek returns the message type without a full decode.
+func Peek(b []byte) (MsgType, error) {
+	if len(b) < 3 {
+		return 0, ErrTruncated
+	}
+	if b[0] != magic {
+		return 0, ErrBadMagic
+	}
+	if b[1] != Version {
+		return 0, ErrBadVersion
+	}
+	t := MsgType(b[2])
+	if t < MsgConnectRequest || t > MsgInfoResponse {
+		return 0, ErrBadType
+	}
+	return t, nil
+}
+
+func header(dst []byte, t MsgType) []byte {
+	return append(dst, magic, Version, byte(t))
+}
+
+func checkHeader(b []byte, t MsgType) ([]byte, error) {
+	got, err := Peek(b)
+	if err != nil {
+		return nil, err
+	}
+	if got != t {
+		return nil, fmt.Errorf("protocol: expected %v, got %v", t, got)
+	}
+	return b[3:], nil
+}
+
+// ConnectRequest asks for a slot.
+type ConnectRequest struct {
+	Name string
+}
+
+// Marshal appends the encoding to dst.
+func (m *ConnectRequest) Marshal(dst []byte) ([]byte, error) {
+	if len(m.Name) > MaxName {
+		return nil, ErrTooLong
+	}
+	dst = header(dst, MsgConnectRequest)
+	dst = append(dst, byte(len(m.Name)))
+	dst = append(dst, m.Name...)
+	// Pad with a challenge nonce region so the request resembles the
+	// ~40-byte handshake datagrams of the real protocol.
+	var pad [16]byte
+	return append(dst, pad[:]...), nil
+}
+
+// Unmarshal parses b.
+func (m *ConnectRequest) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgConnectRequest)
+	if err != nil {
+		return err
+	}
+	if len(p) < 1 {
+		return ErrTruncated
+	}
+	n := int(p[0])
+	if n > MaxName || len(p) < 1+n {
+		return ErrTruncated
+	}
+	m.Name = string(p[1 : 1+n])
+	return nil
+}
+
+// ConnectAccept grants a slot.
+type ConnectAccept struct {
+	PlayerID   uint8
+	TickMillis uint16
+	MapName    string
+}
+
+// Marshal appends the encoding to dst.
+func (m *ConnectAccept) Marshal(dst []byte) ([]byte, error) {
+	if len(m.MapName) > MaxName {
+		return nil, ErrTooLong
+	}
+	dst = header(dst, MsgConnectAccept)
+	dst = append(dst, m.PlayerID)
+	dst = binary.BigEndian.AppendUint16(dst, m.TickMillis)
+	dst = append(dst, byte(len(m.MapName)))
+	return append(dst, m.MapName...), nil
+}
+
+// Unmarshal parses b.
+func (m *ConnectAccept) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgConnectAccept)
+	if err != nil {
+		return err
+	}
+	if len(p) < 4 {
+		return ErrTruncated
+	}
+	m.PlayerID = p[0]
+	m.TickMillis = binary.BigEndian.Uint16(p[1:3])
+	n := int(p[3])
+	if n > MaxName || len(p) < 4+n {
+		return ErrTruncated
+	}
+	m.MapName = string(p[4 : 4+n])
+	return nil
+}
+
+// ConnectReject refuses a connection.
+type ConnectReject struct {
+	Reason string
+}
+
+// Marshal appends the encoding to dst.
+func (m *ConnectReject) Marshal(dst []byte) ([]byte, error) {
+	if len(m.Reason) > MaxName {
+		return nil, ErrTooLong
+	}
+	dst = header(dst, MsgConnectReject)
+	dst = append(dst, byte(len(m.Reason)))
+	return append(dst, m.Reason...), nil
+}
+
+// Unmarshal parses b.
+func (m *ConnectReject) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgConnectReject)
+	if err != nil {
+		return err
+	}
+	if len(p) < 1 {
+		return ErrTruncated
+	}
+	n := int(p[0])
+	if n > MaxName || len(p) < 1+n {
+		return ErrTruncated
+	}
+	m.Reason = string(p[1 : 1+n])
+	return nil
+}
+
+// UserCmd is one client input sample: the small, fixed-size datagram whose
+// ~40-byte narrow distribution dominates the paper's inbound traffic.
+type UserCmd struct {
+	PlayerID uint8
+	Seq      uint32
+	Buttons  uint16
+	Pitch    int16
+	Yaw      int16
+	MoveX    int8
+	MoveY    int8
+	// Impulse pads the command to the observed size class.
+	Impulse [20]byte
+}
+
+// UserCmdSize is the fixed encoded size of a UserCmd.
+const UserCmdSize = 3 + 1 + 4 + 2 + 2 + 2 + 1 + 1 + 20 // 36
+
+// Marshal appends the encoding to dst.
+func (m *UserCmd) Marshal(dst []byte) ([]byte, error) {
+	dst = header(dst, MsgUserCmd)
+	dst = append(dst, m.PlayerID)
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, m.Buttons)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Pitch))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Yaw))
+	dst = append(dst, byte(m.MoveX), byte(m.MoveY))
+	return append(dst, m.Impulse[:]...), nil
+}
+
+// Unmarshal parses b.
+func (m *UserCmd) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgUserCmd)
+	if err != nil {
+		return err
+	}
+	if len(p) < UserCmdSize-3 {
+		return ErrTruncated
+	}
+	m.PlayerID = p[0]
+	m.Seq = binary.BigEndian.Uint32(p[1:5])
+	m.Buttons = binary.BigEndian.Uint16(p[5:7])
+	m.Pitch = int16(binary.BigEndian.Uint16(p[7:9]))
+	m.Yaw = int16(binary.BigEndian.Uint16(p[9:11]))
+	m.MoveX = int8(p[11])
+	m.MoveY = int8(p[12])
+	copy(m.Impulse[:], p[13:33])
+	return nil
+}
+
+// EntityState is one entity in a snapshot.
+type EntityState struct {
+	ID   uint8
+	X    int16
+	Y    int16
+	Z    int16
+	Yaw  uint8
+	Anim uint8
+}
+
+const entityStateSize = 9
+
+// Snapshot is the server's periodic world-state broadcast: the size grows
+// with the entity count, reproducing the paper's wide outbound size
+// distribution.
+type Snapshot struct {
+	Tick     uint32
+	Entities []EntityState
+	// Events carries variable-length game events (shots, damage), padding
+	// snapshots during intense rounds.
+	Events []byte
+}
+
+// Marshal appends the encoding to dst.
+func (m *Snapshot) Marshal(dst []byte) ([]byte, error) {
+	if len(m.Entities) > MaxEntities {
+		return nil, ErrTooLong
+	}
+	if len(m.Events) > 65535 {
+		return nil, ErrTooLong
+	}
+	dst = header(dst, MsgSnapshot)
+	dst = binary.BigEndian.AppendUint32(dst, m.Tick)
+	dst = append(dst, byte(len(m.Entities)))
+	for _, e := range m.Entities {
+		dst = append(dst, e.ID)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(e.X))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(e.Y))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(e.Z))
+		dst = append(dst, e.Yaw, e.Anim)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Events)))
+	return append(dst, m.Events...), nil
+}
+
+// Unmarshal parses b.
+func (m *Snapshot) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgSnapshot)
+	if err != nil {
+		return err
+	}
+	if len(p) < 5 {
+		return ErrTruncated
+	}
+	m.Tick = binary.BigEndian.Uint32(p[0:4])
+	n := int(p[4])
+	if n > MaxEntities {
+		return ErrBadType
+	}
+	p = p[5:]
+	if len(p) < n*entityStateSize {
+		return ErrTruncated
+	}
+	if cap(m.Entities) < n {
+		m.Entities = make([]EntityState, n)
+	}
+	m.Entities = m.Entities[:n]
+	for i := 0; i < n; i++ {
+		off := i * entityStateSize
+		m.Entities[i] = EntityState{
+			ID:   p[off],
+			X:    int16(binary.BigEndian.Uint16(p[off+1 : off+3])),
+			Y:    int16(binary.BigEndian.Uint16(p[off+3 : off+5])),
+			Z:    int16(binary.BigEndian.Uint16(p[off+5 : off+7])),
+			Yaw:  p[off+7],
+			Anim: p[off+8],
+		}
+	}
+	p = p[n*entityStateSize:]
+	if len(p) < 2 {
+		return ErrTruncated
+	}
+	ev := int(binary.BigEndian.Uint16(p[0:2]))
+	if len(p) < 2+ev {
+		return ErrTruncated
+	}
+	m.Events = append(m.Events[:0], p[2:2+ev]...)
+	return nil
+}
+
+// Disconnect announces a clean leave.
+type Disconnect struct {
+	PlayerID uint8
+	Reason   string
+}
+
+// Marshal appends the encoding to dst.
+func (m *Disconnect) Marshal(dst []byte) ([]byte, error) {
+	if len(m.Reason) > MaxName {
+		return nil, ErrTooLong
+	}
+	dst = header(dst, MsgDisconnect)
+	dst = append(dst, m.PlayerID, byte(len(m.Reason)))
+	return append(dst, m.Reason...), nil
+}
+
+// Unmarshal parses b.
+func (m *Disconnect) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgDisconnect)
+	if err != nil {
+		return err
+	}
+	if len(p) < 2 {
+		return ErrTruncated
+	}
+	m.PlayerID = p[0]
+	n := int(p[1])
+	if n > MaxName || len(p) < 2+n {
+		return ErrTruncated
+	}
+	m.Reason = string(p[2 : 2+n])
+	return nil
+}

@@ -1,0 +1,230 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectRequestRoundTrip(t *testing.T) {
+	m := ConnectRequest{Name: "olygamer_fan"}
+	b, err := m.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ConnectRequest
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name {
+		t.Errorf("Name = %q", got.Name)
+	}
+	// Handshake datagrams are ~40 bytes in the trace.
+	if len(b) < 30 || len(b) > 52 {
+		t.Errorf("encoded size %d outside handshake class", len(b))
+	}
+}
+
+func TestConnectAcceptRoundTrip(t *testing.T) {
+	m := ConnectAccept{PlayerID: 7, TickMillis: 50, MapName: "de_dust2"}
+	b, _ := m.Marshal(nil)
+	var got ConnectAccept
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestConnectRejectRoundTrip(t *testing.T) {
+	m := ConnectReject{Reason: "server full"}
+	b, _ := m.Marshal(nil)
+	var got ConnectReject
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != m.Reason {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestUserCmdRoundTripAndSize(t *testing.T) {
+	m := UserCmd{PlayerID: 3, Seq: 123456, Buttons: 0x0101, Pitch: -300, Yaw: 1200, MoveX: -1, MoveY: 1}
+	copy(m.Impulse[:], "nade")
+	b, err := m.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != UserCmdSize {
+		t.Errorf("encoded size %d, want %d", len(b), UserCmdSize)
+	}
+	var got UserCmd
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("got %+v want %+v", got, m)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := Snapshot{
+		Tick: 99,
+		Entities: []EntityState{
+			{ID: 1, X: 100, Y: -200, Z: 32, Yaw: 90, Anim: 2},
+			{ID: 2, X: -5, Y: 7, Z: 0, Yaw: 255, Anim: 0},
+		},
+		Events: []byte{0xde, 0xad},
+	}
+	b, err := m.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != m.Tick || len(got.Entities) != 2 || !bytes.Equal(got.Events, m.Events) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range m.Entities {
+		if got.Entities[i] != m.Entities[i] {
+			t.Errorf("entity %d: %+v != %+v", i, got.Entities[i], m.Entities[i])
+		}
+	}
+	// Snapshot size must scale with entity count (the paper's out-size
+	// growth with active players).
+	m2 := Snapshot{Tick: 1, Entities: make([]EntityState, 20)}
+	b2, _ := m2.Marshal(nil)
+	if len(b2) <= len(b) {
+		t.Error("more entities must mean bigger snapshots")
+	}
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(tick uint32, n uint8, events []byte) bool {
+		ents := make([]EntityState, int(n)%MaxEntities)
+		for i := range ents {
+			ents[i] = EntityState{ID: uint8(i), X: int16(i * 31), Y: int16(-i), Z: int16(i), Yaw: uint8(i), Anim: uint8(i % 3)}
+		}
+		if len(events) > 300 {
+			events = events[:300]
+		}
+		m := Snapshot{Tick: tick, Entities: ents, Events: events}
+		b, err := m.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		var got Snapshot
+		if err := got.Unmarshal(b); err != nil {
+			return false
+		}
+		if got.Tick != tick || len(got.Entities) != len(ents) || !bytes.Equal(got.Events, events) {
+			return false
+		}
+		for i := range ents {
+			if got.Entities[i] != ents[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisconnectRoundTrip(t *testing.T) {
+	m := Disconnect{PlayerID: 9, Reason: "rage quit"}
+	b, _ := m.Marshal(nil)
+	var got Disconnect
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	m := UserCmd{}
+	b, _ := m.Marshal(nil)
+	typ, err := Peek(b)
+	if err != nil || typ != MsgUserCmd {
+		t.Errorf("Peek = %v, %v", typ, err)
+	}
+	if _, err := Peek([]byte{magic, Version}); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	if _, err := Peek([]byte{'X', Version, 1}); err != ErrBadMagic {
+		t.Errorf("magic: %v", err)
+	}
+	if _, err := Peek([]byte{magic, 99, 1}); err != ErrBadVersion {
+		t.Errorf("version: %v", err)
+	}
+	if _, err := Peek([]byte{magic, Version, 200}); err != ErrBadType {
+		t.Errorf("type: %v", err)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	b, _ := (&UserCmd{}).Marshal(nil)
+	var snap Snapshot
+	if err := snap.Unmarshal(b); err == nil {
+		t.Error("want type mismatch error")
+	}
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	msgs := [][]byte{}
+	b1, _ := (&ConnectRequest{Name: "a"}).Marshal(nil)
+	b2, _ := (&ConnectAccept{MapName: "de_aztec"}).Marshal(nil)
+	b3, _ := (&UserCmd{}).Marshal(nil)
+	b4, _ := (&Snapshot{Entities: []EntityState{{ID: 1}}, Events: []byte{1, 2, 3}}).Marshal(nil)
+	b5, _ := (&Disconnect{Reason: "x"}).Marshal(nil)
+	b6, _ := (&ConnectReject{Reason: "full"}).Marshal(nil)
+	msgs = append(msgs, b1, b2, b3, b4, b5, b6)
+	for _, b := range msgs {
+		for cut := 0; cut <= len(b); cut++ {
+			p := b[:cut]
+			var cr ConnectRequest
+			var ca ConnectAccept
+			var cj ConnectReject
+			var uc UserCmd
+			var sn Snapshot
+			var dc Disconnect
+			_ = cr.Unmarshal(p)
+			_ = ca.Unmarshal(p)
+			_ = cj.Unmarshal(p)
+			_ = uc.Unmarshal(p)
+			_ = sn.Unmarshal(p)
+			_ = dc.Unmarshal(p)
+		}
+	}
+}
+
+func TestFieldLimits(t *testing.T) {
+	long := string(make([]byte, MaxName+1))
+	if _, err := (&ConnectRequest{Name: long}).Marshal(nil); err != ErrTooLong {
+		t.Error("name limit")
+	}
+	if _, err := (&ConnectAccept{MapName: long}).Marshal(nil); err != ErrTooLong {
+		t.Error("map limit")
+	}
+	if _, err := (&ConnectReject{Reason: long}).Marshal(nil); err != ErrTooLong {
+		t.Error("reason limit")
+	}
+	if _, err := (&Disconnect{Reason: long}).Marshal(nil); err != ErrTooLong {
+		t.Error("disconnect limit")
+	}
+	if _, err := (&Snapshot{Entities: make([]EntityState, MaxEntities+1)}).Marshal(nil); err != ErrTooLong {
+		t.Error("entity limit")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgSnapshot.String() != "snapshot" || MsgType(0).String() != "unknown" {
+		t.Error("String")
+	}
+}

@@ -1,0 +1,86 @@
+package protocol
+
+import "encoding/binary"
+
+// Server-browser query messages. Clients discover servers out of band (the
+// master-server protocol in internal/discovery) and then probe each with an
+// InfoRequest; the reply carries what the in-game browser displays. The
+// paper leans on this mechanism to explain the minutes-long player dips
+// around its network outages: players "relied on dynamic server
+// auto-discovery and auto-connecting to find this particular game server"
+// (§III-A, citing Henderson's observations on game server discovery).
+
+// InfoRequest probes a server for its browser line. Stateless and
+// unauthenticated, like the Half-Life A2S_INFO query it mirrors.
+type InfoRequest struct{}
+
+// Marshal appends the encoding to dst.
+func (m *InfoRequest) Marshal(dst []byte) ([]byte, error) {
+	return header(dst, MsgInfoRequest), nil
+}
+
+// Unmarshal parses b.
+func (m *InfoRequest) Unmarshal(b []byte) error {
+	_, err := checkHeader(b, MsgInfoRequest)
+	return err
+}
+
+// InfoResponse is the server's browser line.
+type InfoResponse struct {
+	ServerName string // display name, ≤ MaxName
+	Map        string // current map, ≤ MaxName
+	Players    uint8  // currently connected
+	MaxPlayers uint8  // slot capacity
+	Tick       uint16 // snapshot interval in milliseconds
+}
+
+// Marshal appends the encoding to dst.
+func (m *InfoResponse) Marshal(dst []byte) ([]byte, error) {
+	if len(m.ServerName) > MaxName || len(m.Map) > MaxName {
+		return nil, ErrTooLong
+	}
+	dst = header(dst, MsgInfoResponse)
+	dst = append(dst, byte(len(m.ServerName)))
+	dst = append(dst, m.ServerName...)
+	dst = append(dst, byte(len(m.Map)))
+	dst = append(dst, m.Map...)
+	dst = append(dst, m.Players, m.MaxPlayers)
+	dst = binary.BigEndian.AppendUint16(dst, m.Tick)
+	return dst, nil
+}
+
+// Unmarshal parses b.
+func (m *InfoResponse) Unmarshal(b []byte) error {
+	p, err := checkHeader(b, MsgInfoResponse)
+	if err != nil {
+		return err
+	}
+	if m.ServerName, p, err = getString(p); err != nil {
+		return err
+	}
+	if m.Map, p, err = getString(p); err != nil {
+		return err
+	}
+	if len(p) < 4 {
+		return ErrTruncated
+	}
+	m.Players = p[0]
+	m.MaxPlayers = p[1]
+	m.Tick = binary.BigEndian.Uint16(p[2:4])
+	return nil
+}
+
+// getString decodes a length-prefixed string bounded by MaxName.
+func getString(p []byte) (string, []byte, error) {
+	if len(p) < 1 {
+		return "", nil, ErrTruncated
+	}
+	n := int(p[0])
+	if n > MaxName {
+		return "", nil, ErrTooLong
+	}
+	if len(p) < 1+n {
+		return "", nil, ErrTruncated
+	}
+	return string(p[1 : 1+n]), p[1+n:], nil
+}

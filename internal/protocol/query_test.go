@@ -1,0 +1,103 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInfoRequestRoundTrip(t *testing.T) {
+	var m InfoRequest
+	b, err := m.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, err := Peek(b); err != nil || typ != MsgInfoRequest {
+		t.Fatalf("Peek = %v, %v", typ, err)
+	}
+	var out InfoRequest
+	if err := out.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfoResponseRoundTrip(t *testing.T) {
+	in := InfoResponse{
+		ServerName: "Olygamer.com CS 24/7",
+		Map:        "de_dust2",
+		Players:    18,
+		MaxPlayers: 22,
+		Tick:       50,
+	}
+	b, err := in.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out InfoResponse
+	if err := out.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestInfoResponseRejectsLongStrings(t *testing.T) {
+	in := InfoResponse{ServerName: string(make([]byte, MaxName+1))}
+	if _, err := in.Marshal(nil); err != ErrTooLong {
+		t.Errorf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestInfoResponseTruncation(t *testing.T) {
+	in := InfoResponse{ServerName: "srv", Map: "de_aztec", Players: 1, MaxPlayers: 22, Tick: 50}
+	b, err := in.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail cleanly.
+	for cut := 0; cut < len(b); cut++ {
+		var out InfoResponse
+		if err := out.Unmarshal(b[:cut]); err == nil {
+			t.Errorf("prefix of %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func TestInfoResponseQuick(t *testing.T) {
+	f := func(nameRaw, mapRaw []byte, players, maxPlayers uint8, tick uint16) bool {
+		name := clampStr(nameRaw)
+		mp := clampStr(mapRaw)
+		in := InfoResponse{ServerName: name, Map: mp, Players: players, MaxPlayers: maxPlayers, Tick: tick}
+		b, err := in.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		var out InfoResponse
+		if err := out.Unmarshal(b); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampStr(b []byte) string {
+	if len(b) > MaxName {
+		b = b[:MaxName]
+	}
+	return string(b)
+}
+
+func TestInfoRequestRejectsWrongType(t *testing.T) {
+	resp := InfoResponse{ServerName: "x", Map: "y"}
+	b, err := resp.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req InfoRequest
+	if err := req.Unmarshal(b); err == nil {
+		t.Error("InfoRequest accepted an InfoResponse")
+	}
+}

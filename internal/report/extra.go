@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/stats"
+	"cstrace/internal/trace"
+)
+
+// sizeCDFProbes are the cumulative probabilities tabulated by SizeCDF.
+var sizeCDFProbes = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}
+
+// SizeCDF renders Fig 13 as a quantile table: the payload size below which
+// each fraction of packets falls, per direction and total.
+func SizeCDF(w io.Writer, title string, d *analysis.SizeDist) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%8s %10s %10s %10s\n", "P", "inbound", "outbound", "total")
+	for _, p := range sizeCDFProbes {
+		fmt.Fprintf(w, "%7.0f%% %9dB %9dB %9dB\n", p*100,
+			quantileOf(d.In, p), quantileOf(d.Out, p), quantileOf(d.Total, p))
+	}
+	fmt.Fprintln(w)
+}
+
+// quantileOf returns the smallest size v with CDF(v) ≥ p.
+func quantileOf(h *stats.IntHistogram, p float64) int {
+	cdf := h.CDF()
+	for v, c := range cdf {
+		if c >= p {
+			return v
+		}
+	}
+	return len(cdf) - 1
+}
+
+// Composition renders the traffic breakdown by application message class
+// (§II's inventory of traffic sources).
+func Composition(w io.Writer, k *analysis.KindBreakdown) {
+	rows := k.Rows()
+	fmt.Fprintln(w, "Traffic composition by message class")
+	fmt.Fprintf(w, "%-10s %14s %16s %16s %8s\n", "class", "packets", "app bytes", "wire bytes", "share")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14d %16d %16d %7.2f%%\n",
+			r.Kind, r.Packets, r.AppBytes, r.WireBytes, 100*k.Share(r.Kind))
+	}
+	fmt.Fprintln(w)
+}
+
+// Burstiness renders the interarrival summary and the recovered tick — the
+// quantitative form of the paper's Figs 6-7 narrative.
+func Burstiness(w io.Writer, ia *analysis.Interarrival, tick time.Duration, corr float64) {
+	fmt.Fprintln(w, "Interarrival structure")
+	for _, d := range []trace.Direction{trace.In, trace.Out} {
+		fmt.Fprintf(w, "  %-4s mean %8.3f ms   CV %6.2f   p50 %8v   p90 %8v\n",
+			d, 1e3*ia.Mean(d), ia.CV(d), ia.Quantile(d, 0.5), ia.Quantile(d, 0.9))
+	}
+	if tick > 0 {
+		fmt.Fprintf(w, "  recovered server tick: %v (autocorrelation %.2f)\n", tick, corr)
+	}
+	fmt.Fprintln(w)
+}

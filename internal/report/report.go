@@ -1,0 +1,192 @@
+// Package report renders the reproduction's tables and figures as text:
+// two-column tables in the style of the paper, plus compact ASCII charts
+// for the time series, histograms and the variance-time plot.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/hurst"
+	"cstrace/internal/nat"
+	"cstrace/internal/units"
+)
+
+// KV is one table row.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Table writes a titled two-column table.
+func Table(w io.Writer, title string, rows []KV) {
+	width := 0
+	for _, r := range rows {
+		if len(r.Key) > width {
+			width = len(r.Key)
+		}
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, r.Key, r.Value)
+	}
+	fmt.Fprintln(w)
+}
+
+// TableI renders the general trace information table.
+func TableI(w io.Writer, t analysis.TableI) {
+	Table(w, "Table I: General trace information", []KV{
+		{"Total Time of Trace", units.FormatDuration(t.TotalTime.Seconds())},
+		{"Maps Played", fmt.Sprintf("%d", t.MapsPlayed)},
+		{"Established Connections", fmt.Sprintf("%d", t.Established)},
+		{"Unique Clients Establishing", fmt.Sprintf("%d", t.UniqueEstablishing)},
+		{"Attempted Connections", fmt.Sprintf("%d", t.Attempted)},
+		{"Unique Clients Attempting", fmt.Sprintf("%d", t.UniqueAttempting)},
+		{"Mean Session Length", fmt.Sprintf("%.0f sec", t.MeanSessionSec)},
+		{"Mean Active Players", fmt.Sprintf("%.2f", t.MeanPlayers)},
+	})
+}
+
+// TableII renders the network usage table.
+func TableII(w io.Writer, t analysis.TableII) {
+	Table(w, "Table II: Network usage information", []KV{
+		{"Total Packets", fmt.Sprintf("%d", t.TotalPackets)},
+		{"Total Packets In", fmt.Sprintf("%d", t.PacketsIn)},
+		{"Total Packets Out", fmt.Sprintf("%d", t.PacketsOut)},
+		{"Total Bytes", t.TotalBytes.String()},
+		{"Total Bytes In", t.BytesIn.String()},
+		{"Total Bytes Out", t.BytesOut.String()},
+		{"Mean Packet Load", t.MeanPPS.String()},
+		{"Mean Packet Load In", t.MeanPPSIn.String()},
+		{"Mean Packet Load Out", t.MeanPPSOut.String()},
+		{"Mean Bandwidth", t.MeanBW.String()},
+		{"Mean Bandwidth In", t.MeanBWIn.String()},
+		{"Mean Bandwidth Out", t.MeanBWOut.String()},
+	})
+}
+
+// TableIII renders the application-layer table.
+func TableIII(w io.Writer, t analysis.TableIII) {
+	Table(w, "Table III: Application information", []KV{
+		{"Total Bytes", t.TotalBytes.String()},
+		{"Total Bytes In", t.BytesIn.String()},
+		{"Total Bytes Out", t.BytesOut.String()},
+		{"Mean Packet Size", fmt.Sprintf("%.2f bytes", t.MeanSize)},
+		{"Mean Packet Size In", fmt.Sprintf("%.2f bytes", t.MeanIn)},
+		{"Mean Packet Size Out", fmt.Sprintf("%.2f bytes", t.MeanOut)},
+	})
+}
+
+// TableIV renders the NAT experiment table.
+func TableIV(w io.Writer, c nat.Counts) {
+	Table(w, "Table IV: NAT experiment", []KV{
+		{"Total Packets From Server to NAT", fmt.Sprintf("%d", c.ServerToNAT)},
+		{"Total Packets From NAT to Clients", fmt.Sprintf("%d", c.NATToClients)},
+		{"Loss Rate (outgoing)", fmt.Sprintf("%.3f%%", c.LossOut()*100)},
+		{"Total Packets From Clients to NAT", fmt.Sprintf("%d", c.ClientToNAT)},
+		{"Total Packets From NAT to Server", fmt.Sprintf("%d", c.NATToServer)},
+		{"Loss Rate (incoming)", fmt.Sprintf("%.3f%%", c.LossIn()*100)},
+	})
+}
+
+// Series draws an ASCII chart of ys (downsampled to width columns by
+// averaging, scaled to height rows).
+func Series(w io.Writer, title string, ys []float64, width, height int) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(ys) == 0 || width <= 0 || height <= 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	cols := resample(ys, width)
+	max := 0.0
+	for _, v := range cols {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(cols)))
+	}
+	for c, v := range cols {
+		h := int(math.Round(v / max * float64(height)))
+		for r := 0; r < h && r < height; r++ {
+			grid[height-1-r][c] = '#'
+		}
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", row)
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", len(cols)))
+	fmt.Fprintf(w, "  max=%.1f mean=%.1f n=%d\n\n", max, mean(ys), len(ys))
+}
+
+// VarianceTime renders the Fig 5 points and the three regional Hurst fits.
+func VarianceTime(w io.Writer, points []hurst.Point, re analysis.RegionEstimates) {
+	fmt.Fprintln(w, "Figure 5: variance-time plot (base interval 10 ms)")
+	fmt.Fprintln(w, "  log10(m)  log10(var(X^m)/var(X))  blocks")
+	for _, p := range points {
+		if math.IsInf(p.Log10Var, 0) {
+			continue
+		}
+		fmt.Fprintf(w, "  %8.3f  %22.4f  %d\n", p.Log10M, p.Log10Var, p.BlockCount)
+	}
+	fmt.Fprintf(w, "  H (m < 50ms)        = %.3f (slope %.3f, R2 %.3f)\n",
+		re.SubTick.H, re.SubTick.Slope, re.SubTick.R2)
+	fmt.Fprintf(w, "  H (50ms..30min)     = %.3f (slope %.3f, R2 %.3f)\n",
+		re.Plateau.H, re.Plateau.Slope, re.Plateau.R2)
+	fmt.Fprintf(w, "  H (m > 30min)       = %.3f (slope %.3f, R2 %.3f)\n\n",
+		re.LongTerm.H, re.LongTerm.Slope, re.LongTerm.R2)
+}
+
+// SizePDF renders a packet-size distribution as per-bin probabilities.
+func SizePDF(w io.Writer, title string, pdf []float64, binWidth int, maxBins int) {
+	fmt.Fprintf(w, "%s\n", title)
+	for i, p := range pdf {
+		if i >= maxBins {
+			break
+		}
+		bar := strings.Repeat("#", int(p*400))
+		fmt.Fprintf(w, "  %4d-%-4d %.4f %s\n", i*binWidth, (i+1)*binWidth-1, p, bar)
+	}
+	fmt.Fprintln(w)
+}
+
+func resample(ys []float64, width int) []float64 {
+	if len(ys) <= width {
+		out := make([]float64, len(ys))
+		copy(out, ys)
+		return out
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(ys) / width
+		hi := (c + 1) * len(ys) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var s float64
+		for i := lo; i < hi && i < len(ys); i++ {
+			s += ys[i]
+		}
+		out[c] = s / float64(hi-lo)
+	}
+	return out
+}
+
+func mean(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	var s float64
+	for _, y := range ys {
+		s += y
+	}
+	return s / float64(len(ys))
+}

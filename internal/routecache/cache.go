@@ -1,0 +1,232 @@
+package routecache
+
+import (
+	"container/list"
+	"errors"
+	"net/netip"
+)
+
+// Policy selects the cache replacement/admission strategy.
+type Policy uint8
+
+const (
+	// PolicyNone disables caching: every packet pays the full lookup.
+	PolicyNone Policy = iota
+	// PolicyLRU is plain least-recently-used replacement.
+	PolicyLRU
+	// PolicyLFU evicts the least-frequently-used entry.
+	PolicyLFU
+	// PolicySizePref is LRU with size-based admission: only packets no
+	// larger than SizeThreshold install cache entries, so small-packet
+	// (game) routes are never evicted by bulky transfer traffic. Larger
+	// packets still *use* the cache when their route happens to be there.
+	PolicySizePref
+	// PolicyFreqPref is LRU with frequency-based admission: a route is
+	// installed only on its second miss within the ghost window, keeping
+	// one-shot destinations (web tails) from churning the cache.
+	PolicyFreqPref
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyLRU:
+		return "lru"
+	case PolicyLFU:
+		return "lfu"
+	case PolicySizePref:
+		return "size-pref"
+	case PolicyFreqPref:
+		return "freq-pref"
+	}
+	return "unknown"
+}
+
+// CacheConfig parameterizes a route cache.
+type CacheConfig struct {
+	Policy   Policy
+	Capacity int
+	// SizeThreshold is the admission bound for PolicySizePref, in wire
+	// bytes (the paper's game packets sit far below typical data-segment
+	// sizes; 200 B separates them cleanly).
+	SizeThreshold int
+	// GhostCapacity bounds the miss-history filter for PolicyFreqPref.
+	GhostCapacity int
+	// HitCost and MissExtra model per-packet work: a hit costs HitCost; a
+	// miss costs the full table lookup plus MissExtra for the insertion.
+	HitCost   int
+	MissExtra int
+}
+
+// DefaultCacheConfig returns a reasonable starting point for the given
+// policy and capacity.
+func DefaultCacheConfig(p Policy, capacity int) CacheConfig {
+	return CacheConfig{
+		Policy:        p,
+		Capacity:      capacity,
+		SizeThreshold: 200,
+		GhostCapacity: 4 * capacity,
+		HitCost:       1,
+		MissExtra:     2,
+	}
+}
+
+// Metrics accumulates cache performance.
+type Metrics struct {
+	Packets   int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Cost      int64 // total lookup work units
+}
+
+// HitRatio returns hits/packets.
+func (m Metrics) HitRatio() float64 {
+	if m.Packets == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.Packets)
+}
+
+// MeanCost returns average work units per packet.
+func (m Metrics) MeanCost() float64 {
+	if m.Packets == 0 {
+		return 0
+	}
+	return float64(m.Cost) / float64(m.Packets)
+}
+
+type entry struct {
+	addr    netip.Addr
+	nexthop uint32
+	freq    int64
+	elem    *list.Element
+}
+
+// Cache is a destination-address route cache in front of a Table.
+type Cache struct {
+	cfg   CacheConfig
+	table *Table
+
+	entries map[netip.Addr]*entry
+	order   *list.List // LRU order, front = most recent
+
+	ghost      map[netip.Addr]bool
+	ghostOrder *list.List
+
+	metrics Metrics
+}
+
+// NewCache creates a cache over the given table.
+func NewCache(cfg CacheConfig, table *Table) (*Cache, error) {
+	if table == nil {
+		return nil, errors.New("routecache: NewCache: nil table")
+	}
+	if cfg.Policy != PolicyNone && cfg.Capacity <= 0 {
+		return nil, errors.New("routecache: NewCache: capacity must be positive")
+	}
+	if cfg.HitCost <= 0 {
+		cfg.HitCost = 1
+	}
+	if cfg.Policy == PolicyFreqPref && cfg.GhostCapacity <= 0 {
+		cfg.GhostCapacity = 4 * cfg.Capacity
+	}
+	return &Cache{
+		cfg:        cfg,
+		table:      table,
+		entries:    make(map[netip.Addr]*entry),
+		order:      list.New(),
+		ghost:      make(map[netip.Addr]bool),
+		ghostOrder: list.New(),
+	}, nil
+}
+
+// Lookup routes one packet of the given wire size to dst, returning the next
+// hop and whether it was served from the cache.
+func (c *Cache) Lookup(dst netip.Addr, size int) (nexthop uint32, hit bool) {
+	c.metrics.Packets++
+	if c.cfg.Policy != PolicyNone {
+		if e, ok := c.entries[dst]; ok {
+			c.metrics.Hits++
+			c.metrics.Cost += int64(c.cfg.HitCost)
+			e.freq++
+			if c.cfg.Policy != PolicyLFU {
+				c.order.MoveToFront(e.elem)
+			}
+			return e.nexthop, true
+		}
+	}
+
+	nexthop, _, cost := c.table.Lookup(dst)
+	c.metrics.Misses++
+	c.metrics.Cost += int64(cost)
+
+	if c.cfg.Policy == PolicyNone {
+		return nexthop, false
+	}
+	if c.admit(dst, size) {
+		c.metrics.Cost += int64(c.cfg.MissExtra)
+		c.install(dst, nexthop)
+	}
+	return nexthop, false
+}
+
+// admit applies the policy's admission filter.
+func (c *Cache) admit(dst netip.Addr, size int) bool {
+	switch c.cfg.Policy {
+	case PolicySizePref:
+		return size <= c.cfg.SizeThreshold
+	case PolicyFreqPref:
+		if c.ghost[dst] {
+			delete(c.ghost, dst)
+			return true
+		}
+		c.ghost[dst] = true
+		c.ghostOrder.PushFront(dst)
+		for len(c.ghost) > c.cfg.GhostCapacity {
+			back := c.ghostOrder.Back()
+			c.ghostOrder.Remove(back)
+			delete(c.ghost, back.Value.(netip.Addr))
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+func (c *Cache) install(dst netip.Addr, nexthop uint32) {
+	for len(c.entries) >= c.cfg.Capacity {
+		c.evict()
+	}
+	e := &entry{addr: dst, nexthop: nexthop, freq: 1}
+	e.elem = c.order.PushFront(e)
+	c.entries[dst] = e
+}
+
+func (c *Cache) evict() {
+	var victim *entry
+	if c.cfg.Policy == PolicyLFU {
+		for _, e := range c.entries {
+			if victim == nil || e.freq < victim.freq {
+				victim = e
+			}
+		}
+	} else {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		victim = back.Value.(*entry)
+	}
+	c.order.Remove(victim.elem)
+	delete(c.entries, victim.addr)
+	c.metrics.Evictions++
+}
+
+// Len returns the number of cached routes.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Metrics returns the accumulated counters.
+func (c *Cache) Metrics() Metrics { return c.metrics }

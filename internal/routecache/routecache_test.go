@@ -1,0 +1,327 @@
+package routecache
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	var tb Table
+	if err := tb.Insert(mustPrefix("10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(mustPrefix("10.1.0.0/16"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(mustPrefix("10.1.2.0/24"), 3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		want uint32
+	}{
+		{"10.2.3.4", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.200", 3},
+	}
+	for _, c := range cases {
+		nh, ok, cost := tb.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || nh != c.want {
+			t.Errorf("Lookup(%s) = %d/%v, want %d", c.addr, nh, ok, c.want)
+		}
+		if cost < 8 {
+			t.Errorf("Lookup(%s) cost %d implausibly low", c.addr, cost)
+		}
+	}
+	if _, ok, _ := tb.Lookup(netip.MustParseAddr("192.168.0.1")); ok {
+		t.Error("no route expected")
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableRejectsIPv6(t *testing.T) {
+	var tb Table
+	if err := tb.Insert(netip.MustParsePrefix("::/0"), 1); err == nil {
+		t.Error("want error for IPv6 prefix")
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	var tb Table
+	_ = tb.Insert(mustPrefix("0.0.0.0/0"), 42)
+	nh, ok, cost := tb.Lookup(netip.MustParseAddr("8.8.8.8"))
+	if !ok || nh != 42 {
+		t.Errorf("default route: %d/%v", nh, ok)
+	}
+	if cost != 1 {
+		t.Errorf("default route cost = %d, want 1", cost)
+	}
+}
+
+func TestTableReplaceRoute(t *testing.T) {
+	var tb Table
+	_ = tb.Insert(mustPrefix("10.0.0.0/8"), 1)
+	_ = tb.Insert(mustPrefix("10.0.0.0/8"), 9)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d after replace", tb.Len())
+	}
+	nh, _, _ := tb.Lookup(netip.MustParseAddr("10.1.1.1"))
+	if nh != 9 {
+		t.Errorf("nexthop = %d, want 9", nh)
+	}
+}
+
+func TestCacheCorrectness(t *testing.T) {
+	// Whatever the policy, the cache must return the table's answer.
+	tb := BuildFIB(2000, 7)
+	w := Mix(GameWorkload(5000, 20, 0.001, 8), WebWorkload(5000, 1000, 9), 0.5, 10)
+	for _, pol := range []Policy{PolicyNone, PolicyLRU, PolicyLFU, PolicySizePref, PolicyFreqPref} {
+		c, err := NewCache(DefaultCacheConfig(pol, 64), tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range w {
+			got, _ := c.Lookup(p.Dst, p.Size)
+			want, _, _ := tb.Lookup(p.Dst)
+			if got != want {
+				t.Fatalf("%v: cache answer %d != table %d for %v", pol, got, want, p.Dst)
+			}
+			if c.Len() > 64 {
+				t.Fatalf("%v: cache exceeded capacity: %d", pol, c.Len())
+			}
+		}
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	if _, err := NewCache(DefaultCacheConfig(PolicyLRU, 0), &Table{}); err == nil {
+		t.Error("want error for zero capacity")
+	}
+	if _, err := NewCache(DefaultCacheConfig(PolicyLRU, 4), nil); err == nil {
+		t.Error("want error for nil table")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	tb := &Table{}
+	_ = tb.Insert(mustPrefix("0.0.0.0/0"), 1)
+	c, _ := NewCache(DefaultCacheConfig(PolicyLRU, 2), tb)
+	a := netip.MustParseAddr("1.1.1.1")
+	b := netip.MustParseAddr("2.2.2.2")
+	d := netip.MustParseAddr("3.3.3.3")
+	c.Lookup(a, 100)
+	c.Lookup(b, 100)
+	c.Lookup(a, 100) // a most recent
+	c.Lookup(d, 100) // evicts b
+	m0 := c.Metrics()
+	if _, hit := c.Lookup(a, 100); !hit {
+		t.Error("a should still be cached")
+	}
+	if _, hit := c.Lookup(b, 100); hit {
+		t.Error("b should have been evicted")
+	}
+	_ = m0
+}
+
+func TestLFURetainsFrequent(t *testing.T) {
+	tb := &Table{}
+	_ = tb.Insert(mustPrefix("0.0.0.0/0"), 1)
+	c, _ := NewCache(DefaultCacheConfig(PolicyLFU, 2), tb)
+	hot := netip.MustParseAddr("1.1.1.1")
+	for i := 0; i < 10; i++ {
+		c.Lookup(hot, 100)
+	}
+	c.Lookup(netip.MustParseAddr("2.2.2.2"), 100)
+	// A stream of one-shot destinations churns the cold slot only.
+	for i := 0; i < 50; i++ {
+		c.Lookup(netip.AddrFrom4([4]byte{9, 9, byte(i), 1}), 100)
+	}
+	if _, hit := c.Lookup(hot, 100); !hit {
+		t.Error("LFU should retain the hot route")
+	}
+}
+
+func TestSizePrefAdmission(t *testing.T) {
+	tb := &Table{}
+	_ = tb.Insert(mustPrefix("0.0.0.0/0"), 1)
+	cfg := DefaultCacheConfig(PolicySizePref, 8)
+	c, _ := NewCache(cfg, tb)
+	small := netip.MustParseAddr("1.1.1.1")
+	big := netip.MustParseAddr("2.2.2.2")
+	c.Lookup(small, 100) // admitted
+	c.Lookup(big, 1500)  // not admitted
+	if _, hit := c.Lookup(small, 100); !hit {
+		t.Error("small-packet route should be cached")
+	}
+	if _, hit := c.Lookup(big, 1500); hit {
+		t.Error("large-packet route should not be cached")
+	}
+	// Large packets still benefit from routes installed by small ones.
+	if _, hit := c.Lookup(small, 1500); !hit {
+		t.Error("large packet should hit a route installed by small packets")
+	}
+}
+
+func TestFreqPrefAdmitsOnSecondMiss(t *testing.T) {
+	tb := &Table{}
+	_ = tb.Insert(mustPrefix("0.0.0.0/0"), 1)
+	c, _ := NewCache(DefaultCacheConfig(PolicyFreqPref, 8), tb)
+	a := netip.MustParseAddr("1.1.1.1")
+	c.Lookup(a, 100) // first miss: ghost only
+	if c.Len() != 0 {
+		t.Error("first miss should not install")
+	}
+	c.Lookup(a, 100) // second miss: installed
+	if c.Len() != 1 {
+		t.Error("second miss should install")
+	}
+	if _, hit := c.Lookup(a, 100); !hit {
+		t.Error("third lookup should hit")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[Policy]string{
+		PolicyNone: "none", PolicyLRU: "lru", PolicyLFU: "lfu",
+		PolicySizePref: "size-pref", PolicyFreqPref: "freq-pref", Policy(99): "unknown",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestGameTrafficCachesWell(t *testing.T) {
+	// The paper's claim: game traffic's stable, small working set is very
+	// cacheable; a small LRU should hit nearly always.
+	tb := BuildFIB(5000, 1)
+	game := GameWorkload(50000, 22, 0.0005, 2)
+	c, _ := NewCache(DefaultCacheConfig(PolicyLRU, 32), tb)
+	m := Run(c, game)
+	if m.HitRatio() < 0.99 {
+		t.Errorf("game hit ratio = %.4f, want > 0.99", m.HitRatio())
+	}
+	none, _ := NewCache(DefaultCacheConfig(PolicyNone, 1), tb)
+	m0 := Run(none, game)
+	if m.MeanCost() >= m0.MeanCost()/2 {
+		t.Errorf("caching should slash lookup cost: %.2f vs %.2f", m.MeanCost(), m0.MeanCost())
+	}
+}
+
+func TestSizePrefProtectsGameUnderWebPressure(t *testing.T) {
+	// The §IV-B ablation in miniature: under mixed game+web load with a
+	// small cache, size-preferential admission must serve the game packets
+	// better than plain LRU does.
+	tb := BuildFIB(5000, 3)
+	game := GameWorkload(40000, 22, 0.0005, 4)
+	web := WebWorkload(40000, 30000, 5)
+	mixed := Mix(game, web, 0.5, 6)
+
+	gameHits := func(pol Policy) float64 {
+		c, _ := NewCache(DefaultCacheConfig(pol, 48), tb)
+		var gamePk, gameHit float64
+		for _, p := range mixed {
+			_, hit := c.Lookup(p.Dst, p.Size)
+			if p.Size <= 478 && p.Dst.As4()[0] == 172 { // game packets
+				gamePk++
+				if hit {
+					gameHit++
+				}
+			}
+		}
+		return gameHit / gamePk
+	}
+	lru := gameHits(PolicyLRU)
+	sizePref := gameHits(PolicySizePref)
+	if sizePref <= lru {
+		t.Errorf("size-pref game hit ratio %.4f should beat LRU %.4f", sizePref, lru)
+	}
+	if sizePref < 0.95 {
+		t.Errorf("size-pref game hit ratio = %.4f, want > 0.95", sizePref)
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	game := GameWorkload(10000, 22, 0.001, 11)
+	if len(game) != 10000 {
+		t.Fatal("length")
+	}
+	dsts := map[netip.Addr]bool{}
+	for _, p := range game {
+		dsts[p.Dst] = true
+		if p.Size < 70 || p.Size > 478 {
+			t.Fatalf("game size %d out of range", p.Size)
+		}
+	}
+	if len(dsts) < 22 || len(dsts) > 80 {
+		t.Errorf("game destinations = %d, want ~22 with slow churn", len(dsts))
+	}
+
+	web := WebWorkload(10000, 5000, 12)
+	var big int
+	wdsts := map[netip.Addr]bool{}
+	for _, p := range web {
+		wdsts[p.Dst] = true
+		if p.Size > 478 {
+			big++
+		}
+	}
+	if len(wdsts) < 500 {
+		t.Errorf("web destinations = %d, want many", len(wdsts))
+	}
+	if float64(big)/float64(len(web)) < 0.5 {
+		t.Error("web packets should be mostly large")
+	}
+}
+
+func TestMixPreservesAll(t *testing.T) {
+	f := func(na, nb uint8) bool {
+		a := make([]Packet, na)
+		b := make([]Packet, nb)
+		for i := range a {
+			a[i].Size = 1
+		}
+		for i := range b {
+			b[i].Size = 2
+		}
+		m := Mix(a, b, 0.5, 1)
+		if len(m) != int(na)+int(nb) {
+			return false
+		}
+		var c1, c2 int
+		for _, p := range m {
+			if p.Size == 1 {
+				c1++
+			} else {
+				c2++
+			}
+		}
+		return c1 == int(na) && c2 == int(nb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFIBResolvesEverything(t *testing.T) {
+	tb := BuildFIB(1000, 99)
+	if tb.Len() < 900 {
+		t.Errorf("FIB has %d prefixes", tb.Len())
+	}
+	r := []netip.Addr{
+		netip.MustParseAddr("8.8.8.8"),
+		netip.MustParseAddr("172.16.1.1"),
+		netip.MustParseAddr("203.0.113.7"),
+	}
+	for _, a := range r {
+		if _, ok, _ := tb.Lookup(a); !ok {
+			t.Errorf("no route for %v despite default", a)
+		}
+	}
+}

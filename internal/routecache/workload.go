@@ -1,0 +1,124 @@
+package routecache
+
+import (
+	"net/netip"
+
+	"cstrace/internal/dist"
+)
+
+// Packet is one routed packet: a destination and a wire size.
+type Packet struct {
+	Dst  netip.Addr
+	Size int
+}
+
+// BuildFIB installs a synthetic Internet-like FIB: nPrefixes prefixes with
+// lengths drawn from the classic /8-/24 distribution (mass concentrated at
+// /16-/24, as in backbone tables).
+func BuildFIB(nPrefixes int, seed uint64) *Table {
+	r := dist.NewRNG(seed)
+	t := &Table{}
+	for i := 0; i < nPrefixes; i++ {
+		bits := 8 + r.Intn(17) // 8..24
+		addr := netip.AddrFrom4([4]byte{
+			byte(1 + r.Intn(223)), byte(r.Uint64()), byte(r.Uint64()), byte(r.Uint64()),
+		})
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		_ = t.Insert(p, uint32(i%64)) // 64 next hops
+	}
+	// A default route so every lookup resolves.
+	_ = t.Insert(netip.MustParsePrefix("0.0.0.0/0"), 63)
+	return t
+}
+
+// GameWorkload produces the router-adjacent view of the paper's server: a
+// stable set of nClients destinations (one per connected player, with slow
+// churn) receiving small packets at high rate.
+func GameWorkload(n, nClients int, churn float64, seed uint64) []Packet {
+	r := dist.NewRNG(seed)
+	size := dist.Truncated{S: dist.Normal{Mu: 130 + 58, Sigma: 46}, Low: 70, High: 478}
+	clients := make([]netip.Addr, nClients)
+	nextID := uint32(1)
+	for i := range clients {
+		clients[i] = clientAddr(nextID)
+		nextID++
+	}
+	out := make([]Packet, n)
+	for i := range out {
+		if r.Bool(churn) {
+			// A player leaves and another joins: one destination changes.
+			clients[r.Intn(nClients)] = clientAddr(nextID)
+			nextID++
+		}
+		out[i] = Packet{
+			Dst:  clients[r.Intn(nClients)],
+			Size: int(size.Sample(r)),
+		}
+	}
+	return out
+}
+
+// WebWorkload produces web/peer-to-peer-like cross traffic: flows to a
+// heavy-tailed population of destinations, with Pareto flow lengths and
+// large data packets (the >400 B means the paper cites for exchange-point
+// traffic).
+func WebWorkload(n, nDests int, seed uint64) []Packet {
+	r := dist.NewRNG(seed)
+	zipf, err := dist.NewZipf(nDests, 1.1)
+	if err != nil {
+		panic(err) // nDests is a caller bug
+	}
+	flowLen := dist.Pareto{Xm: 2, Alpha: 1.3}
+	size := dist.Truncated{S: dist.Normal{Mu: 700, Sigma: 400}, Low: 98, High: 1558}
+
+	out := make([]Packet, 0, n)
+	for len(out) < n {
+		dst := webAddr(uint32(zipf.Rank(r)))
+		l := int(flowLen.Sample(r))
+		if l > 64 {
+			l = 64
+		}
+		for i := 0; i < l && len(out) < n; i++ {
+			out = append(out, Packet{Dst: dst, Size: int(size.Sample(r))})
+		}
+	}
+	return out
+}
+
+// Mix interleaves two workloads with the given fraction of packets drawn
+// from a (deterministically, by a seeded coin).
+func Mix(a, b []Packet, fracA float64, seed uint64) []Packet {
+	r := dist.NewRNG(seed)
+	out := make([]Packet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		takeA := j >= len(b) || (i < len(a) && r.Bool(fracA))
+		if takeA {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Run replays a workload through a cache and returns its metrics.
+func Run(c *Cache, w []Packet) Metrics {
+	for _, p := range w {
+		c.Lookup(p.Dst, p.Size)
+	}
+	return c.Metrics()
+}
+
+func clientAddr(id uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{172, byte(16 + id>>16&0x0f), byte(id >> 8), byte(id)})
+}
+
+func webAddr(id uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(4 + id>>20&0x7f), byte(id >> 12), byte(id >> 4), byte(id << 4)})
+}

@@ -1,0 +1,231 @@
+// Package sourcemodel implements the paper's §V suggestion that "the trace
+// itself can be used to more accurately develop source models for
+// simulation" (citing Borella's game-traffic source models): it fits a
+// compact per-direction source model to any record stream and regenerates
+// statistically matching traffic from it.
+//
+// The model captures what the paper shows matters: the empirical payload
+// size distributions per direction, the mean per-direction packet rates, the
+// server tick period (recovered from the outbound timing spectrum), and the
+// number of concurrent flows. It deliberately does not model session churn
+// or map rotation — it is a *stationary* source model of the kind network
+// simulators consume.
+package sourcemodel
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"cstrace/internal/dist"
+	"cstrace/internal/stats"
+	"cstrace/internal/trace"
+)
+
+// maxPayload bounds the fitted size distributions.
+const maxPayload = 1500
+
+// Fitter accumulates a model from a record stream in one pass.
+type Fitter struct {
+	inSizes  *stats.IntHistogram
+	outSizes *stats.IntHistogram
+	phase    []int64 // outbound arrival phase histogram, 1 ms bins over 100 ms
+	clients  map[uint32]bool
+	first    time.Duration
+	last     time.Duration
+	started  bool
+}
+
+// NewFitter creates an empty fitter.
+func NewFitter() *Fitter {
+	return &Fitter{
+		inSizes:  stats.NewIntHistogram(maxPayload),
+		outSizes: stats.NewIntHistogram(maxPayload),
+		phase:    make([]int64, 100),
+		clients:  make(map[uint32]bool),
+	}
+}
+
+// Handle implements trace.Handler.
+func (f *Fitter) Handle(r trace.Record) {
+	if !f.started {
+		f.started = true
+		f.first = r.T
+	}
+	if r.T > f.last {
+		f.last = r.T
+	}
+	if r.Client != 0 {
+		f.clients[r.Client] = true
+	}
+	if r.Dir == trace.In {
+		f.inSizes.Add(int(r.App))
+	} else {
+		f.outSizes.Add(int(r.App))
+		f.phase[int(r.T/time.Millisecond)%100]++
+	}
+}
+
+// Model is a fitted stationary source model.
+type Model struct {
+	// Tick is the recovered server broadcast period.
+	Tick time.Duration
+	// InRate and OutRate are aggregate packet rates (packets/second).
+	InRate, OutRate float64
+	// Flows is the number of concurrent point-to-point flows to emulate.
+	Flows int
+	// InSizes and OutSizes are the empirical payload distributions.
+	InSizes, OutSizes dist.Empirical
+	// SyncFraction is the share of outbound packets that ride the
+	// synchronized tick burst (vs. independently timed packets).
+	SyncFraction float64
+}
+
+// Fit finalizes the model. It fails if the stream was empty or too short.
+func (f *Fitter) Fit() (*Model, error) {
+	span := (f.last - f.first).Seconds()
+	if !f.started || span <= 0 {
+		return nil, errors.New("sourcemodel: not enough data")
+	}
+	m := &Model{
+		InRate:  float64(f.inSizes.Total()) / span,
+		OutRate: float64(f.outSizes.Total()) / span,
+		Flows:   len(f.clients),
+	}
+	if m.Flows == 0 {
+		m.Flows = 1
+	}
+	m.InSizes = quantileTable(f.inSizes)
+	m.OutSizes = quantileTable(f.outSizes)
+	m.Tick, m.SyncFraction = recoverTick(f.phase)
+	return m, nil
+}
+
+// quantileTable compresses a histogram into a 512-entry empirical sampler.
+func quantileTable(h *stats.IntHistogram) dist.Empirical {
+	const n = 512
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / n
+		v := quantileOfInt(h, q)
+		vals = append(vals, v)
+	}
+	return dist.Empirical{Values: vals}
+}
+
+func quantileOfInt(h *stats.IntHistogram, q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var cum int64
+	for v := 0; v <= h.Max(); v++ {
+		cum += h.Count(v)
+		if cum > target {
+			return float64(v)
+		}
+	}
+	return float64(h.Max())
+}
+
+// recoverTick finds the broadcast period from the outbound phase histogram:
+// the autocorrelation of the 1 ms phase bins peaks at the tick period. The
+// fraction of mass concentrated at the peak phase estimates how much of the
+// traffic is synchronized.
+func recoverTick(phase []int64) (time.Duration, float64) {
+	xs := make([]float64, len(phase))
+	var total float64
+	for i, c := range phase {
+		xs[i] = float64(c)
+		total += float64(c)
+	}
+	if total == 0 {
+		return 50 * time.Millisecond, 0
+	}
+	// Candidate periods dividing 100 ms evenly.
+	best, bestScore := 50, math.Inf(-1)
+	for _, p := range []int{10, 20, 25, 50, 100} {
+		// Sum mass at multiples of p relative to uniform expectation.
+		var mass float64
+		for i := 0; i < len(xs); i += p {
+			mass += xs[i]
+		}
+		expect := total * float64(len(xs)/p) / float64(len(xs))
+		score := mass - expect
+		if score > bestScore {
+			bestScore, best = score, p
+		}
+	}
+	// Synchronized fraction: excess mass in the burst bins.
+	var burst float64
+	for i := 0; i < len(xs); i += best {
+		burst += xs[i]
+	}
+	frac := (burst - total*float64(len(xs)/best)/float64(len(xs))) / total
+	if frac < 0 {
+		frac = 0
+	}
+	return time.Duration(best) * time.Millisecond, frac
+}
+
+// Generate synthesizes duration worth of traffic from the model into h.
+// Flows are numbered 1..Flows. Deterministic for a given seed.
+func (m *Model) Generate(duration time.Duration, seed uint64, h trace.Handler) error {
+	if duration <= 0 {
+		return errors.New("sourcemodel: duration must be positive")
+	}
+	if m.Tick <= 0 || m.InRate < 0 || m.OutRate < 0 {
+		return errors.New("sourcemodel: invalid model")
+	}
+	rng := dist.NewRNG(seed)
+
+	perFlowIn := m.InRate / float64(m.Flows)
+	outPerTickPerFlow := m.OutRate * m.Tick.Seconds() / float64(m.Flows)
+
+	type flowState struct{ nextIn time.Duration }
+	flows := make([]flowState, m.Flows)
+	for i := range flows {
+		flows[i].nextIn = time.Duration(rng.Float64() * float64(time.Second) / perFlowIn)
+	}
+
+	carry := 0.0
+	for t := time.Duration(0); t < duration; t += m.Tick {
+		end := t + m.Tick
+		if end > duration {
+			end = duration
+		}
+		// Outbound: synchronized burst plus jittered remainder.
+		for fi := range flows {
+			carry += outPerTickPerFlow
+			for carry >= 1 {
+				carry--
+				off := time.Duration(0)
+				if !rng.Bool(m.SyncFraction) {
+					off = time.Duration(rng.Float64() * float64(m.Tick))
+				}
+				if t+off < end {
+					h.Handle(trace.Record{
+						T: t + off, Dir: trace.Out, Kind: trace.KindGame,
+						Client: uint32(fi + 1), App: uint16(m.OutSizes.Sample(rng)),
+					})
+				}
+			}
+		}
+		// Inbound: per-flow Poisson-ish command streams.
+		for fi := range flows {
+			f := &flows[fi]
+			for f.nextIn < end {
+				if f.nextIn >= t {
+					h.Handle(trace.Record{
+						T: f.nextIn, Dir: trace.In, Kind: trace.KindGame,
+						Client: uint32(fi + 1), App: uint16(m.InSizes.Sample(rng)),
+					})
+				}
+				gap := (0.5 + rng.Float64()) / perFlowIn
+				f.nextIn += time.Duration(gap * float64(time.Second))
+			}
+		}
+	}
+	return nil
+}

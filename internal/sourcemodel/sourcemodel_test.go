@@ -1,0 +1,175 @@
+package sourcemodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/dist"
+	"cstrace/internal/gamesim"
+	"cstrace/internal/trace"
+	"cstrace/internal/webtraffic"
+)
+
+func fitFromSim(t *testing.T, seed uint64, d time.Duration) (*Model, *analysis.Counters) {
+	t.Helper()
+	cfg := gamesim.PaperConfig(seed)
+	cfg.Duration = d
+	cfg.Warmup = 5 * time.Minute
+	cfg.Outages = nil
+	cfg.AttemptRate = 0.5
+	cfg.DiurnalAmp = 0
+
+	f := NewFitter()
+	var c analysis.Counters
+	if _, err := gamesim.Run(cfg, trace.Tee(f, &c), nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, &c
+}
+
+func TestFitRecoversTick(t *testing.T) {
+	m, _ := fitFromSim(t, 1, 5*time.Minute)
+	if m.Tick != 50*time.Millisecond {
+		t.Errorf("recovered tick = %v, want 50ms", m.Tick)
+	}
+	if m.SyncFraction < 0.7 {
+		t.Errorf("sync fraction = %.2f, want high (synchronized broadcast)", m.SyncFraction)
+	}
+	if m.Flows < 15 || m.Flows > 60 {
+		t.Errorf("flows = %d", m.Flows)
+	}
+}
+
+func TestFitEmptyFails(t *testing.T) {
+	f := NewFitter()
+	if _, err := f.Fit(); err == nil {
+		t.Error("want error for empty fit")
+	}
+}
+
+func TestRegeneratedTrafficMatchesOriginal(t *testing.T) {
+	// The §V loop: fit a source model on the trace, regenerate, and
+	// compare the paper's Table II/III quantities.
+	m, orig := fitFromSim(t, 2, 10*time.Minute)
+
+	var regen analysis.Counters
+	if err := m.Generate(10*time.Minute, 99, &regen); err != nil {
+		t.Fatal(err)
+	}
+
+	origII := orig.TableII(10 * time.Minute)
+	regenII := regen.TableII(10 * time.Minute)
+	relDiff := func(a, b float64) float64 { return math.Abs(a-b) / b }
+
+	if d := relDiff(float64(regenII.MeanPPSIn), float64(origII.MeanPPSIn)); d > 0.05 {
+		t.Errorf("in pps: regen %.1f vs orig %.1f (%.1f%% off)",
+			float64(regenII.MeanPPSIn), float64(origII.MeanPPSIn), d*100)
+	}
+	if d := relDiff(float64(regenII.MeanPPSOut), float64(origII.MeanPPSOut)); d > 0.05 {
+		t.Errorf("out pps: regen %.1f vs orig %.1f (%.1f%% off)",
+			float64(regenII.MeanPPSOut), float64(origII.MeanPPSOut), d*100)
+	}
+	origIII := orig.TableIII()
+	regenIII := regen.TableIII()
+	if d := relDiff(regenIII.MeanIn, origIII.MeanIn); d > 0.03 {
+		t.Errorf("in size: regen %.1f vs orig %.1f", regenIII.MeanIn, origIII.MeanIn)
+	}
+	if d := relDiff(regenIII.MeanOut, origIII.MeanOut); d > 0.05 {
+		t.Errorf("out size: regen %.1f vs orig %.1f", regenIII.MeanOut, origIII.MeanOut)
+	}
+}
+
+func TestRegeneratedTrafficKeepsPeriodicity(t *testing.T) {
+	// The regenerated stream must preserve the 50 ms burst structure the
+	// paper identifies — that is the point of a faithful source model.
+	m, _ := fitFromSim(t, 3, 5*time.Minute)
+	w := analysis.NewIntervalWindow(10*time.Millisecond, 3000)
+	if err := m.Generate(30*time.Second, 7, w); err != nil {
+		t.Fatal(err)
+	}
+	out := w.OutPPS()
+	var onTick, offTick float64
+	for i, v := range out {
+		if i%5 == 0 {
+			onTick += v
+		} else {
+			offTick += v / 4
+		}
+	}
+	if onTick < 3*offTick {
+		t.Errorf("burst structure lost: on-tick mass %.0f vs off-tick %.0f", onTick, offTick)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	m := &Model{Tick: 50 * time.Millisecond}
+	if err := m.Generate(0, 1, trace.HandlerFunc(func(trace.Record) {})); err == nil {
+		t.Error("want error for zero duration")
+	}
+	bad := &Model{Tick: 0}
+	if err := bad.Generate(time.Second, 1, trace.HandlerFunc(func(trace.Record) {})); err == nil {
+		t.Error("want error for zero tick")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	m, _ := fitFromSim(t, 4, 2*time.Minute)
+	run := func() (int, uint64) {
+		var n int
+		var hash uint64
+		h := trace.HandlerFunc(func(r trace.Record) {
+			n++
+			hash = hash*1099511628211 ^ uint64(r.T) ^ uint64(r.App)
+		})
+		if err := m.Generate(10*time.Second, 5, h); err != nil {
+			t.Fatal(err)
+		}
+		return n, hash
+	}
+	n1, h1 := run()
+	n2, h2 := run()
+	if n1 != n2 || h1 != h2 {
+		t.Error("generation must be deterministic for a fixed seed")
+	}
+	if n1 == 0 {
+		t.Error("no traffic generated")
+	}
+}
+
+func TestFitWebTrafficFindsNoGameTick(t *testing.T) {
+	// Cross-check against the contrast workload: web/TCP traffic is
+	// ack-clocked, not tick-clocked, so the fitted model must not report
+	// a strong synchronized broadcast. (Fitting game traffic recovers
+	// the 50 ms tick with a high sync fraction; see the tests above.)
+	cfg := webtraffic.DefaultConfig(11)
+	cfg.Duration = 5 * time.Minute
+	f := NewFitter()
+	if _, err := webtraffic.Generate(cfg, f); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tick == 50*time.Millisecond && m.SyncFraction > 0.5 {
+		t.Errorf("web traffic fitted as tick-synchronized: tick=%v sync=%.2f",
+			m.Tick, m.SyncFraction)
+	}
+	// Size structure must reflect TCP bulk transfer: outbound mean far
+	// above the game's ~130 B.
+	var outMean float64
+	probe := dist.NewRNG(1)
+	for i := 0; i < 4000; i++ {
+		outMean += m.OutSizes.Sample(probe)
+	}
+	outMean /= 4000
+	if outMean < 400 {
+		t.Errorf("fitted outbound mean %.0f B, want bulk-transfer sized", outMean)
+	}
+}

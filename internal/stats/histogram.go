@@ -1,0 +1,290 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram is a fixed-width-bin histogram over [Min, Max). Samples outside
+// the range are clamped into the first/last bin so no mass is lost; the
+// paper's figures do the same (e.g. the packet-size PDF is "truncated at 500
+// bytes as only a negligible number of packets exceeded this").
+type Histogram struct {
+	min, max float64
+	width    float64
+	counts   []int64
+	total    int64
+}
+
+// NewHistogram creates a histogram with nbins equal bins spanning [min, max).
+func NewHistogram(min, max float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: NewHistogram: nbins must be positive")
+	}
+	if !(max > min) {
+		return nil, errors.New("stats: NewHistogram: max must exceed min")
+	}
+	return &Histogram{
+		min:    min,
+		max:    max,
+		width:  (max - min) / float64(nbins),
+		counts: make([]int64, nbins),
+	}, nil
+}
+
+// MustHistogram is NewHistogram for statically known-good parameters.
+func MustHistogram(min, max float64, nbins int) *Histogram {
+	h, err := NewHistogram(min, max, nbins)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records a sample observed n times.
+func (h *Histogram) AddN(x float64, n int64) {
+	i := h.binOf(x)
+	h.counts[i] += n
+	h.total += n
+}
+
+func (h *Histogram) binOf(x float64) int {
+	i := int((x - h.min) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.counts) }
+
+// Total returns the total number of samples recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.min + (float64(i)+0.5)*h.width
+}
+
+// BinLow returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLow(i int) float64 { return h.min + float64(i)*h.width }
+
+// PDF returns the probability mass in each bin (the paper's "probability
+// density function" figures plot per-bin probability mass).
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// CDF returns the cumulative probability at the upper edge of each bin.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// Mean returns the histogram mean using bin centers.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for i, c := range h.counts {
+		s += h.BinCenter(i) * float64(c)
+	}
+	return s / float64(h.total)
+}
+
+// Quantile returns the x value at cumulative probability q, interpolated
+// within the containing bin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target {
+			var frac float64
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return h.BinLow(i) + frac*h.width
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// FractionBelow returns the fraction of samples with value < x.
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if x <= h.min {
+		return 0
+	}
+	if x >= h.max {
+		return 1
+	}
+	pos := (x - h.min) / h.width
+	full := int(pos)
+	var cum int64
+	for i := 0; i < full && i < len(h.counts); i++ {
+		cum += h.counts[i]
+	}
+	f := float64(cum)
+	if full < len(h.counts) {
+		f += (pos - float64(full)) * float64(h.counts[full])
+	}
+	return f / float64(h.total)
+}
+
+// Merge adds the counts of o (which must have identical geometry).
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.min != o.min || h.max != o.max || len(h.counts) != len(o.counts) {
+		return errors.New("stats: Histogram.Merge: geometry mismatch")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}
+
+// IntHistogram is a dense histogram over small non-negative integers
+// (one bin per value). It is the workhorse for packet-size distributions,
+// where values are bytes in [0, ~1500].
+type IntHistogram struct {
+	counts []int64
+	total  int64
+	sum    int64
+}
+
+// NewIntHistogram creates a histogram covering values 0..max inclusive.
+// Values above max are clamped into the last bin.
+func NewIntHistogram(max int) *IntHistogram {
+	return &IntHistogram{counts: make([]int64, max+1)}
+}
+
+// Add records one integer sample.
+func (h *IntHistogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	c := v
+	if c >= len(h.counts) {
+		c = len(h.counts) - 1
+	}
+	h.counts[c]++
+	h.total++
+	h.sum += int64(v)
+}
+
+// Total returns the number of samples.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// Mean returns the exact mean of the recorded values (not bin-clamped).
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Count returns the number of samples with value v.
+func (h *IntHistogram) Count(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Max returns the largest representable value.
+func (h *IntHistogram) Max() int { return len(h.counts) - 1 }
+
+// PDF returns per-value probability mass for values 0..Max.
+func (h *IntHistogram) PDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// CDF returns cumulative probability for values <= v, for v = 0..Max.
+func (h *IntHistogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of samples strictly less than v.
+func (h *IntHistogram) FractionBelow(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum int64
+	for i := 0; i < v && i < len(h.counts); i++ {
+		cum += h.counts[i]
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// BinnedPDF groups values into bins of the given width and returns the
+// probability mass per bin; used to render the paper's Fig 12 at a coarser
+// granularity.
+func (h *IntHistogram) BinnedPDF(width int) []float64 {
+	if width <= 0 {
+		width = 1
+	}
+	n := (len(h.counts) + width - 1) / width
+	out := make([]float64, n)
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i/width] += float64(c) / float64(h.total)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !almost(w.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", w.Variance())
+	}
+	if !almost(w.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", w.StdDev())
+	}
+	if !almost(w.SampleVariance(), 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", w.SampleVariance(), 32.0/7)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.SampleVariance() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	clean := func(xs []float64) []float64 {
+		out := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && math.Abs(x) < 1e9 {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	f := func(a, b []float64) bool {
+		a, b = clean(a), clean(b)
+		var all, wa, wb Welford
+		for _, x := range a {
+			all.Add(x)
+			wa.Add(x)
+		}
+		for _, x := range b {
+			all.Add(x)
+			wb.Add(x)
+		}
+		wa.Merge(wb)
+		return wa.N() == all.N() &&
+			almost(wa.Mean(), all.Mean(), 1e-6*(1+math.Abs(all.Mean()))) &&
+			almost(wa.Variance(), all.Variance(), 1e-6*(1+all.Variance()))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var a, b Welford
+	a.AddN(3, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(3)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Error("AddN should match repeated Add")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3, -1, 4, 1, 5} {
+		s.Add(x)
+	}
+	if s.Min() != -1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !almost(s.Sum(), 12, 1e-12) {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if !almost(s.Mean(), 2.4, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestMeanVarianceSlices(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Mean(xs), 2.5, 1e-12) {
+		t.Error("Mean")
+	}
+	if !almost(Variance(xs), 1.25, 1e-12) {
+		t.Error("Variance")
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty slices")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("extremes")
+	}
+	if !almost(Quantile(xs, 0.5), 3, 1e-12) {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile(xs, 0.25), 2, 1e-12) {
+		t.Errorf("q25 = %v", Quantile(xs, 0.25))
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 2, 1e-12) || !almost(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("want error for degenerate x")
+	}
+}
+
+func TestFitLineRecoversNoisyLine(t *testing.T) {
+	// Deterministic pseudo-noise; slope/intercept should be recovered closely.
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		noise := 0.01 * math.Sin(float64(i)*12.9898)
+		ys[i] = 3.5 - 0.5*xs[i] + noise
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, -0.5, 1e-3) || !almost(fit.Intercept, 3.5, 1e-2) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A period-2 alternating series has lag-1 autocorrelation ~ -1.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	if r := Autocorrelation(xs, 1); !almost(r, -1, 0.01) {
+		t.Errorf("lag-1 autocorr = %v, want ~-1", r)
+	}
+	if r := Autocorrelation(xs, 2); !almost(r, 1, 0.01) {
+		t.Errorf("lag-2 autocorr = %v, want ~1", r)
+	}
+	if Autocorrelation(xs, 0) != 1 {
+		t.Error("lag-0 autocorr must be 1")
+	}
+	if Autocorrelation([]float64{1, 1, 1}, 1) != 0 {
+		t.Error("constant series autocorr should be 0 by convention")
+	}
+}
+
+func TestAutocovarianceBounds(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Autocovariance(xs, -1) != 0 || Autocovariance(xs, 3) != 0 {
+		t.Error("out-of-range lags should return 0")
+	}
+}
+
+// Property: for any data, |autocorrelation| <= 1 + epsilon at any valid lag.
+func TestAutocorrelationBoundedProperty(t *testing.T) {
+	f := func(raw []float64, lag8 uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		k := int(lag8) % len(xs)
+		r := Autocorrelation(xs, k)
+		return r <= 1+1e-9 && r >= -1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

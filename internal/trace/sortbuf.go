@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"container/heap"
+	"time"
+)
+
+// SortBuffer restores strict time order to a record stream whose disorder is
+// bounded (the generator interleaves per-client schedules within one server
+// tick). Records are held in a min-heap and released once the stream's
+// high-water mark has moved slack past them; ties release in arrival order.
+//
+// Consumers that need exact ordering — the binary trace writer, the NAT
+// queueing model — sit behind a SortBuffer; order-insensitive collectors
+// (histograms, binners) do not pay for one.
+type SortBuffer struct {
+	slack   time.Duration
+	next    Handler
+	maxSeen time.Duration
+	h       sortHeap
+	seq     uint64
+}
+
+// NewSortBuffer creates a buffer releasing records slack behind the
+// high-water mark. slack must exceed the stream's worst-case disorder.
+func NewSortBuffer(slack time.Duration, next Handler) *SortBuffer {
+	return &SortBuffer{slack: slack, next: next}
+}
+
+// Handle implements Handler.
+func (s *SortBuffer) Handle(r Record) {
+	heap.Push(&s.h, sortItem{r: r, seq: s.seq})
+	s.seq++
+	if r.T > s.maxSeen {
+		s.maxSeen = r.T
+	}
+	for len(s.h) > 0 && s.h[0].r.T <= s.maxSeen-s.slack {
+		s.next.Handle(heap.Pop(&s.h).(sortItem).r)
+	}
+}
+
+// Flush releases everything still buffered, in order. Call once after the
+// last record.
+func (s *SortBuffer) Flush() {
+	for len(s.h) > 0 {
+		s.next.Handle(heap.Pop(&s.h).(sortItem).r)
+	}
+}
+
+// Pending returns the number of buffered records.
+func (s *SortBuffer) Pending() int { return len(s.h) }
+
+type sortItem struct {
+	r   Record
+	seq uint64
+}
+
+type sortHeap []sortItem
+
+func (h sortHeap) Len() int { return len(h) }
+func (h sortHeap) Less(i, j int) bool {
+	if h[i].r.T != h[j].r.T {
+		return h[i].r.T < h[j].r.T
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sortHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sortHeap) Push(x any)   { *h = append(*h, x.(sortItem)) }
+func (h *sortHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

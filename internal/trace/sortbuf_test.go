@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSortBufferRestoresOrder(t *testing.T) {
+	var out Collect
+	sb := NewSortBuffer(50*time.Millisecond, &out)
+	// Two interleaved streams with bounded disorder.
+	in := []time.Duration{0, 30, 10, 40, 20, 70, 50, 90, 60, 100}
+	for _, ms := range in {
+		sb.Handle(Record{T: ms * time.Millisecond, App: uint16(ms)})
+	}
+	sb.Flush()
+	if len(out.Records) != len(in) {
+		t.Fatalf("got %d records", len(out.Records))
+	}
+	for i := 1; i < len(out.Records); i++ {
+		if out.Records[i].T < out.Records[i-1].T {
+			t.Fatalf("order violated at %d: %v", i, out.Records)
+		}
+	}
+}
+
+func TestSortBufferStableOnTies(t *testing.T) {
+	var out Collect
+	sb := NewSortBuffer(time.Millisecond, &out)
+	for i := 0; i < 5; i++ {
+		sb.Handle(Record{T: time.Second, Client: uint32(i)})
+	}
+	sb.Flush()
+	for i, r := range out.Records {
+		if r.Client != uint32(i) {
+			t.Fatalf("tie order not stable: %v", out.Records)
+		}
+	}
+}
+
+func TestSortBufferReleasesEagerly(t *testing.T) {
+	var out Collect
+	sb := NewSortBuffer(10*time.Millisecond, &out)
+	sb.Handle(Record{T: 0})
+	sb.Handle(Record{T: 100 * time.Millisecond})
+	// The record at 0 is now 100ms behind the high-water mark: released.
+	if len(out.Records) != 1 {
+		t.Errorf("expected eager release, pending=%d", sb.Pending())
+	}
+	if sb.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", sb.Pending())
+	}
+}
+
+func TestSortBufferProperty(t *testing.T) {
+	f := func(deltas []int16) bool {
+		var out Collect
+		sb := NewSortBuffer(100*time.Millisecond, &out)
+		base := 200 * time.Millisecond
+		tm := base
+		n := 0
+		for _, d := range deltas {
+			// Non-decreasing walk plus jitter strictly below the slack:
+			// disorder is bounded, as the generator guarantees.
+			step := time.Duration(d) * time.Millisecond
+			if step < 0 {
+				step = -step
+			}
+			tm += step % (20 * time.Millisecond)
+			jitter := time.Duration(d%89) * time.Millisecond
+			if jitter < 0 {
+				jitter = -jitter
+			}
+			sb.Handle(Record{T: tm + jitter})
+			n++
+		}
+		sb.Flush()
+		if len(out.Records) != n {
+			return false
+		}
+		for i := 1; i < len(out.Records); i++ {
+			if out.Records[i].T < out.Records[i-1].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

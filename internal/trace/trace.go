@@ -1,0 +1,151 @@
+// Package trace defines the packet-record model shared by the workload
+// generator, the live capture path, the NAT model and the analysis pipeline,
+// together with a compact binary on-disk format and pcap import/export.
+//
+// A Record is one UDP datagram seen at the server's network tap: a timestamp
+// (offset from trace start), a direction, the application payload size and
+// the client it belongs to. Wire sizes follow the paper's byte accounting
+// (payload + 58 B of framing; see internal/units).
+package trace
+
+import (
+	"time"
+
+	"cstrace/internal/units"
+)
+
+// Direction tells whether a packet travels client→server or server→client.
+type Direction uint8
+
+const (
+	// In is client → server (the paper's "incoming").
+	In Direction = iota
+	// Out is server → client (the paper's "outgoing").
+	Out
+)
+
+// String returns "in" or "out".
+func (d Direction) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Kind classifies the application message, mirroring the traffic sources the
+// paper describes in §II.
+type Kind uint8
+
+const (
+	// KindGame is real-time action/coordinate state (the dominant source).
+	KindGame Kind = iota
+	// KindHandshake is connection establishment/teardown traffic.
+	KindHandshake
+	// KindText is broadcast text messaging.
+	KindText
+	// KindVoice is broadcast voice communication.
+	KindVoice
+	// KindDownload is logo/map upload-download traffic (rate-limited).
+	KindDownload
+	// KindWeb marks TCP bulk-transfer records produced by the web-traffic
+	// baseline generator (internal/webtraffic), the contrast workload of
+	// the paper's §IV-A. Web records carry App = TCP payload + 12 so that
+	// Wire() stays exact despite the larger TCP header; see that package.
+	KindWeb
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGame:
+		return "game"
+	case KindHandshake:
+		return "handshake"
+	case KindText:
+		return "text"
+	case KindVoice:
+		return "voice"
+	case KindDownload:
+		return "download"
+	case KindWeb:
+		return "web"
+	}
+	return "unknown"
+}
+
+// Record is one captured datagram.
+type Record struct {
+	// T is the offset from the start of the trace.
+	T time.Duration
+	// Dir is the packet direction relative to the server.
+	Dir Direction
+	// Kind is the application message class.
+	Kind Kind
+	// Client identifies the remote client (stable across a session).
+	Client uint32
+	// App is the application payload size in bytes.
+	App uint16
+}
+
+// Wire returns the on-the-wire size in bytes under the paper's accounting.
+func (r Record) Wire() int { return int(r.App) + units.WireOverhead }
+
+// Handler consumes a stream of records in timestamp order.
+type Handler interface {
+	Handle(r Record)
+}
+
+// HandlerFunc adapts a function to a Handler.
+type HandlerFunc func(Record)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(r Record) { f(r) }
+
+// Tee fans one stream out to several handlers in order.
+func Tee(hs ...Handler) Handler {
+	return HandlerFunc(func(r Record) {
+		for _, h := range hs {
+			h.Handle(r)
+		}
+	})
+}
+
+// Filter passes through only records matching keep.
+func Filter(keep func(Record) bool, next Handler) Handler {
+	return HandlerFunc(func(r Record) {
+		if keep(r) {
+			next.Handle(r)
+		}
+	})
+}
+
+// Collect appends records to a slice; convenient in tests and for small
+// windows of a trace.
+type Collect struct{ Records []Record }
+
+// Handle implements Handler.
+func (c *Collect) Handle(r Record) { c.Records = append(c.Records, r) }
+
+// Merge interleaves multiple individually time-sorted record slices into a
+// single time-sorted stream delivered to h. Ties preserve argument order.
+func Merge(h Handler, streams ...[]Record) {
+	idx := make([]int, len(streams))
+	for {
+		best := -1
+		var bestT time.Duration
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			t := s[idx[i]].T
+			if best == -1 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best == -1 {
+			return
+		}
+		h.Handle(streams[best][idx[best]])
+		idx[best]++
+	}
+}

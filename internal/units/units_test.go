@@ -1,0 +1,121 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireOverheadMatchesPaper(t *testing.T) {
+	// Table II minus Table III is 58.0 B/packet, in both directions.
+	if WireOverhead != 58 {
+		t.Fatalf("WireOverhead = %d, want 58", WireOverhead)
+	}
+	checks := []struct {
+		wireGiB, appGiB, packets float64
+	}{
+		{64.42, 37.41, 500e6},    // total
+		{24.92, 10.13, 273.85e6}, // inbound
+		{39.49, 27.28, 226.15e6}, // outbound
+	}
+	for _, c := range checks {
+		perPacket := (c.wireGiB - c.appGiB) * GiB / c.packets
+		if math.Abs(perPacket-WireOverhead) > 0.25 {
+			t.Errorf("paper-implied overhead %.2f B/pkt, model %d", perPacket, WireOverhead)
+		}
+	}
+}
+
+func TestPaperBandwidthIsGiB(t *testing.T) {
+	// 64.42 GiB over 626,477 s should be the paper's 883 kbs mean bandwidth.
+	gib := float64(GiB)
+	r := Rate(Bytes(64.42*gib), 626477)
+	if math.Abs(r.Kbs()-883) > 1.0 {
+		t.Errorf("mean bandwidth = %.1f kbs, want ~883", r.Kbs())
+	}
+	// And the decimal interpretation would NOT match, confirming GB==GiB.
+	rDec := Rate(Bytes(64.42e9), 626477)
+	if math.Abs(rDec.Kbs()-883) < 20 {
+		t.Errorf("decimal GB interpretation unexpectedly matches paper: %.1f kbs", rDec.Kbs())
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	gib := float64(GiB)
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2 * KiB, "2.00 KB"},
+		{5 * MiB, "5.00 MB"},
+		{Bytes(64.42 * gib), "64.42 GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		in   BitsPerSecond
+		want string
+	}{
+		{500, "500 bs"},
+		{883e3, "883 kbs"},
+		{1.5e6, "1.50 Mbs"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPacketRate(t *testing.T) {
+	r := PacketRate(500_000_000, 626477)
+	if math.Abs(float64(r)-798.11) > 0.2 {
+		t.Errorf("packet rate = %v, want ~798.11", r)
+	}
+	if got := r.String(); got != "798.11 pkts/sec" {
+		t.Errorf("String() = %q", got)
+	}
+	if PacketRate(10, 0) != 0 {
+		t.Error("zero duration should give zero rate")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	// The paper's own headline: 626,477.03 s = 7 d, 6 h, 1 m, 17.03 s.
+	got := FormatDuration(626477.03)
+	want := "7 d, 6 h, 1 m, 17.03 s"
+	if got != want {
+		t.Errorf("FormatDuration = %q, want %q", got, want)
+	}
+}
+
+func TestRateZeroDuration(t *testing.T) {
+	if Rate(100, 0) != 0 {
+		t.Error("zero duration should give zero rate")
+	}
+	if Rate(100, -5) != 0 {
+		t.Error("negative duration should give zero rate")
+	}
+}
+
+func TestRateRoundTripProperty(t *testing.T) {
+	// bytes -> rate -> bytes is the identity for positive durations.
+	f := func(kb uint16, decis uint8) bool {
+		bytes := Bytes(int64(kb) + 1)
+		secs := float64(decis)/10 + 0.1
+		r := Rate(bytes, secs)
+		back := float64(r) * secs / 8
+		return math.Abs(back-float64(bytes)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

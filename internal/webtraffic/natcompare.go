@@ -1,0 +1,43 @@
+package webtraffic
+
+import (
+	"cstrace/internal/nat"
+	"cstrace/internal/trace"
+)
+
+// NATResult is the web-traffic half of the §IV-A head-to-head: the same
+// forwarding device that loses 1.3% of the game's packets should forward a
+// web workload of equal bit rate with essentially no loss, because web bits
+// arrive in packets nearly an order of magnitude larger and without the
+// 50 ms synchronized bursts.
+type NATResult struct {
+	Stats  Stats
+	Counts nat.Counts
+
+	MeanDelayIn, MaxDelayIn   float64
+	MeanDelayOut, MaxDelayOut float64
+}
+
+// LossIn returns the client→server loss fraction.
+func (r NATResult) LossIn() float64 { return r.Counts.LossIn() }
+
+// LossOut returns the server→client loss fraction.
+func (r NATResult) LossOut() float64 { return r.Counts.LossOut() }
+
+// RunNAT generates the web workload and passes it through the forwarding
+// device model.
+func RunNAT(cfg Config, natCfg nat.Config) (NATResult, error) {
+	device, err := nat.New(natCfg, trace.HandlerFunc(func(trace.Record) {}))
+	if err != nil {
+		return NATResult{}, err
+	}
+	st, err := Generate(cfg, device)
+	if err != nil {
+		return NATResult{}, err
+	}
+	res := NATResult{Stats: st, Counts: device.Counts()}
+	din, dout := device.DelayIn(), device.DelayOut()
+	res.MeanDelayIn, res.MaxDelayIn = din.Mean(), din.Max()
+	res.MeanDelayOut, res.MaxDelayOut = dout.Mean(), dout.Max()
+	return res, nil
+}

@@ -1,0 +1,291 @@
+package webtraffic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cstrace/internal/nat"
+	"cstrace/internal/trace"
+)
+
+func smallConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Duration = 2 * time.Minute
+	return cfg
+}
+
+func TestGenerateBasics(t *testing.T) {
+	var got trace.Collect
+	st, err := Generate(smallConfig(1), &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions == 0 || st.Connections == 0 {
+		t.Fatalf("no work generated: %+v", st)
+	}
+	if int64(len(got.Records)) != st.Packets() {
+		t.Errorf("records %d != stats packets %d", len(got.Records), st.Packets())
+	}
+	if st.Pages < st.Sessions {
+		t.Errorf("pages %d < sessions %d", st.Pages, st.Sessions)
+	}
+	if st.Connections < st.Pages {
+		t.Errorf("connections %d < pages %d", st.Connections, st.Pages)
+	}
+}
+
+func TestRecordsSortedAndWebKind(t *testing.T) {
+	var got trace.Collect
+	if _, err := Generate(smallConfig(2), &got); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got.Records {
+		if i > 0 && r.T < got.Records[i-1].T {
+			t.Fatalf("record %d out of order: %v < %v", i, r.T, got.Records[i-1].T)
+		}
+		if r.Kind != trace.KindWeb {
+			t.Fatalf("record %d kind = %v", i, r.Kind)
+		}
+		if int(r.App) < TCPHeaderDelta {
+			t.Fatalf("record %d App %d below header delta", i, r.App)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	var a, b trace.Collect
+	sa, err := Generate(smallConfig(42), &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Generate(smallConfig(42), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestMeanPacketSizeContrast(t *testing.T) {
+	// The whole point of the baseline: web traffic's mean wire packet must
+	// sit in the >300-byte regime the paper cites for exchange-point
+	// traffic, far above the game's 138 B mean (80.33 B app + 58 B wire
+	// overhead, Tables II-III).
+	st, err := Generate(smallConfig(3), trace.HandlerFunc(func(trace.Record) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := st.MeanWirePacket()
+	if mean < 300 {
+		t.Errorf("mean wire packet %.1f B, want > 300 B", mean)
+	}
+	// Server-side data packets dominate: outgoing mean must be near MSS
+	// territory, incoming mean small (ACKs + requests).
+	outMean := float64(st.WireOut) / float64(st.PacketsOut)
+	inMean := float64(st.WireIn) / float64(st.PacketsIn)
+	if outMean < 500 {
+		t.Errorf("outgoing mean %.1f B, want > 500 B", outMean)
+	}
+	if inMean > 200 {
+		t.Errorf("incoming mean %.1f B, want < 200 B (ACK stream)", inMean)
+	}
+}
+
+func TestPPSPerMbpsBelowGameTraffic(t *testing.T) {
+	// Game traffic (138 B mean wire packet) needs ≈904 lookups per Mbps.
+	// Web traffic should need several times fewer for the same bits.
+	st, err := Generate(smallConfig(4), trace.HandlerFunc(func(trace.Record) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pps := st.PPSPerMbps(); pps > 500 {
+		t.Errorf("web PPS/Mbps = %.0f, want well under game's ~1270", pps)
+	}
+}
+
+func TestConnectionConservation(t *testing.T) {
+	// Single connection: all object bytes must be delivered in MSS-bounded
+	// segments, with handshake (SYN, SYN-ACK, ACK+req), delayed ACKs and
+	// FIN teardown accounted for.
+	cfg := DefaultConfig(5)
+	var recs []trace.Record
+	size := int64(10 * 1460) // exactly 10 segments
+	genConnection(cfg, &recs, 0, 1, 0.1, 1e6, size, 300)
+
+	var dataBytes int64
+	var dataSegs, acks, outCtl int
+	for _, r := range recs {
+		payload := int(r.App) - TCPHeaderDelta
+		if r.Dir == trace.Out {
+			if payload > 0 {
+				dataBytes += int64(payload)
+				dataSegs++
+				if payload > cfg.MSS {
+					t.Fatalf("segment payload %d exceeds MSS", payload)
+				}
+			} else {
+				outCtl++
+			}
+		} else if payload == 0 {
+			acks++
+		}
+	}
+	if dataBytes != size {
+		t.Errorf("delivered %d bytes, want %d", dataBytes, size)
+	}
+	if dataSegs != 10 {
+		t.Errorf("segments = %d, want 10", dataSegs)
+	}
+	// Zero-payload inbound packets: the SYN, 5 delayed ACKs (every 2nd of
+	// 10 data segments), and the FIN-ACK.
+	if acks != 1+5+1 {
+		t.Errorf("zero-payload inbound = %d, want 7", acks)
+	}
+	// SYN-ACK + FIN + final ACK.
+	if outCtl != 3 {
+		t.Errorf("outgoing control packets = %d, want 3", outCtl)
+	}
+}
+
+func TestConnectionConservationProperty(t *testing.T) {
+	cfg := DefaultConfig(6)
+	f := func(sizeRaw uint32, reqRaw uint16) bool {
+		size := int64(sizeRaw%500_000) + 1
+		req := int(reqRaw%1400) + 1
+		var recs []trace.Record
+		genConnection(cfg, &recs, 0, 1, 0.05, 1e6, size, req)
+		var dataBytes int64
+		var reqBytes int64
+		lastT := time.Duration(-1)
+		sorted := true
+		for _, r := range recs {
+			payload := int64(r.App) - TCPHeaderDelta
+			if r.Dir == trace.Out && payload > 0 {
+				dataBytes += payload
+			}
+			if r.Dir == trace.In && payload > 0 {
+				reqBytes += payload
+			}
+			if r.T < lastT {
+				// Within one connection records may interleave
+				// (ACKs arrive while later rounds transmit), so
+				// only the global merge guarantees order; here we
+				// simply note it rather than require it.
+				sorted = false
+			}
+			lastT = r.T
+		}
+		_ = sorted
+		return dataBytes == size && reqBytes == int64(req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowStartRoundPacing(t *testing.T) {
+	// With InitCwnd=2 and MaxCwnd=6, a 20-segment transfer takes rounds of
+	// 2, 4, 6, 6, 2 — five RTT-separated rounds. Verify the data-segment
+	// round structure by counting distinct round start times.
+	cfg := DefaultConfig(7)
+	cfg.InitCwnd = 2
+	cfg.MaxCwnd = 6
+	var recs []trace.Record
+	genConnection(cfg, &recs, 0, 1, 0.2 /* big RTT to separate rounds */, 1e7, 20*1460, 300)
+	var dataTimes []time.Duration
+	for _, r := range recs {
+		if r.Dir == trace.Out && int(r.App)-TCPHeaderDelta > 0 {
+			dataTimes = append(dataTimes, r.T)
+		}
+	}
+	if len(dataTimes) != 20 {
+		t.Fatalf("segments = %d, want 20", len(dataTimes))
+	}
+	// Count gaps larger than half an RTT: these separate rounds.
+	rounds := 1
+	for i := 1; i < len(dataTimes); i++ {
+		if dataTimes[i]-dataTimes[i-1] > 100*time.Millisecond {
+			rounds++
+		}
+	}
+	if rounds != 5 {
+		t.Errorf("rounds = %d, want 5 (2+4+6+6+2)", rounds)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.SessionRate = 0 },
+		func(c *Config) { c.MSS = 0 },
+		func(c *Config) { c.InitCwnd = 0 },
+		func(c *Config) { c.MaxCwnd = c.InitCwnd - 1 },
+		func(c *Config) { c.DelayedAckEvery = 0 },
+		func(c *Config) { c.ObjectSize = nil },
+		func(c *Config) { c.RTT = nil },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Generate(Config{}, trace.HandlerFunc(func(trace.Record) {})); err == nil {
+		t.Error("Generate accepted a zero config")
+	}
+}
+
+func TestOfferedLoadNearGameServer(t *testing.T) {
+	// DefaultConfig is calibrated to offer bits at the same order as the
+	// paper's game server (~880 kbs) so router comparisons are fair.
+	cfg := DefaultConfig(8)
+	cfg.Duration = 10 * time.Minute
+	st, err := Generate(cfg, trace.HandlerFunc(func(trace.Record) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(st.MeanBandwidth())
+	if bw < 200e3 || bw > 4e6 {
+		t.Errorf("offered load %.0f bps outside the comparable band", bw)
+	}
+}
+
+func TestRunNATWebTrafficSurvives(t *testing.T) {
+	// The §IV-A head-to-head: at a comparable bit rate, web traffic's
+	// larger packets stay well inside the device's lookup capacity, so
+	// loss should be negligible where the game sees ~1.3%.
+	cfg := DefaultConfig(9)
+	cfg.Duration = 5 * time.Minute
+	res, err := RunNAT(cfg, nat.DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Packets() == 0 {
+		t.Fatal("no packets offered")
+	}
+	if res.LossIn() > 0.002 {
+		t.Errorf("web incoming loss %.4f, want < 0.002", res.LossIn())
+	}
+	if res.LossOut() > 0.002 {
+		t.Errorf("web outgoing loss %.4f, want < 0.002", res.LossOut())
+	}
+	offered := res.Counts.ClientToNAT + res.Counts.ServerToNAT
+	if offered != res.Stats.Packets() {
+		t.Errorf("device saw %d packets, generator produced %d", offered, res.Stats.Packets())
+	}
+}

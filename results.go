@@ -1,0 +1,60 @@
+package cstrace
+
+import (
+	"io"
+	"time"
+
+	"cstrace/internal/report"
+)
+
+// writeReport renders all tables and figures.
+func writeReport(w io.Writer, r *Results) error {
+	report.TableI(w, r.TableI)
+	report.TableII(w, r.TableII)
+	report.TableIII(w, r.TableIII)
+
+	report.Series(w, "Figure 1: per-minute bandwidth (kbs)", r.Suite.Minutes.KbsTotal(), 72, 8)
+	report.Series(w, "Figure 2: per-minute packet load (pps)", r.Suite.Minutes.PPSTotal(), 72, 8)
+	report.Series(w, "Figure 3: per-minute players", r.Suite.Players.Counts(), 72, 8)
+	report.Series(w, "Figure 4a: per-minute incoming bandwidth (kbs)", r.Suite.Minutes.KbsIn(), 72, 6)
+	report.Series(w, "Figure 4b: per-minute outgoing bandwidth (kbs)", r.Suite.Minutes.KbsOut(), 72, 6)
+	report.Series(w, "Figure 4c: per-minute incoming packet load (pps)", r.Suite.Minutes.PPSIn(), 72, 6)
+	report.Series(w, "Figure 4d: per-minute outgoing packet load (pps)", r.Suite.Minutes.PPSOut(), 72, 6)
+
+	report.VarianceTime(w, r.Suite.VT.Points(), r.Regions)
+
+	if win := r.Suite.Window(10 * time.Millisecond); win != nil {
+		report.Series(w, "Figure 6: total packet load, first 200 x 10ms bins (pps)", win.TotalPPS(), 72, 8)
+		report.Series(w, "Figure 7a: incoming packet load, 10ms bins (pps)", win.InPPS(), 72, 6)
+		report.Series(w, "Figure 7b: outgoing packet load, 10ms bins (pps)", win.OutPPS(), 72, 6)
+	}
+	if win := r.Suite.Window(50 * time.Millisecond); win != nil {
+		report.Series(w, "Figure 8: total packet load, first 200 x 50ms bins (pps)", win.TotalPPS(), 72, 8)
+	}
+	if win := r.Suite.Window(time.Second); win != nil {
+		report.Series(w, "Figure 9: total packet load, 1s bins (pps)", win.TotalPPS(), 72, 8)
+	}
+	if win := r.Suite.Window(30 * time.Minute); win != nil {
+		report.Series(w, "Figure 10: total packet load, 30min bins (pps)", win.TotalPPS(), 72, 8)
+	}
+
+	hist := r.Suite.Flows.Histogram(30*time.Second, 150e3, 75)
+	bw := make([]float64, hist.NumBins())
+	for i := range bw {
+		bw[i] = float64(hist.Count(i))
+	}
+	report.Series(w, "Figure 11: client bandwidth histogram (2 kbs bins, 0-150 kbs)", bw, 75, 8)
+
+	report.SizePDF(w, "Figure 12a: packet size PDF, total (20-byte bins)",
+		r.Suite.Sizes.Total.BinnedPDF(20), 20, 25)
+	report.SizePDF(w, "Figure 12b-in: packet size PDF, inbound",
+		r.Suite.Sizes.In.BinnedPDF(20), 20, 25)
+	report.SizePDF(w, "Figure 12b-out: packet size PDF, outbound",
+		r.Suite.Sizes.Out.BinnedPDF(20), 20, 25)
+	report.SizeCDF(w, "Figure 13: packet size CDF (quantile table)", r.Suite.Sizes)
+
+	report.Composition(w, r.Suite.Kinds)
+	tick, corr := r.Suite.Tick.Tick()
+	report.Burstiness(w, r.Suite.Gaps, tick, corr)
+	return nil
+}
