@@ -2,6 +2,8 @@ package cstrace
 
 import (
 	"bytes"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -345,6 +347,88 @@ func routeCacheBench(b *testing.B, pol routecache.Policy) {
 	}
 	b.ReportMetric(m.HitRatio()*100, "hit-%")
 	b.ReportMetric(m.MeanCost(), "cost/pkt")
+}
+
+// --- pipeline benches: per-record vs block vs sharded dispatch ---
+//
+// The three BenchmarkPipeline* functions feed the identical pre-generated
+// Quick(1) record stream into a fresh full analysis suite, varying only the
+// delivery path. The headline metric is Mrec/s; the batch path's win is
+// pure dispatch/locality engineering, since the collector math is shared.
+
+var (
+	pipeOnce sync.Once
+	pipeRecs []trace.Record
+)
+
+// pipelineRecords generates the Quick(1) workload once and caches it.
+func pipelineRecords(b *testing.B) []trace.Record {
+	b.Helper()
+	pipeOnce.Do(func() {
+		var c trace.Collect
+		if _, err := gamesim.Run(Quick(1).Game, &c, nil); err != nil {
+			panic(err)
+		}
+		pipeRecs = c.Records
+	})
+	return pipeRecs
+}
+
+func benchPipeline(b *testing.B, feed func(*analysis.Suite, []trace.Record)) {
+	recs := pipelineRecords(b)
+	sc := analysis.DefaultSuiteConfig(Quick(1).Game.Duration)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite, err := analysis.NewSuite(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		feed(suite, recs)
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+// BenchmarkPipelinePerRecord is the legacy path: one trace.Handler virtual
+// call per record into the suite.
+func BenchmarkPipelinePerRecord(b *testing.B) {
+	benchPipeline(b, func(s *analysis.Suite, recs []trace.Record) {
+		var h trace.Handler = trace.HandlerFunc(s.Handle)
+		for _, r := range recs {
+			h.Handle(r)
+		}
+		s.Close()
+	})
+}
+
+// BenchmarkPipelineBatched delivers the same stream in BlockSize slabs.
+func BenchmarkPipelineBatched(b *testing.B) {
+	benchPipeline(b, func(s *analysis.Suite, recs []trace.Record) {
+		for i := 0; i < len(recs); i += trace.BlockSize {
+			end := i + trace.BlockSize
+			if end > len(recs) {
+				end = len(recs)
+			}
+			s.HandleBatch(recs[i:end])
+		}
+		s.Close()
+	})
+}
+
+// BenchmarkPipelineSharded fans the slabs out to collector-group workers.
+// It only beats the batched path when ≥2 cores are available; on one core
+// it measures the channel overhead floor.
+func BenchmarkPipelineSharded(b *testing.B) {
+	benchPipeline(b, func(s *analysis.Suite, recs []trace.Record) {
+		sh := analysis.Shard(s, runtime.GOMAXPROCS(0))
+		for i := 0; i < len(recs); i += trace.BlockSize {
+			end := i + trace.BlockSize
+			if end > len(recs) {
+				end = len(recs)
+			}
+			sh.HandleBatch(recs[i:end])
+		}
+		sh.Close()
+	})
 }
 
 // BenchmarkGeneratorThroughput measures raw generation speed: how fast the

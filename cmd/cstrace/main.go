@@ -19,9 +19,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
-
+	"runtime"
 	"strings"
+	"time"
 
 	"cstrace"
 	"cstrace/internal/analysis"
@@ -45,6 +45,7 @@ func main() {
 		inFile   = flag.String("in", "", "input trace file (analyze)")
 		outFile  = flag.String("out", "", "output file (gen/pcap; .pcapng selects pcapng)")
 		players  = flag.Int("players", 100000, "target concurrent players (provision)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze; 1 = single-threaded)")
 	)
 	flag.Parse()
 
@@ -52,15 +53,15 @@ func main() {
 	var err error
 	switch *mode {
 	case "week":
-		err = runReproduce(cstrace.Full(*seed), *duration)
+		err = runReproduce(cstrace.Full(*seed), *duration, *parallel)
 	case "quick":
-		err = runReproduce(cstrace.Quick(*seed), *duration)
+		err = runReproduce(cstrace.Quick(*seed), *duration, *parallel)
 	case "nat":
 		err = runNAT(*seed)
 	case "gen":
 		err = runGen(*seed, *duration, *outFile)
 	case "analyze":
-		err = runAnalyze(*inFile)
+		err = runAnalyze(*inFile, *parallel)
 	case "pcap":
 		err = runPcap(*seed, *duration, *outFile)
 	case "web":
@@ -78,11 +79,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cstrace: %s mode finished in %v\n", *mode, time.Since(start).Round(time.Millisecond))
 }
 
-func runReproduce(cfg cstrace.Config, override time.Duration) error {
+func runReproduce(cfg cstrace.Config, override time.Duration, parallel int) error {
 	if override > 0 {
 		cfg.Game.Duration = override
 		cfg.Suite = analysis.DefaultSuiteConfig(override)
 	}
+	cfg.Parallelism = parallel
 	res, err := cstrace.Reproduce(cfg)
 	if err != nil {
 		return err
@@ -141,7 +143,7 @@ func runGen(seed uint64, d time.Duration, out string) error {
 	return nil
 }
 
-func runAnalyze(in string) error {
+func runAnalyze(in string, parallel int) error {
 	if in == "" {
 		return fmt.Errorf("analyze: -in required")
 	}
@@ -159,11 +161,12 @@ func runAnalyze(in string) error {
 	if err != nil {
 		return err
 	}
-	n, err := trace.NewReader(f).ReadAll(suite)
+	sink, closeSink := suite.Sink(parallel)
+	n, err := trace.NewReader(f).ReadAll(sink)
+	closeSink()
 	if err != nil {
 		return err
 	}
-	suite.Close()
 	t2 := suite.Count.TableII(0)
 	report.TableII(os.Stdout, t2)
 	report.TableIII(os.Stdout, suite.Count.TableIII())

@@ -33,17 +33,23 @@ func main() {
 	var records []trace.Record
 
 	cfg := gameserver.DefaultConfig()
-	cfg.Tap = func(r trace.Record) {
+	// The batched tap hands each 50 ms broadcast burst over as one block:
+	// one lock acquisition per tick instead of one per datagram.
+	cfg.BatchTap = trace.BatchHandlerFunc(func(rs []trace.Record) {
 		mu.Lock()
-		records = append(records, r)
+		records = append(records, rs...)
 		mu.Unlock()
-	}
+	})
 	srv, err := gameserver.Listen(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	go srv.Serve(ctx)
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ctx)
+	}()
 	log.Printf("server on %s", srv.Addr())
 
 	// Auto-discovery, as the paper's players used it: register with a
@@ -88,7 +94,9 @@ func main() {
 	}
 	wg.Wait()
 	cancel()
-	time.Sleep(100 * time.Millisecond)
+	// Wait for Serve to return: its final FlushTap delivers any records
+	// still coalesced in the batched tap before we snapshot.
+	<-served
 
 	// Feed the live capture through the paper's analysis.
 	mu.Lock()

@@ -8,12 +8,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"cstrace"
 )
 
 func main() {
-	res, err := cstrace.Reproduce(cstrace.Quick(1))
+	cfg := cstrace.Quick(1)
+	// Shard the analysis collectors across the available cores; results
+	// are byte-identical to a single-threaded run.
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	res, err := cstrace.Reproduce(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

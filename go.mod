@@ -1,0 +1,3 @@
+module cstrace
+
+go 1.24

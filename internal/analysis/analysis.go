@@ -39,6 +39,30 @@ func (c *Counters) Handle(r trace.Record) {
 	}
 }
 
+// HandleBatch implements trace.BatchHandler: the block accumulates into
+// locals, with one write-back per block.
+func (c *Counters) HandleBatch(rs []trace.Record) {
+	var pIn, pOut, bIn, bOut int64
+	end := c.End
+	for _, r := range rs {
+		if r.Dir == trace.In {
+			pIn++
+			bIn += int64(r.App)
+		} else {
+			pOut++
+			bOut += int64(r.App)
+		}
+		if r.T > end {
+			end = r.T
+		}
+	}
+	c.PacketsIn += pIn
+	c.PacketsOut += pOut
+	c.AppBytesIn += bIn
+	c.AppBytesOut += bOut
+	c.End = end
+}
+
 // Packets returns the total packet count.
 func (c *Counters) Packets() int64 { return c.PacketsIn + c.PacketsOut }
 
@@ -136,6 +160,20 @@ func (s *SizeDist) Handle(r trace.Record) {
 	}
 }
 
+// HandleBatch implements trace.BatchHandler.
+func (s *SizeDist) HandleBatch(rs []trace.Record) {
+	in, out, total := s.In, s.Out, s.Total
+	for _, r := range rs {
+		v := int(r.App)
+		total.Add(v)
+		if r.Dir == trace.In {
+			in.Add(v)
+		} else {
+			out.Add(v)
+		}
+	}
+}
+
 // MinuteSeries collects the per-minute bandwidth and packet-load series of
 // Figs 1, 2 and 4.
 type MinuteSeries struct {
@@ -162,6 +200,46 @@ func (m *MinuteSeries) Handle(r trace.Record) {
 	} else {
 		m.BitsOut.Add(r.T, bits)
 		m.PktsOut.Add(r.T, 1)
+	}
+}
+
+// HandleBatch implements trace.BatchHandler. A block spans a handful of
+// ticks at most, so nearly every record lands in the same minute: per-minute
+// runs accumulate into locals and flush once per direction per run.
+func (m *MinuteSeries) HandleBatch(rs []trace.Record) {
+	var runT time.Duration = -1
+	var bitsIn, bitsOut, pktsIn, pktsOut float64
+	flush := func(t time.Duration) {
+		if pktsIn > 0 {
+			m.BitsIn.Add(t, bitsIn)
+			m.PktsIn.Add(t, pktsIn)
+			bitsIn, pktsIn = 0, 0
+		}
+		if pktsOut > 0 {
+			m.BitsOut.Add(t, bitsOut)
+			m.PktsOut.Add(t, pktsOut)
+			bitsOut, pktsOut = 0, 0
+		}
+	}
+	for _, r := range rs {
+		min := r.T / time.Minute
+		if min != runT {
+			if runT >= 0 {
+				flush(runT * time.Minute)
+			}
+			runT = min
+		}
+		bits := float64(r.Wire() * 8)
+		if r.Dir == trace.In {
+			bitsIn += bits
+			pktsIn++
+		} else {
+			bitsOut += bits
+			pktsOut++
+		}
+	}
+	if runT >= 0 {
+		flush(runT * time.Minute)
 	}
 }
 
@@ -248,6 +326,24 @@ func (w *IntervalWindow) Handle(r trace.Record) {
 		w.inBins[i]++
 	} else {
 		w.outBin[i]++
+	}
+}
+
+// HandleBatch implements trace.BatchHandler.
+func (w *IntervalWindow) HandleBatch(rs []trace.Record) {
+	total, in, out := w.total, w.inBins, w.outBin
+	interval, n := w.interval, w.n
+	for _, r := range rs {
+		i := int(r.T / interval)
+		if i < 0 || i >= n {
+			continue
+		}
+		total[i]++
+		if r.Dir == trace.In {
+			in[i]++
+		} else {
+			out[i]++
+		}
 	}
 }
 

@@ -52,6 +52,26 @@ func (ia *Interarrival) Handle(r trace.Record) {
 	ia.last[d] = r.T
 }
 
+// HandleBatch implements trace.BatchHandler: the per-direction cursors work
+// in locals across the block, with one write-back.
+func (ia *Interarrival) HandleBatch(rs []trace.Record) {
+	last, seen := ia.last, ia.seen
+	for _, r := range rs {
+		d := r.Dir
+		if seen[d] {
+			gap := r.T - last[d]
+			if gap >= 0 {
+				ia.summ[d].Add(gap.Seconds())
+				ia.hist[d][iaBucket(gap)]++
+				ia.total[d]++
+			}
+		}
+		seen[d] = true
+		last[d] = r.T
+	}
+	ia.last, ia.seen = last, seen
+}
+
 func iaBucket(gap time.Duration) int {
 	us := gap.Microseconds()
 	if us <= 0 {
@@ -118,7 +138,8 @@ type KindRow struct {
 // inventory of traffic sources: game state, handshakes, text, voice,
 // logo/map downloads).
 type KindBreakdown struct {
-	rows map[trace.Kind]*KindRow
+	rows   map[trace.Kind]*KindRow
+	byKind [8]*KindRow // direct index for the known kinds (hot path)
 }
 
 // NewKindBreakdown creates the collector.
@@ -128,14 +149,39 @@ func NewKindBreakdown() *KindBreakdown {
 
 // Handle implements trace.Handler.
 func (k *KindBreakdown) Handle(r trace.Record) {
-	row := k.rows[r.Kind]
-	if row == nil {
-		row = &KindRow{Kind: r.Kind}
-		k.rows[r.Kind] = row
-	}
+	row := k.row(r.Kind)
 	row.Packets++
 	row.AppBytes += int64(r.App)
 	row.WireBytes += int64(r.Wire())
+}
+
+// HandleBatch implements trace.BatchHandler.
+func (k *KindBreakdown) HandleBatch(rs []trace.Record) {
+	for _, r := range rs {
+		var row *KindRow
+		if int(r.Kind) < len(k.byKind) {
+			row = k.byKind[r.Kind]
+		}
+		if row == nil {
+			row = k.row(r.Kind)
+		}
+		row.Packets++
+		row.AppBytes += int64(r.App)
+		row.WireBytes += int64(r.Wire())
+	}
+}
+
+// row returns (creating on first use) the accumulator for one kind.
+func (k *KindBreakdown) row(kind trace.Kind) *KindRow {
+	row := k.rows[kind]
+	if row == nil {
+		row = &KindRow{Kind: kind}
+		k.rows[kind] = row
+		if int(kind) < len(k.byKind) {
+			k.byKind[kind] = row
+		}
+	}
+	return row
 }
 
 // Rows returns the composition sorted by descending packet count.
@@ -212,6 +258,21 @@ func (p *Periodicity) Handle(r trace.Record) {
 		p.closeBin()
 	}
 	p.current++
+}
+
+// HandleBatch implements trace.BatchHandler.
+func (p *Periodicity) HandleBatch(rs []trace.Record) {
+	dir, bin := p.dir, p.bin
+	for _, r := range rs {
+		if r.Dir != dir {
+			continue
+		}
+		idx := int64(r.T / bin)
+		for idx > p.binIdx {
+			p.closeBin()
+		}
+		p.current++
+	}
 }
 
 // closeBin finalizes the currently filling bin and moves to the next.

@@ -63,6 +63,37 @@ func (fb *FlowBandwidth) Handle(r trace.Record) {
 	f.WireBytes += int64(r.Wire())
 }
 
+// HandleBatch implements trace.BatchHandler. Consecutive records frequently
+// belong to the same session (command streams, download runs), so the last
+// flow is cached to skip the map lookup.
+func (fb *FlowBandwidth) HandleBatch(rs []trace.Record) {
+	var lastClient uint32
+	var last *FlowStats
+	for _, r := range rs {
+		if r.Client == 0 {
+			continue
+		}
+		f := last
+		if r.Client != lastClient || f == nil {
+			f = fb.flows[r.Client]
+			if f == nil {
+				f = &FlowStats{Client: r.Client, First: r.T}
+				fb.flows[r.Client] = f
+			}
+			lastClient, last = r.Client, f
+		}
+		if r.T > f.Last {
+			f.Last = r.T
+		}
+		if r.T < f.First {
+			f.First = r.T
+		}
+		f.Packets++
+		f.AppBytes += int64(r.App)
+		f.WireBytes += int64(r.Wire())
+	}
+}
+
 // NumFlows returns the number of sessions observed.
 func (fb *FlowBandwidth) NumFlows() int { return len(fb.flows) }
 

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cstrace/internal/trace"
+)
+
+// Sharded mode: the suite's collectors split into groups with no shared
+// state, each group owned by one worker goroutine, and every incoming block
+// fans out to all groups over bounded channels. Because each collector sees
+// every record in exactly the stream order (channels are FIFO and each
+// collector lives in exactly one group), sharded results are byte-identical
+// to single-threaded results — the parallelism only overlaps the groups'
+// sweeps in time.
+//
+// The natural split is by collector cost profile:
+//
+//	sizes/flows   — Counters, SizeDist, FlowBandwidth, KindBreakdown
+//	variance-time — MinuteSeries, VarTime, IntervalWindows
+//	order         — SortBuffer → Interarrival, Periodicity (heap-heavy)
+
+// shardChanDepth bounds each group's channel: enough to keep workers busy,
+// small enough to backpressure the generator instead of ballooning memory.
+const shardChanDepth = 8
+
+// shardBlock is a refcounted copy of an incoming batch, shared read-only by
+// every group and recycled when the last group finishes with it.
+type shardBlock struct {
+	recs trace.Block
+	refs atomic.Int32
+}
+
+var shardBlockPool = sync.Pool{
+	New: func() any {
+		return &shardBlock{recs: make(trace.Block, 0, trace.BlockSize)}
+	},
+}
+
+// ShardedSuite runs a Suite's collector groups on worker goroutines. Create
+// one with Shard, feed it records or blocks, and call Close to drain the
+// workers and finalize the underlying suite. The embedded Suite's accessors
+// (Count, Sizes, Window, ...) are valid after Close.
+type ShardedSuite struct {
+	*Suite
+	chans   []chan *shardBlock
+	wg      sync.WaitGroup
+	pending *shardBlock
+	stopped bool
+}
+
+// shardGroups returns the collector-group sweep functions in their natural
+// three-way split.
+func shardGroups() []func(*Suite, []trace.Record) {
+	return []func(*Suite, []trace.Record){
+		func(s *Suite, rs []trace.Record) {
+			s.Count.HandleBatch(rs)
+			s.Sizes.HandleBatch(rs)
+			s.Flows.HandleBatch(rs)
+			s.Kinds.HandleBatch(rs)
+		},
+		func(s *Suite, rs []trace.Record) {
+			s.Minutes.HandleBatch(rs)
+			s.VT.HandleBatch(rs)
+			for _, w := range s.Windows {
+				w.HandleBatch(rs)
+			}
+		},
+		func(s *Suite, rs []trace.Record) {
+			s.sorted.HandleBatch(rs)
+		},
+	}
+}
+
+// Shard wraps a freshly built Suite in sharded mode with up to workers
+// goroutines (clamped to the three collector groups; values below 2 still
+// shard with 2 workers — use the plain Suite for single-threaded runs).
+// The caller must not feed the inner Suite directly afterwards.
+func Shard(s *Suite, workers int) *ShardedSuite {
+	groups := shardGroups()
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	// Partition the groups across the workers: with 2 workers the two
+	// cheap sweeps share a goroutine and the heap-heavy order group gets
+	// its own.
+	var parts [][]func(*Suite, []trace.Record)
+	switch workers {
+	case 2:
+		parts = [][]func(*Suite, []trace.Record){
+			{groups[0], groups[1]},
+			{groups[2]},
+		}
+	default:
+		for _, g := range groups {
+			parts = append(parts, []func(*Suite, []trace.Record){g})
+		}
+	}
+
+	sh := &ShardedSuite{Suite: s, pending: getShardBlock()}
+	for _, part := range parts {
+		ch := make(chan *shardBlock, shardChanDepth)
+		sh.chans = append(sh.chans, ch)
+		sh.wg.Add(1)
+		go func(part []func(*Suite, []trace.Record), ch chan *shardBlock) {
+			defer sh.wg.Done()
+			for blk := range ch {
+				for _, sweep := range part {
+					sweep(s, blk.recs)
+				}
+				if blk.refs.Add(-1) == 0 {
+					putShardBlock(blk)
+				}
+			}
+		}(part, ch)
+	}
+	return sh
+}
+
+func getShardBlock() *shardBlock {
+	blk := shardBlockPool.Get().(*shardBlock)
+	blk.recs = blk.recs[:0]
+	return blk
+}
+
+func putShardBlock(blk *shardBlock) { shardBlockPool.Put(blk) }
+
+// Handle implements trace.Handler.
+func (sh *ShardedSuite) Handle(r trace.Record) {
+	sh.pending.recs = append(sh.pending.recs, r)
+	if len(sh.pending.recs) == cap(sh.pending.recs) {
+		sh.flush()
+	}
+}
+
+// HandleBatch implements trace.BatchHandler. The batch is copied into an
+// owned refcounted block (the caller reuses its slab immediately) and
+// re-batched up to BlockSize before fanning out.
+func (sh *ShardedSuite) HandleBatch(rs []trace.Record) {
+	for len(rs) > 0 {
+		free := cap(sh.pending.recs) - len(sh.pending.recs)
+		if free == 0 {
+			sh.flush()
+			continue
+		}
+		n := min(free, len(rs))
+		sh.pending.recs = append(sh.pending.recs, rs[:n]...)
+		rs = rs[n:]
+	}
+	if len(sh.pending.recs) == cap(sh.pending.recs) {
+		sh.flush()
+	}
+}
+
+// flush fans the pending block out to every group.
+func (sh *ShardedSuite) flush() {
+	blk := sh.pending
+	if len(blk.recs) == 0 {
+		return
+	}
+	sh.pending = getShardBlock()
+	blk.refs.Store(int32(len(sh.chans)))
+	for _, ch := range sh.chans {
+		ch <- blk
+	}
+}
+
+// Close flushes pending records, drains and stops the workers, then
+// finalizes the underlying suite. Call once after the last record.
+func (sh *ShardedSuite) Close() {
+	if !sh.stopped {
+		sh.stopped = true
+		sh.flush()
+		for _, ch := range sh.chans {
+			close(ch)
+		}
+		sh.wg.Wait()
+	}
+	sh.Suite.Close()
+}
+
+// Sink returns the suite's ingest handler for the given parallelism level
+// and the matching finalizer: the suite itself below 2, a sharded wrapper
+// otherwise. Call close exactly once after the last record (also on error
+// paths — a sharded suite leaks worker goroutines otherwise).
+func (s *Suite) Sink(parallelism int) (h trace.Handler, close func()) {
+	if parallelism > 1 {
+		sh := Shard(s, parallelism)
+		return sh, sh.Close
+	}
+	return s, s.Close
+}
+
+var (
+	_ trace.Handler      = (*ShardedSuite)(nil)
+	_ trace.BatchHandler = (*ShardedSuite)(nil)
+)

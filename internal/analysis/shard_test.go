@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cstrace/internal/gamesim"
+	"cstrace/internal/trace"
+)
+
+func shardWorkload(t testing.TB) gamesim.Config {
+	cfg := gamesim.PaperConfig(11)
+	cfg.Duration = 3 * time.Minute
+	cfg.Warmup = 2 * time.Minute
+	cfg.Outages = nil
+	cfg.AttemptRate *= 5
+	cfg.DiurnalAmp = 0
+	return cfg
+}
+
+// suiteFingerprint extracts every collector result the reports are built
+// from, so DeepEqual across pipeline modes is a whole-suite comparison.
+func suiteFingerprint(s *Suite) map[string]any {
+	tick, corr := s.Tick.Tick()
+	fp := map[string]any{
+		"tableII":  s.Count.TableII(s.Duration()),
+		"tableIII": s.Count.TableIII(),
+		"sizesIn":  s.Sizes.In.CDF(),
+		"sizesOut": s.Sizes.Out.CDF(),
+		"minutes":  s.Minutes.KbsTotal(),
+		"pps":      s.Minutes.PPSTotal(),
+		"flows":    s.Flows.NumFlows(),
+		"flowHist": s.Flows.Histogram(30*time.Second, 150e3, 30).PDF(),
+		"vt":       s.VT.Points(),
+		"kinds":    s.Kinds.Rows(),
+		"gapsInCV": s.Gaps.CV(trace.In),
+		"gapsOut":  s.Gaps.Mean(trace.Out),
+		"tick":     tick,
+		"tickCorr": corr,
+	}
+	for _, w := range s.Windows {
+		fp["window-"+w.Interval().String()] = w.TotalPPS()
+	}
+	return fp
+}
+
+// TestShardedMatchesSingleThreaded: the same workload through the
+// per-record path, the batch path and the sharded path (2 and 3 workers)
+// yields identical collector state — the determinism contract of sharded
+// mode. Run with -race to exercise the concurrency.
+func TestShardedMatchesSingleThreaded(t *testing.T) {
+	cfg := shardWorkload(t)
+	sc := DefaultSuiteConfig(cfg.Duration)
+
+	newSuite := func() *Suite {
+		s, err := NewSuite(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Reference: per-record delivery (the legacy path) via an adapter that
+	// hides the suite's BatchHandler from trace.Dispatch.
+	ref := newSuite()
+	if _, err := gamesim.Run(cfg, trace.HandlerFunc(ref.Handle), ref.Observe); err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+	want := suiteFingerprint(ref)
+
+	// Batched single-threaded.
+	batched := newSuite()
+	if _, err := gamesim.Run(cfg, batched, batched.Observe); err != nil {
+		t.Fatal(err)
+	}
+	batched.Close()
+	if got := suiteFingerprint(batched); !reflect.DeepEqual(want, got) {
+		t.Errorf("batched suite diverges from per-record suite")
+		diffFingerprint(t, want, got)
+	}
+
+	// Sharded with 2 and 3 workers.
+	for _, workers := range []int{2, 3} {
+		s := newSuite()
+		sh := Shard(s, workers)
+		if _, err := gamesim.Run(cfg, sh, sh.Observe); err != nil {
+			t.Fatal(err)
+		}
+		sh.Close()
+		if got := suiteFingerprint(s); !reflect.DeepEqual(want, got) {
+			t.Errorf("sharded(%d) suite diverges from per-record suite", workers)
+			diffFingerprint(t, want, got)
+		}
+	}
+}
+
+func diffFingerprint(t *testing.T, want, got map[string]any) {
+	t.Helper()
+	for k := range want {
+		if !reflect.DeepEqual(want[k], got[k]) {
+			t.Logf("  %s differs", k)
+		}
+	}
+}
+
+// TestShardedRecordPath: records delivered one at a time into a sharded
+// suite re-batch internally and still match.
+func TestShardedRecordPath(t *testing.T) {
+	cfg := shardWorkload(t)
+	sc := DefaultSuiteConfig(cfg.Duration)
+
+	ref, err := NewSuite(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs trace.Collect
+	if _, err := gamesim.Run(cfg, &recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs.Records {
+		ref.Handle(r)
+	}
+	ref.Close()
+
+	s, err := NewSuite(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Shard(s, 3)
+	for _, r := range recs.Records {
+		sh.Handle(r)
+	}
+	sh.Close()
+
+	want, got := suiteFingerprint(ref), suiteFingerprint(s)
+	// The record-only feeds carry no session events, so the player series
+	// is empty in both; everything else must match exactly.
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("sharded record path diverges")
+		diffFingerprint(t, want, got)
+	}
+}
+
+// TestShardedCloseIdempotent: Close twice is safe and the suite finalizes
+// once.
+func TestShardedCloseIdempotent(t *testing.T) {
+	s, err := NewSuite(DefaultSuiteConfig(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Shard(s, 3)
+	sh.HandleBatch([]trace.Record{{T: time.Second, Dir: trace.Out, App: 100}})
+	sh.Close()
+	sh.Close()
+	if got := s.Count.Packets(); got != 1 {
+		t.Fatalf("packets = %d, want 1", got)
+	}
+}

@@ -117,7 +117,7 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	return s, nil
 }
 
-// Handle implements trace.Handler.
+// Handle implements trace.Handler (the legacy per-record path).
 func (s *Suite) Handle(r trace.Record) {
 	s.Count.Handle(r)
 	s.Sizes.Handle(r)
@@ -128,6 +128,21 @@ func (s *Suite) Handle(r trace.Record) {
 	s.sorted.Handle(r)
 	for _, w := range s.Windows {
 		w.Handle(r)
+	}
+}
+
+// HandleBatch implements trace.BatchHandler: each collector sweeps the whole
+// block in a tight loop instead of being re-entered once per record.
+func (s *Suite) HandleBatch(rs []trace.Record) {
+	s.Count.HandleBatch(rs)
+	s.Sizes.HandleBatch(rs)
+	s.Minutes.HandleBatch(rs)
+	s.Flows.HandleBatch(rs)
+	s.VT.HandleBatch(rs)
+	s.Kinds.HandleBatch(rs)
+	s.sorted.HandleBatch(rs)
+	for _, w := range s.Windows {
+		w.HandleBatch(rs)
 	}
 }
 
@@ -197,4 +212,7 @@ func PerSlotKbs(t TableII, slots int) float64 {
 	return t.MeanBW.Kbs() / float64(slots)
 }
 
-var _ trace.Handler = (*Suite)(nil)
+var (
+	_ trace.Handler      = (*Suite)(nil)
+	_ trace.BatchHandler = (*Suite)(nil)
+)

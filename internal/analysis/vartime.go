@@ -58,6 +58,33 @@ func (v *VarTime) Handle(r trace.Record) {
 	}
 }
 
+// HandleBatch implements trace.BatchHandler.
+func (v *VarTime) HandleBatch(rs []trace.Record) {
+	if len(rs) == 0 {
+		return
+	}
+	v.started = true
+	ring := v.ring
+	n := int64(len(ring))
+	base := v.base
+	head, maxIdx := v.head, v.maxIdx
+	for _, r := range rs {
+		idx := int64(r.T / base)
+		if idx < head {
+			idx = head
+		}
+		for idx >= head+n {
+			v.flushOne()
+			head = v.head
+		}
+		ring[idx%n]++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	v.maxIdx = maxIdx
+}
+
 func (v *VarTime) flushOne() {
 	slot := v.head % int64(len(v.ring))
 	v.ladder.Add(v.ring[slot])

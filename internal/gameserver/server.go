@@ -41,6 +41,15 @@ type Config struct {
 	// timestamped relative to server start. It is called from the server
 	// goroutines; implementations must be fast and thread-safe.
 	Tap func(r trace.Record)
+	// BatchTap, if set, takes precedence over Tap and receives records in
+	// blocks: the synchronous tick broadcast arrives as one block per
+	// tick (the paper's 50 ms burst, preserved as a unit), and other
+	// datagrams coalesce into blocks delivered at least once per tick —
+	// so a record may trail its datagram by up to one TickInterval.
+	// Records carry capture timestamps, and implementations must copy
+	// any records they retain. Called from the server goroutines;
+	// implementations must be fast and thread-safe.
+	BatchTap trace.BatchHandler
 }
 
 // DefaultConfig returns a 22-slot, 50 ms server on an ephemeral port.
@@ -91,6 +100,11 @@ type Server struct {
 	stats       Stats
 	nextSession uint32
 
+	// tapSink coalesces per-datagram tap records into blocks when a
+	// BatchTap is configured; the tick loop flushes it every tick and
+	// Close flushes it a final time.
+	tapSink *trace.LockedBatcher
+
 	closed chan struct{}
 	once   sync.Once
 }
@@ -117,6 +131,9 @@ func Listen(cfg Config) (*Server, error) {
 		clients: make(map[netip.AddrPort]*clientState),
 		closed:  make(chan struct{}),
 	}
+	if cfg.BatchTap != nil {
+		s.tapSink = trace.NewLockedBatcher(cfg.BatchTap)
+	}
 	for id := cfg.Slots - 1; id >= 0; id-- {
 		s.freeIDs = append(s.freeIDs, uint8(id))
 	}
@@ -142,10 +159,14 @@ func (s *Server) Serve(ctx context.Context) error {
 	<-ctx.Done()
 	s.Close()
 	wg.Wait()
+	// Final flush after both loops have stopped, so records tapped while
+	// the shutdown raced the loops still reach the BatchTap.
+	s.FlushTap()
 	return nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down. When Serve is not used, call FlushTap after
+// the processing goroutines stop to deliver any coalesced tap records.
 func (s *Server) Close() error {
 	var err error
 	s.once.Do(func() {
@@ -153,6 +174,14 @@ func (s *Server) Close() error {
 		err = s.conn.Close()
 	})
 	return err
+}
+
+// FlushTap delivers any coalesced BatchTap records immediately. Serve calls
+// it automatically after its loops exit.
+func (s *Server) FlushTap() {
+	if s.tapSink != nil {
+		s.tapSink.Flush()
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -170,28 +199,42 @@ func (s *Server) NumClients() int {
 }
 
 func (s *Server) tap(dir trace.Direction, kind trace.Kind, session uint32, n int) {
-	if s.cfg.Tap == nil {
+	if s.tapSink == nil && s.cfg.Tap == nil {
 		return
 	}
-	s.cfg.Tap(trace.Record{
+	r := trace.Record{
 		T:      time.Since(s.start),
 		Dir:    dir,
 		Kind:   kind,
 		Client: session,
 		App:    uint16(n),
-	})
+	}
+	if s.tapSink != nil {
+		s.tapSink.Handle(r) // coalesced; flushed each tick and on Close
+		return
+	}
+	s.cfg.Tap(r)
 }
 
+// send writes one datagram and taps it individually. The tick broadcast
+// bypasses it to tap the whole burst as one block.
 func (s *Server) send(addr netip.AddrPort, kind trace.Kind, session uint32, payload []byte) {
+	n, ok := s.write(addr, payload)
+	if ok {
+		s.tap(trace.Out, kind, session, n)
+	}
+}
+
+func (s *Server) write(addr netip.AddrPort, payload []byte) (int, bool) {
 	n, err := s.conn.WriteTo(payload, net.UDPAddrFromAddrPort(addr))
 	if err != nil {
-		return
+		return 0, false
 	}
 	s.mu.Lock()
 	s.stats.PacketsOut++
 	s.stats.BytesOut += int64(n)
 	s.mu.Unlock()
-	s.tap(trace.Out, kind, session, n)
+	return n, true
 }
 
 func (s *Server) readLoop() {
@@ -361,6 +404,7 @@ func (s *Server) tickLoop(ctx context.Context) {
 	defer ticker.Stop()
 	var tick uint32
 	events := make([]byte, 0, 64)
+	burst := make([]trace.Record, 0, s.cfg.Slots)
 	for {
 		select {
 		case <-ctx.Done():
@@ -408,6 +452,11 @@ func (s *Server) tickLoop(ctx context.Context) {
 		for _, addr := range stale {
 			s.removeClient(addr, true)
 		}
+		if s.tapSink != nil {
+			// Per-tick latency bound for coalesced records, broadcast
+			// or not.
+			s.tapSink.Flush()
+		}
 		if len(targets) == 0 {
 			continue
 		}
@@ -416,8 +465,28 @@ func (s *Server) tickLoop(ctx context.Context) {
 			continue
 		}
 		// Back-to-back burst to every client: the paper's periodic spike.
-		for _, t := range targets {
-			s.send(t.addr, trace.KindGame, t.session, msg)
+		// With a BatchTap the whole burst taps as one block, so the
+		// 50 ms spike reaches the analysis pipeline as the unit it is;
+		// delivering it through the sink also flushes any coalesced
+		// per-datagram records first, keeping the tick latency bound.
+		if s.tapSink != nil {
+			burst = burst[:0]
+			for _, t := range targets {
+				if n, ok := s.write(t.addr, msg); ok {
+					burst = append(burst, trace.Record{
+						T:      time.Since(s.start),
+						Dir:    trace.Out,
+						Kind:   trace.KindGame,
+						Client: t.session,
+						App:    uint16(n),
+					})
+				}
+			}
+			s.tapSink.HandleBatch(burst)
+		} else {
+			for _, t := range targets {
+				s.send(t.addr, trace.KindGame, t.session, msg)
+			}
 		}
 	}
 }

@@ -104,6 +104,7 @@ type player struct {
 type sim struct {
 	cfg    Config
 	h      trace.Handler
+	bat    *trace.Batcher // per-tick emission block, flushed to h
 	ev     EventFunc
 	kernel eventsim.Sim
 
@@ -172,6 +173,11 @@ func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
 		// Control plane only: no per-tick traffic.
 		s.kernel.RunUntil(total)
 	} else {
+		// Records accumulate into a pooled block and flush once per tick:
+		// downstream batch handlers see one slab per tick window instead
+		// of one virtual call per record.
+		s.bat = trace.NewBatcher(trace.Batch(h))
+		defer s.bat.Close()
 		dt := cfg.TickInterval
 		for t := time.Duration(0); t < total; t += dt {
 			s.window = t
@@ -181,6 +187,7 @@ func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
 				end = total
 			}
 			s.generateWindow(t, end)
+			s.bat.Flush()
 		}
 	}
 	s.finish()
@@ -212,7 +219,7 @@ func (s *sim) emit(r trace.Record) {
 		return
 	}
 	r.T -= s.cfg.Warmup
-	s.h.Handle(r)
+	s.bat.Handle(r)
 	if r.Dir == trace.In {
 		s.stats.PacketsIn++
 		s.stats.AppBytesIn += int64(r.App)

@@ -40,6 +40,7 @@ type Writer struct {
 	last  time.Duration
 	wrote bool
 	n     int64
+	err   error // first encode/IO error; latched for Handle paths
 	buf   [3*binary.MaxVarintLen64 + 1]byte
 }
 
@@ -49,8 +50,25 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // Handle implements Handler, so a Writer can sit at the end of a pipeline.
-// Encoding errors surface on Flush.
-func (w *Writer) Handle(r Record) { _ = w.Write(r) }
+// The first encoding error latches and surfaces from Err and Flush.
+func (w *Writer) Handle(r Record) {
+	if w.err == nil {
+		w.err = w.Write(r)
+	}
+}
+
+// HandleBatch implements BatchHandler.
+func (w *Writer) HandleBatch(rs []Record) {
+	for _, r := range rs {
+		if w.err != nil {
+			return
+		}
+		w.err = w.Write(r)
+	}
+}
+
+// Err returns the first error latched by Handle or HandleBatch.
+func (w *Writer) Err() error { return w.err }
 
 // Write encodes one record.
 func (w *Writer) Write(r Record) error {
@@ -83,8 +101,12 @@ func (w *Writer) Write(r Record) error {
 // Count returns the number of records written.
 func (w *Writer) Count() int64 { return w.n }
 
-// Flush flushes buffered output. Call it once after the last Write.
+// Flush flushes buffered output, surfacing any error latched by the Handle
+// paths first. Call it once after the last Write.
 func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
 	if !w.wrote {
 		// An empty trace still gets a header.
 		if _, err := w.w.WriteString(magic); err != nil {
@@ -167,8 +189,11 @@ func (r *Reader) Read() (Record, error) {
 	}, nil
 }
 
-// ReadAll drains the stream into h, returning the record count.
+// ReadAll drains the stream into h in BlockSize batches, returning the
+// record count. On error, records decoded before the error still reach h.
 func (r *Reader) ReadAll(h Handler) (int64, error) {
+	bat := NewBatcher(Batch(h))
+	defer bat.Close()
 	var n int64
 	for {
 		rec, err := r.Read()
@@ -178,7 +203,7 @@ func (r *Reader) ReadAll(h Handler) (int64, error) {
 		if err != nil {
 			return n, err
 		}
-		h.Handle(rec)
+		bat.Handle(rec)
 		n++
 	}
 }

@@ -143,6 +143,8 @@ func readFrames(pr frameReader, serverAddr netip.Addr, serverPort uint16, h Hand
 	var decoded []packet.LayerType
 	var start time.Time
 	clientIDs := make(map[packet.Endpoint]uint32)
+	bat := NewBatcher(Batch(h))
+	defer bat.Close()
 	for {
 		ci, data, err := pr.ReadPacket()
 		if err == io.EOF {
@@ -177,7 +179,7 @@ func readFrames(pr frameReader, serverAddr netip.Addr, serverPort uint16, h Hand
 		if start.IsZero() {
 			start = ci.Timestamp
 		}
-		h.Handle(Record{
+		bat.Handle(Record{
 			T:      ci.Timestamp.Sub(start),
 			Dir:    dir,
 			Client: id,

@@ -2,23 +2,37 @@ package trace
 
 import (
 	"container/heap"
+	"slices"
 	"time"
 )
 
 // SortBuffer restores strict time order to a record stream whose disorder is
 // bounded (the generator interleaves per-client schedules within one server
-// tick). Records are held in a min-heap and released once the stream's
-// high-water mark has moved slack past them; ties release in arrival order.
+// tick). Records are released once the stream's high-water mark has moved
+// slack past them; ties release in arrival order.
+//
+// The per-record path holds records in a min-heap. The batch path instead
+// appends arrivals to an unsorted pending buffer and, on release, partitions
+// out the eligible records and sorts just those — the input is nearly sorted,
+// so the sort is close to linear, and it touches each record once instead of
+// paying a heap sift on every insert. Both paths share one total order
+// (timestamp, then arrival sequence), so they interleave freely and emit
+// identical streams.
 //
 // Consumers that need exact ordering — the binary trace writer, the NAT
 // queueing model — sit behind a SortBuffer; order-insensitive collectors
 // (histograms, binners) do not pay for one.
 type SortBuffer struct {
-	slack   time.Duration
-	next    Handler
-	maxSeen time.Duration
-	h       sortHeap
-	seq     uint64
+	slack    time.Duration
+	next     Handler
+	maxSeen  time.Duration
+	h        sortHeap   // record-path arrivals (heap order)
+	pend     []sortItem // batch-path arrivals (unsorted)
+	seq      uint64
+	scratch  Block      // reused downstream release buffer
+	eligible []sortItem // reused partition buffer
+	keys     []uint64   // reused packed sort keys
+	sorted   []sortItem // reused gather buffer
 }
 
 // NewSortBuffer creates a buffer releasing records slack behind the
@@ -29,6 +43,15 @@ func NewSortBuffer(slack time.Duration, next Handler) *SortBuffer {
 
 // Handle implements Handler.
 func (s *SortBuffer) Handle(r Record) {
+	if len(s.pend) > 0 {
+		// Mixed feeds: fold pending batch arrivals into the heap once,
+		// so the per-record path keeps its O(log n) cost instead of
+		// rescanning the pending buffer on every packet.
+		for _, it := range s.pend {
+			s.h.pushItem(it)
+		}
+		s.pend = s.pend[:0]
+	}
 	heap.Push(&s.h, sortItem{r: r, seq: s.seq})
 	s.seq++
 	if r.T > s.maxSeen {
@@ -39,16 +62,143 @@ func (s *SortBuffer) Handle(r Record) {
 	}
 }
 
+// HandleBatch implements BatchHandler.
+func (s *SortBuffer) HandleBatch(rs []Record) {
+	for _, r := range rs {
+		s.pend = append(s.pend, sortItem{r: r, seq: s.seq})
+		s.seq++
+		if r.T > s.maxSeen {
+			s.maxSeen = r.T
+		}
+	}
+	s.release(s.maxSeen - s.slack)
+}
+
+// release emits every buffered record with T <= watermark, in total order,
+// delivering them downstream in blocks.
+func (s *SortBuffer) release(watermark time.Duration) {
+	// Partition the pending buffer: eligible records move to the reusable
+	// side buffer, the rest compact in place. The same pass tracks the
+	// eligible time range and whether any inversion exists at all.
+	elig := s.eligible[:0]
+	var minT, maxT time.Duration
+	inverted := false
+	if len(s.pend) > 0 {
+		keep := s.pend[:0]
+		prevT := time.Duration(-1 << 62)
+		for _, it := range s.pend {
+			if it.r.T <= watermark {
+				if len(elig) == 0 {
+					minT, maxT = it.r.T, it.r.T
+				} else {
+					if it.r.T < prevT {
+						inverted = true
+					}
+					if it.r.T < minT {
+						minT = it.r.T
+					}
+					if it.r.T > maxT {
+						maxT = it.r.T
+					}
+				}
+				prevT = it.r.T
+				elig = append(elig, it)
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		s.pend = keep
+	}
+	heapReady := len(s.h) > 0 && s.h[0].r.T <= watermark
+	if len(elig) == 0 && !heapReady {
+		s.eligible = elig
+		return
+	}
+	if inverted {
+		elig = s.sortEligible(elig, minT, maxT)
+	}
+
+	if cap(s.scratch) == 0 {
+		s.scratch = make(Block, 0, BlockSize)
+	}
+	blk := s.scratch[:0]
+	i := 0
+	for {
+		heapReady = len(s.h) > 0 && s.h[0].r.T <= watermark
+		pendReady := i < len(elig)
+		if !heapReady && !pendReady {
+			break
+		}
+		var it sortItem
+		switch {
+		case heapReady && pendReady:
+			if s.h[0].r.T < elig[i].r.T ||
+				(s.h[0].r.T == elig[i].r.T && s.h[0].seq < elig[i].seq) {
+				it = s.h.popItem()
+			} else {
+				it = elig[i]
+				i++
+			}
+		case heapReady:
+			it = s.h.popItem()
+		default:
+			it = elig[i]
+			i++
+		}
+		blk = append(blk, it.r)
+		if len(blk) == cap(blk) {
+			Dispatch(s.next, blk)
+			blk = blk[:0]
+		}
+	}
+	Dispatch(s.next, blk)
+	s.scratch = blk[:0]
+	s.eligible = elig[:0]
+}
+
+// sortEligible stable-sorts the eligible records by timestamp. Entries
+// arrive in sequence order, so a stable sort by T alone reproduces the
+// (T, seq) total order. The common case packs (T−minT, index) into native
+// uint64 keys and sorts those — no comparison closure — falling back to a
+// comparator sort when the range or count overflows the packing.
+func (s *SortBuffer) sortEligible(elig []sortItem, minT, maxT time.Duration) []sortItem {
+	const idxBits = 16
+	n := len(elig)
+	if n <= 1<<idxBits && uint64(maxT-minT) < 1<<(64-idxBits-1) {
+		keys := s.keys[:0]
+		for i, it := range elig {
+			keys = append(keys, uint64(it.r.T-minT)<<idxBits|uint64(i))
+		}
+		slices.Sort(keys)
+		out := s.sorted[:0]
+		for _, k := range keys {
+			out = append(out, elig[k&(1<<idxBits-1)])
+		}
+		s.keys = keys[:0]
+		s.sorted, s.eligible = elig[:0], out[:0] // swap the reusable buffers
+		return out
+	}
+	slices.SortStableFunc(elig, func(a, b sortItem) int {
+		switch {
+		case a.r.T < b.r.T:
+			return -1
+		case a.r.T > b.r.T:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return elig
+}
+
 // Flush releases everything still buffered, in order. Call once after the
 // last record.
 func (s *SortBuffer) Flush() {
-	for len(s.h) > 0 {
-		s.next.Handle(heap.Pop(&s.h).(sortItem).r)
-	}
+	s.release(1<<63 - 1)
 }
 
 // Pending returns the number of buffered records.
-func (s *SortBuffer) Pending() int { return len(s.h) }
+func (s *SortBuffer) Pending() int { return len(s.h) + len(s.pend) }
 
 type sortItem struct {
 	r   Record
@@ -72,4 +222,48 @@ func (h *sortHeap) Pop() any {
 	it := old[n-1]
 	*h = old[:n-1]
 	return it
+}
+
+// pushItem is the non-boxing equivalent of heap.Push, used when folding
+// batch arrivals into the heap; it maintains the same binary-heap invariant.
+func (h *sortHeap) pushItem(it sortItem) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.Less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+// popItem is the non-boxing equivalent of heap.Pop used by release; it
+// maintains the same binary-heap invariant, so the two paths mix freely.
+func (h *sortHeap) popItem() sortItem {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.Less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
 }

@@ -101,22 +101,56 @@ type HandlerFunc func(Record)
 // Handle implements Handler.
 func (f HandlerFunc) Handle(r Record) { f(r) }
 
+// Fanout delivers one stream to several handlers in order, on the batch
+// path whenever a downstream supports it.
+type Fanout struct{ hs []Handler }
+
 // Tee fans one stream out to several handlers in order.
-func Tee(hs ...Handler) Handler {
-	return HandlerFunc(func(r Record) {
-		for _, h := range hs {
-			h.Handle(r)
-		}
-	})
+func Tee(hs ...Handler) *Fanout { return &Fanout{hs: hs} }
+
+// Handle implements Handler.
+func (f *Fanout) Handle(r Record) {
+	for _, h := range f.hs {
+		h.Handle(r)
+	}
+}
+
+// HandleBatch implements BatchHandler.
+func (f *Fanout) HandleBatch(rs []Record) {
+	for _, h := range f.hs {
+		Dispatch(h, rs)
+	}
+}
+
+// FilterHandler passes through only records matching its predicate.
+type FilterHandler struct {
+	keep    func(Record) bool
+	next    Handler
+	scratch Block
 }
 
 // Filter passes through only records matching keep.
-func Filter(keep func(Record) bool, next Handler) Handler {
-	return HandlerFunc(func(r Record) {
-		if keep(r) {
-			next.Handle(r)
+func Filter(keep func(Record) bool, next Handler) *FilterHandler {
+	return &FilterHandler{keep: keep, next: next}
+}
+
+// Handle implements Handler.
+func (f *FilterHandler) Handle(r Record) {
+	if f.keep(r) {
+		f.next.Handle(r)
+	}
+}
+
+// HandleBatch implements BatchHandler: matching records compact into a
+// scratch block delivered downstream in one call.
+func (f *FilterHandler) HandleBatch(rs []Record) {
+	f.scratch = f.scratch[:0]
+	for _, r := range rs {
+		if f.keep(r) {
+			f.scratch = append(f.scratch, r)
 		}
-	})
+	}
+	Dispatch(f.next, f.scratch)
 }
 
 // Collect appends records to a slice; convenient in tests and for small
@@ -126,10 +160,16 @@ type Collect struct{ Records []Record }
 // Handle implements Handler.
 func (c *Collect) Handle(r Record) { c.Records = append(c.Records, r) }
 
+// HandleBatch implements BatchHandler.
+func (c *Collect) HandleBatch(rs []Record) { c.Records = append(c.Records, rs...) }
+
 // Merge interleaves multiple individually time-sorted record slices into a
-// single time-sorted stream delivered to h. Ties preserve argument order.
+// single time-sorted stream delivered to h in BlockSize batches. Ties
+// preserve argument order.
 func Merge(h Handler, streams ...[]Record) {
 	idx := make([]int, len(streams))
+	bat := NewBatcher(Batch(h))
+	defer bat.Close()
 	for {
 		best := -1
 		var bestT time.Duration
@@ -145,7 +185,7 @@ func Merge(h Handler, streams ...[]Record) {
 		if best == -1 {
 			return
 		}
-		h.Handle(streams[best][idx[best]])
+		bat.Handle(streams[best][idx[best]])
 		idx[best]++
 	}
 }
