@@ -431,6 +431,35 @@ func BenchmarkPipelineSharded(b *testing.B) {
 	})
 }
 
+// BenchmarkScenario measures fleet-scale throughput: 4 servers generated
+// concurrently, k-way merged, and analyzed by a sharded aggregate suite —
+// the whole -mode scenario path. The headline metric is merged Mrec/s.
+func BenchmarkScenario(b *testing.B) {
+	var n int64
+	var perSlot float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunScenario(ScenarioConfig{
+			Spec: Scenario{
+				Seed:      uint64(i + 1),
+				Servers:   4,
+				Duration:  benchWindow,
+				Warmup:    5 * time.Minute,
+				SlotMix:   []int{22, 32, 16},
+				SpikeMult: 6,
+				RateScale: 5,
+			},
+			Parallelism: runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += res.Aggregate.TableII.TotalPackets
+		perSlot = res.PerSlotKbs()
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+	b.ReportMetric(perSlot, "kbs/slot")
+}
+
 // BenchmarkGeneratorThroughput measures raw generation speed: how fast the
 // half-billion-packet week can be regenerated.
 func BenchmarkGeneratorThroughput(b *testing.B) {

@@ -12,6 +12,7 @@
 //	cstrace -mode web   -seed 1            web/TCP baseline through the NAT device
 //	cstrace -mode aggregate -seed 1        population self-similarity study
 //	cstrace -mode provision                capacity planning from the paper's budget
+//	cstrace -mode scenario -servers 8      multi-server fleet: merged aggregate analysis
 package main
 
 import (
@@ -39,13 +40,17 @@ func main() {
 	log.SetPrefix("cstrace: ")
 
 	var (
-		mode     = flag.String("mode", "quick", "week | quick | nat | gen | analyze | pcap | web | aggregate | provision")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		duration = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web)")
-		inFile   = flag.String("in", "", "input trace file (analyze)")
-		outFile  = flag.String("out", "", "output file (gen/pcap; .pcapng selects pcapng)")
-		players  = flag.Int("players", 100000, "target concurrent players (provision)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze; 1 = single-threaded)")
+		mode      = flag.String("mode", "quick", "week | quick | nat | gen | analyze | pcap | web | aggregate | provision | scenario")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		duration  = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
+		inFile    = flag.String("in", "", "input trace file (analyze)")
+		outFile   = flag.String("out", "", "output file (gen/pcap; .pcapng selects pcapng)")
+		players   = flag.Int("players", 100000, "target concurrent players (provision)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
+		servers   = flag.Int("servers", 8, "fleet size (scenario)")
+		stagger   = flag.Duration("stagger", 0, "per-server launch stagger (scenario)")
+		spike     = flag.Float64("spike", 6, "launch-day arrival surge multiplier (scenario; <=1 disables)")
+		perServer = flag.Bool("perserver", false, "print the per-server breakdown with per-box suites (scenario)")
 	)
 	flag.Parse()
 
@@ -70,6 +75,8 @@ func main() {
 		err = runAggregate(*seed)
 	case "provision":
 		err = runProvision(*players)
+	case "scenario":
+		err = runScenario(*seed, *servers, *duration, *stagger, *spike, *parallel, *perServer)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -161,8 +168,10 @@ func runAnalyze(in string, parallel int) error {
 	if err != nil {
 		return err
 	}
+	// The prefetching read path decodes the next block on its own
+	// goroutine while this one runs the collectors.
 	sink, closeSink := suite.Sink(parallel)
-	n, err := trace.NewReader(f).ReadAll(sink)
+	n, err := trace.NewReader(f).ReadAllPrefetch(sink)
 	closeSink()
 	if err != nil {
 		return err
@@ -255,6 +264,40 @@ func runAggregate(seed uint64) error {
 	fmt.Printf("  exponential sessions   : H = %.3f (theory 0.50)\n", res.Exp.H)
 	fmt.Println("heavy-tailed user sessions make aggregate game traffic long-range")
 	fmt.Println("dependent even though each busy server is individually predictable.")
+	return nil
+}
+
+func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel int, perServer bool) error {
+	cfg := cstrace.LaunchDay(seed, servers)
+	if duration > 0 {
+		cfg.Spec.Duration = duration
+	}
+	cfg.Spec.Stagger = stagger
+	cfg.Spec.SpikeMult = spike
+	cfg.Parallelism = parallel
+	cfg.PerServer = perServer
+	res, err := cstrace.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if perServer {
+		// Per-box suites run on each server's own clock: the paper's
+		// single-server predictability, once per box.
+		fmt.Println("Per-server suites (local clock)")
+		fmt.Println("-------------------------------")
+		for _, s := range res.Servers {
+			t2 := s.Suite.Count.TableII(s.Game.Duration)
+			fmt.Printf("  %-8s %8.1f kbs mean  %6.1f kbs/slot  %7.0f pps  in:out pkts %.2f\n",
+				s.Name, t2.MeanBW.Kbs(), t2.MeanBW.Kbs()/float64(s.Game.Slots),
+				float64(t2.MeanPPS), float64(t2.PacketsIn)/float64(t2.PacketsOut))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("Fleet: %d servers, %d slots, %.1f kbs/slot aggregate (paper: ~40 kbs)\n",
+		len(res.Servers), res.TotalSlots(), res.PerSlotKbs())
 	return nil
 }
 

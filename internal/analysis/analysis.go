@@ -7,6 +7,17 @@
 // All collectors run in a single pass over the record stream in bounded
 // memory, so the full half-billion-packet reproduction streams straight from
 // the generator without materializing a trace.
+//
+// Suite bundles every collector behind one trace.Handler/BatchHandler;
+// the batch path sweeps whole trace.Blocks through each collector in
+// tight loops. Shard splits the suite's collectors into independent
+// groups on worker goroutines fed by refcounted block fan-out — results
+// are byte-identical to single-threaded runs because every collector
+// still sees every record in stream order. Suite.Sink picks the mode
+// from a parallelism knob. Order-sensitive collectors (Interarrival,
+// Periodicity) sit behind an internal trace.SortBuffer; Observe feeds
+// session lifecycle events to the player series independently of the
+// record stream. See docs/ARCHITECTURE.md for the data-flow picture.
 package analysis
 
 import (

@@ -61,6 +61,16 @@ type Config struct {
 	// establishing (5,886).
 	TouristFrac float64
 
+	// Launch-day surge (the "Microsoft or Sony launch" provisioning
+	// scenario of §V): the fresh-attempt rate is additionally multiplied
+	// by 1 + (SpikeMult−1)·exp(−t/SpikeDecay), t measured from the start
+	// of the recorded window. SpikeMult ≤ 1 (or 0) disables the surge;
+	// during warm-up the full SpikeMult applies, so the server opens its
+	// doors to release-day demand already formed. SpikeDecay must be
+	// positive when SpikeMult > 1.
+	SpikeMult  float64
+	SpikeDecay time.Duration
+
 	// Client command stream.
 	CmdRate      float64      // inbound packets/sec per ordinary client
 	CmdJitter    float64      // fractional jitter on the inter-command gap
@@ -137,6 +147,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Warmup < 0 || c.Warmup%c.TickInterval != 0 {
 		return errors.New("gamesim: Warmup must be a non-negative multiple of TickInterval")
+	}
+	if c.SpikeMult > 1 && c.SpikeDecay <= 0 {
+		return errors.New("gamesim: SpikeDecay must be positive when SpikeMult > 1")
 	}
 	for _, o := range c.Outages {
 		if o.At < 0 || o.Duration <= 0 || o.At+o.Duration > c.Duration {

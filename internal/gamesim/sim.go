@@ -250,9 +250,13 @@ func (s *sim) integrateCount(now time.Duration) {
 
 // scheduleFreshArrival draws the next fresh attempt from the diurnal
 // non-homogeneous Poisson process by Lewis-Shedler thinning: candidate gaps
-// at the peak rate, kept with probability λ(t)/λmax.
+// at the peak rate, kept with probability λ(t)/λmax. The launch-spike
+// multiplier raises λmax so the surged rate is still properly bounded.
 func (s *sim) scheduleFreshArrival() {
 	peak := s.cfg.AttemptRate * (1 + s.cfg.DiurnalAmp)
+	if s.cfg.SpikeMult > 1 {
+		peak *= s.cfg.SpikeMult
+	}
 	gap := time.Duration(s.rng.ExpFloat64() / peak * float64(time.Second))
 	s.kernel.After(gap, func(now time.Duration) {
 		if s.rng.Float64()*peak <= s.attemptRate(now) {
@@ -269,14 +273,24 @@ func (s *sim) scheduleFreshArrival() {
 	})
 }
 
-// attemptRate is the instantaneous fresh-attempt rate λ(t).
+// attemptRate is the instantaneous fresh-attempt rate λ(t): the base rate
+// modulated by the diurnal swing and, when configured, the decaying
+// launch-day surge.
 func (s *sim) attemptRate(t time.Duration) float64 {
-	if s.cfg.DiurnalAmp == 0 {
-		return s.cfg.AttemptRate
+	rate := s.cfg.AttemptRate
+	if s.cfg.DiurnalAmp != 0 {
+		const day = 24 * time.Hour
+		phase := 2 * math.Pi * float64(t-s.cfg.Warmup-s.cfg.DiurnalPeak) / float64(day)
+		rate *= 1 + s.cfg.DiurnalAmp*math.Cos(phase)
 	}
-	const day = 24 * time.Hour
-	phase := 2 * math.Pi * float64(t-s.cfg.Warmup-s.cfg.DiurnalPeak) / float64(day)
-	return s.cfg.AttemptRate * (1 + s.cfg.DiurnalAmp*math.Cos(phase))
+	if s.cfg.SpikeMult > 1 {
+		rel := t - s.cfg.Warmup
+		if rel < 0 {
+			rel = 0 // the queue outside the doors: warm-up sees full surge
+		}
+		rate *= 1 + (s.cfg.SpikeMult-1)*math.Exp(-float64(rel)/float64(s.cfg.SpikeDecay))
+	}
+	return rate
 }
 
 // attemptOnce processes one connection attempt; mayRetry distinguishes

@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/gamesim"
+	"cstrace/internal/trace"
+)
+
+// streamDepth bounds each server's in-flight block channel: enough to keep
+// the generator ahead of the merge, small enough that a fast server
+// backpressures instead of buffering its whole trace.
+const streamDepth = 4
+
+// fleetBlock is one per-tick block from one server, tagged for the merge.
+// Per-server block order needs no tag: each stream's channel is FIFO and
+// the merge holds exactly one head block per stream.
+type fleetBlock struct {
+	recs trace.Block
+	minT time.Duration // minimum timestamp in recs (offset applied)
+}
+
+var fleetBlockPool = sync.Pool{
+	New: func() any {
+		return &fleetBlock{recs: make(trace.Block, 0, trace.BlockSize)}
+	},
+}
+
+// serverSink receives one server's per-tick batches on its worker
+// goroutine: each batch feeds the optional per-server suite in local time,
+// then a time-shifted copy is tagged and sent to the merge.
+type serverSink struct {
+	out    chan<- *fleetBlock
+	offset time.Duration
+	per    *analysis.Suite // may be nil
+}
+
+// HandleBatch implements trace.BatchHandler.
+func (s *serverSink) HandleBatch(rs []trace.Record) {
+	if len(rs) == 0 {
+		return
+	}
+	if s.per != nil {
+		s.per.HandleBatch(rs)
+	}
+	blk := fleetBlockPool.Get().(*fleetBlock)
+	blk.recs = append(blk.recs[:0], rs...)
+	if s.offset != 0 {
+		for i := range blk.recs {
+			blk.recs[i].T += s.offset
+		}
+	}
+	minT := blk.recs[0].T
+	for _, r := range blk.recs[1:] {
+		if r.T < minT {
+			minT = r.T
+		}
+	}
+	blk.minT = minT
+	s.out <- blk
+}
+
+// Handle implements trace.Handler (the generator emits whole blocks, but
+// keep the record path correct for any per-record producer).
+func (s *serverSink) Handle(r trace.Record) { s.HandleBatch([]trace.Record{r}) }
+
+// taggedEvent carries a session event through the cross-server event merge.
+type taggedEvent struct {
+	ev     gamesim.SessionEvent
+	server int
+}
+
+// ServerResult is one server's share of a fleet run.
+type ServerResult struct {
+	Name  string
+	Game  gamesim.Config
+	Stats gamesim.Stats
+	// Suite is the server's own closed analysis suite (timestamps in the
+	// server's local clock); nil unless Config.PerServer.
+	Suite *analysis.Suite
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	// Horizon is the fleet trace length.
+	Horizon time.Duration
+	// Suite is the closed aggregate suite over the merged stream.
+	Suite *analysis.Suite
+	// Stats sums the per-server generator statistics over the horizon.
+	Stats gamesim.Stats
+	// Servers holds per-server stats (and suites when requested).
+	Servers []ServerResult
+}
+
+// mergeHead is one stream's current block in the merge heap.
+type mergeHead struct {
+	blk    *fleetBlock
+	server int
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].blk.minT != h[j].blk.minT {
+		return h[i].blk.minT < h[j].blk.minT
+	}
+	return h[i].server < h[j].server
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Run simulates the fleet: every server generates on its own goroutine, the
+// per-tick blocks merge deterministically by (min timestamp, server index),
+// and the merged stream drives the aggregate suite. The merge order depends
+// only on the generated data, never on goroutine scheduling, so results are
+// byte-identical across runs and Parallelism settings.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	horizon := cfg.Horizon()
+	if cfg.Suite.Duration == 0 {
+		cfg.Suite = analysis.DefaultSuiteConfig(horizon)
+	}
+	suite, err := analysis.NewSuite(cfg.Suite)
+	if err != nil {
+		return nil, err
+	}
+	sink, closeSink := suite.Sink(cfg.Parallelism)
+	if cfg.Extra != nil {
+		sink = trace.Tee(sink, cfg.Extra)
+	}
+
+	n := len(cfg.Servers)
+	res := &Result{Horizon: horizon, Suite: suite, Servers: make([]ServerResult, n)}
+	chans := make([]chan *fleetBlock, n)
+	events := make([][]taggedEvent, n)
+	errs := make([]error, n)
+
+	for i, sp := range cfg.Servers {
+		chans[i] = make(chan *fleetBlock, streamDepth)
+		var per *analysis.Suite
+		if cfg.PerServer {
+			if per, err = analysis.NewSuite(analysis.DefaultSuiteConfig(sp.Game.Duration)); err != nil {
+				closeSink()
+				return nil, err
+			}
+		}
+		res.Servers[i] = ServerResult{Name: sp.Name, Game: sp.Game, Suite: per}
+	}
+
+	var wg sync.WaitGroup
+	for i, sp := range cfg.Servers {
+		wg.Add(1)
+		go func(i int, sp ServerSpec, per *analysis.Suite) {
+			defer wg.Done()
+			defer close(chans[i])
+			ss := &serverSink{out: chans[i], offset: sp.StartOffset, per: per}
+			ev := func(e gamesim.SessionEvent) {
+				if per != nil {
+					per.Observe(e)
+				}
+				e.T += sp.StartOffset
+				events[i] = append(events[i], taggedEvent{ev: e, server: i})
+			}
+			st, err := gamesim.Run(sp.Game, ss, ev)
+			if per != nil {
+				per.Close()
+			}
+			res.Servers[i].Stats = st
+			errs[i] = err
+		}(i, sp, res.Servers[i].Suite)
+	}
+
+	// K-way merge on this goroutine: hold one head block per live stream,
+	// repeatedly emit the (minT, server) minimum and refill that stream.
+	// Channels are FIFO, so per-server block order is preserved no matter
+	// what the tags say; the heap only decides the interleave.
+	var h mergeHeap
+	for i, ch := range chans {
+		if blk, ok := <-ch; ok {
+			h = append(h, mergeHead{blk: blk, server: i})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		head := h[0]
+		trace.Dispatch(sink, head.blk.recs)
+		fleetBlockPool.Put(head.blk)
+		if blk, ok := <-chans[head.server]; ok {
+			h[0] = mergeHead{blk: blk, server: head.server}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			closeSink()
+			return nil, err
+		}
+	}
+
+	// Feed the aggregate player series the cross-server event merge in
+	// (T, server) order, then finalize. PlayerSeries is independent of the
+	// record stream, so feeding it after the records changes nothing.
+	mergeEvents(events, func(te taggedEvent) { suite.Observe(te.ev) })
+	closeSink()
+
+	res.Stats = aggregateStats(res, horizon)
+	return res, nil
+}
+
+// mergeEvents merges the per-server event slices (each already in time
+// order) by (T, server index) and feeds them to emit.
+func mergeEvents(streams [][]taggedEvent, emit func(taggedEvent)) {
+	idx := make([]int, len(streams))
+	for {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best == -1 || s[idx[i]].ev.T < streams[best][idx[best]].ev.T {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		emit(streams[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// aggregateStats sums per-server generator statistics into fleet totals
+// over the fleet horizon. MaxConcurrent sums the per-server maxima — the
+// fleet's peak occupancy upper bound.
+func aggregateStats(res *Result, horizon time.Duration) gamesim.Stats {
+	var agg gamesim.Stats
+	agg.Duration = horizon
+	for _, sr := range res.Servers {
+		st := sr.Stats
+		agg.MapsPlayed += st.MapsPlayed
+		agg.Attempts += st.Attempts
+		agg.Established += st.Established
+		agg.Refused += st.Refused
+		agg.UniqueAttempting += st.UniqueAttempting
+		agg.UniqueEstablishing += st.UniqueEstablishing
+		agg.MaxConcurrent += st.MaxConcurrent
+		agg.TotalSessionTime += st.TotalSessionTime
+		agg.PacketsIn += st.PacketsIn
+		agg.PacketsOut += st.PacketsOut
+		agg.AppBytesIn += st.AppBytesIn
+		agg.AppBytesOut += st.AppBytesOut
+		agg.PlayerSeconds += st.PlayerSeconds
+	}
+	return agg
+}

@@ -1,0 +1,62 @@
+package trace
+
+import "io"
+
+// Prefetching read path: ReadAll decodes and analyzes on one goroutine, so
+// the varint decode serializes with the collector sweeps. ReadAllPrefetch
+// moves decoding to its own goroutine, sending pooled blocks over a bounded
+// channel — the next block decodes while the current one is being analyzed,
+// overlapping file I/O and analysis in -mode analyze.
+
+// prefetchDepth bounds the decoded-but-unconsumed block queue.
+const prefetchDepth = 4
+
+// prefetchMsg carries one decoded block (or the terminal error) from the
+// decode goroutine to the consumer.
+type prefetchMsg struct {
+	blk *Block
+	err error // non-nil only on the final message; io.EOF is not sent
+}
+
+// ReadAllPrefetch drains the stream into h exactly as ReadAll does, but
+// decodes up to prefetchDepth blocks ahead on a separate goroutine. The
+// delivered stream, record count and error behavior are identical to
+// ReadAll: records decoded before an error still reach h.
+func (r *Reader) ReadAllPrefetch(h Handler) (int64, error) {
+	ch := make(chan prefetchMsg, prefetchDepth)
+	go func() {
+		defer close(ch)
+		blk := NewBlock()
+		for {
+			rec, err := r.Read()
+			if err != nil {
+				if len(*blk) > 0 {
+					ch <- prefetchMsg{blk: blk}
+				} else {
+					FreeBlock(blk)
+				}
+				if err != io.EOF {
+					ch <- prefetchMsg{err: err}
+				}
+				return
+			}
+			*blk = append(*blk, rec)
+			if len(*blk) == cap(*blk) {
+				ch <- prefetchMsg{blk: blk}
+				blk = NewBlock()
+			}
+		}
+	}()
+
+	bh := Batch(h)
+	var n int64
+	for msg := range ch {
+		if msg.err != nil {
+			return n, msg.err
+		}
+		n += int64(len(*msg.blk))
+		bh.HandleBatch(*msg.blk)
+		FreeBlock(msg.blk)
+	}
+	return n, nil
+}

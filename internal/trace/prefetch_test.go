@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func prefetchTestTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < n; i++ {
+		if err := w.Write(Record{
+			T:      time.Duration(i) * 137 * time.Microsecond,
+			Dir:    Direction(i % 2),
+			Kind:   Kind(i % 5),
+			Client: uint32(i % 23),
+			App:    uint16(40 + i%90),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadAllPrefetchMatchesReadAll: the prefetching path must deliver the
+// identical record stream and count as the synchronous path, across sizes
+// that exercise empty, partial and multi-block tails.
+func TestReadAllPrefetchMatchesReadAll(t *testing.T) {
+	for _, n := range []int{0, 1, BlockSize - 1, BlockSize, BlockSize + 1, 3*BlockSize + 17} {
+		raw := prefetchTestTrace(t, n)
+
+		var sync Collect
+		sn, err := NewReader(bytes.NewReader(raw)).ReadAll(&sync)
+		if err != nil {
+			t.Fatalf("n=%d: ReadAll: %v", n, err)
+		}
+		var pre Collect
+		pn, err := NewReader(bytes.NewReader(raw)).ReadAllPrefetch(&pre)
+		if err != nil {
+			t.Fatalf("n=%d: ReadAllPrefetch: %v", n, err)
+		}
+		if sn != pn || sn != int64(n) {
+			t.Fatalf("n=%d: counts diverge: sync %d, prefetch %d", n, sn, pn)
+		}
+		if len(sync.Records) != len(pre.Records) {
+			t.Fatalf("n=%d: lengths diverge: %d vs %d", n, len(sync.Records), len(pre.Records))
+		}
+		for i := range sync.Records {
+			if sync.Records[i] != pre.Records[i] {
+				t.Fatalf("n=%d: record %d diverges: %+v vs %+v", n, i, sync.Records[i], pre.Records[i])
+			}
+		}
+	}
+}
+
+// TestReadAllPrefetchErrorParity: on a truncated stream both paths must
+// surface the same error, and the prefetch path must still deliver every
+// record decoded before the corruption.
+func TestReadAllPrefetchErrorParity(t *testing.T) {
+	raw := prefetchTestTrace(t, 1000)
+	truncated := raw[:len(raw)-3]
+
+	var sync Collect
+	sn, syncErr := NewReader(bytes.NewReader(truncated)).ReadAll(&sync)
+	var pre Collect
+	pn, preErr := NewReader(bytes.NewReader(truncated)).ReadAllPrefetch(&pre)
+
+	if syncErr == nil || preErr == nil {
+		t.Fatalf("truncated stream: sync err %v, prefetch err %v", syncErr, preErr)
+	}
+	if syncErr != preErr {
+		t.Errorf("errors diverge: sync %v, prefetch %v", syncErr, preErr)
+	}
+	if sn != pn {
+		t.Errorf("pre-error counts diverge: sync %d, prefetch %d", sn, pn)
+	}
+	if len(pre.Records) != int(pn) {
+		t.Errorf("prefetch delivered %d records but reported %d", len(pre.Records), pn)
+	}
+}

@@ -6,6 +6,22 @@
 // (offset from trace start), a direction, the application payload size and
 // the client it belongs to. Wire sizes follow the paper's byte accounting
 // (payload + 58 B of framing; see internal/units).
+//
+// Streams move through two consumer interfaces. Handler (one virtual call
+// per record) is the compatibility surface; BatchHandler (one call per
+// Block, a pooled []Record slab of up to BlockSize records) is the fast
+// path that amortizes dispatch at half-a-billion-packet scale. Dispatch
+// bridges a block onto either interface, Batch adapts a per-record
+// downstream, and Batcher/LockedBatcher adapt per-record producers — so
+// any stage composes with any other. Tee fans a stream out, Filter
+// subsets it, and SortBuffer restores strict time order to
+// bounded-disorder streams for order-sensitive consumers.
+//
+// Writer/Reader persist streams in a delta-encoded binary format;
+// Reader.ReadAllPrefetch decodes ahead on a goroutine so file I/O overlaps
+// analysis. PCAP{,NG}Writer and ReadPCAP{,NG} exchange traces with
+// standard capture tooling. See docs/ARCHITECTURE.md for the end-to-end
+// data flow.
 package trace
 
 import (

@@ -1,0 +1,119 @@
+package cstrace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/scenario"
+)
+
+// scenarioSpec returns a small heterogeneous fleet for tests: mixed sizes,
+// staggered launches, a demand surge — every scenario feature on, short
+// enough to run in CI.
+func scenarioSpec(seed uint64, n int) Scenario {
+	return Scenario{
+		Seed:          seed,
+		Servers:       n,
+		Duration:      4 * time.Minute,
+		Warmup:        2 * time.Minute,
+		SlotMix:       []int{22, 32, 16},
+		Stagger:       30 * time.Second,
+		DiurnalSpread: 6 * time.Hour,
+		SpikeMult:     4,
+		SpikeDecay:    2 * time.Minute,
+		RateScale:     5,
+	}
+}
+
+// TestScenarioOneServerGolden is the merge's identity contract: a
+// one-server scenario must produce a report byte-identical to plain
+// Reproduce of the same server — the k-way merge degenerates to a
+// pass-through.
+func TestScenarioOneServerGolden(t *testing.T) {
+	base := Quick(3)
+	base.Game.Duration = 5 * time.Minute
+	base.Game.Warmup = 5 * time.Minute
+	base.Suite = analysis.DefaultSuiteConfig(base.Game.Duration)
+
+	res, err := Reproduce(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteReport(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parallel := range []int{0, 3} {
+		sres, err := RunScenario(ScenarioConfig{
+			Servers:     []scenario.ServerSpec{{Name: "solo", Game: base.Game}},
+			Suite:       base.Suite,
+			Parallelism: parallel,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallel, err)
+		}
+		var got bytes.Buffer
+		if err := sres.Aggregate.WriteReport(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("parallelism %d: one-server scenario report differs from Reproduce", parallel)
+		}
+	}
+}
+
+// TestScenarioDeterminism checks the fleet contract: an N-server scenario
+// renders byte-identical reports across runs and Parallelism settings, even
+// though the servers generate concurrently.
+func TestScenarioDeterminism(t *testing.T) {
+	var want []byte
+	for run, parallel := range []int{0, 0, 3} {
+		res, err := RunScenario(ScenarioConfig{
+			Spec:        scenarioSpec(11, 3),
+			Parallelism: parallel,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteReport(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Errorf("run %d (parallelism %d): fleet report not deterministic", run, parallel)
+		}
+	}
+}
+
+// TestScenarioAggregateConservation: every packet a server generates
+// reaches the aggregate suite exactly once through the merge.
+func TestScenarioAggregateConservation(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{Spec: scenarioSpec(5, 3), PerServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, s := range res.Servers {
+		sum += s.Stats.PacketsIn + s.Stats.PacketsOut
+		if got := s.Suite.Count.Packets(); got != s.Stats.PacketsIn+s.Stats.PacketsOut {
+			t.Errorf("%s: per-server suite saw %d packets, generator emitted %d",
+				s.Name, got, s.Stats.PacketsIn+s.Stats.PacketsOut)
+		}
+	}
+	if got := res.Aggregate.Suite.Count.Packets(); got != sum {
+		t.Errorf("aggregate suite saw %d packets, fleet generated %d", got, sum)
+	}
+	if res.Aggregate.TableII.TotalPackets != sum {
+		t.Errorf("Table II total %d != generated %d", res.Aggregate.TableII.TotalPackets, sum)
+	}
+	if res.TotalSlots() != 22+32+16 {
+		t.Errorf("TotalSlots = %d", res.TotalSlots())
+	}
+}
