@@ -431,6 +431,98 @@ func BenchmarkPipelineSharded(b *testing.B) {
 	})
 }
 
+// --- analyze benches: the -mode analyze read path, v1 vs v2 ---
+//
+// The three BenchmarkAnalyze* functions re-analyze the identical Quick(1)
+// stream persisted in both trace formats. V1 is the legacy serial baseline
+// (per-record bufio decode + single-threaded suite); V2 decodes
+// segment-at-a-time out of in-memory slabs; V2Parallel additionally fans
+// segment decode across worker goroutines and shards the collector groups
+// (on a single-core host it measures the slab-decode win alone — the
+// goroutine fan-out adds its speedup only with real cores).
+
+var (
+	analyzeOnce  sync.Once
+	analyzeRawV1 []byte
+	analyzeRawV2 []byte
+)
+
+func analyzeTraceRaw(b *testing.B) (v1, v2 []byte) {
+	b.Helper()
+	analyzeOnce.Do(func() {
+		recs := pipelineRecords(b)
+		var v1buf, v2buf bytes.Buffer
+		w1, w2 := trace.NewWriterV1(&v1buf), trace.NewWriter(&v2buf)
+		sorter := trace.NewSortBuffer(2*Quick(1).Game.TickInterval, trace.Tee(w1, w2))
+		for i := 0; i < len(recs); i += trace.BlockSize {
+			end := i + trace.BlockSize
+			if end > len(recs) {
+				end = len(recs)
+			}
+			sorter.HandleBatch(recs[i:end])
+		}
+		sorter.Flush()
+		if err := w1.Flush(); err != nil {
+			panic(err)
+		}
+		if err := w2.Flush(); err != nil {
+			panic(err)
+		}
+		analyzeRawV1, analyzeRawV2 = v1buf.Bytes(), v2buf.Bytes()
+	})
+	return analyzeRawV1, analyzeRawV2
+}
+
+func benchAnalyze(b *testing.B, run func(*analysis.Suite) (int64, error)) {
+	sc := analysis.DefaultSuiteConfig(Quick(1).Game.Duration)
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		suite, err := analysis.NewSuite(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n, err = run(suite); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+// BenchmarkAnalyzeV1 is the serial ReadAll baseline over the legacy format.
+func BenchmarkAnalyzeV1(b *testing.B) {
+	raw, _ := analyzeTraceRaw(b)
+	benchAnalyze(b, func(s *analysis.Suite) (int64, error) {
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAll(s)
+		s.Close()
+		return n, err
+	})
+}
+
+// BenchmarkAnalyzeV2 is the serial v2 scan: slab decode, one goroutine
+// ahead, single-threaded suite.
+func BenchmarkAnalyzeV2(b *testing.B) {
+	_, raw := analyzeTraceRaw(b)
+	benchAnalyze(b, func(s *analysis.Suite) (int64, error) {
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllPrefetch(s)
+		s.Close()
+		return n, err
+	})
+}
+
+// BenchmarkAnalyzeV2Parallel is the full -mode analyze -parallel 4 path:
+// indexed segment decode on 4 workers, order-preserving reassembly, sharded
+// collector groups.
+func BenchmarkAnalyzeV2Parallel(b *testing.B) {
+	_, raw := analyzeTraceRaw(b)
+	benchAnalyze(b, func(s *analysis.Suite) (int64, error) {
+		sink, closeSink := s.Sink(4)
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllParallel(sink, 4)
+		closeSink()
+		return n, err
+	})
+}
+
 // BenchmarkScenario measures fleet-scale throughput: 4 servers generated
 // concurrently, k-way merged, and analyzed by a sharded aggregate suite —
 // the whole -mode scenario path. The headline metric is merged Mrec/s.

@@ -6,16 +6,19 @@
 //	cstrace -mode week  -seed 1            full-week reproduction (Tables I-III, Figs 1-13)
 //	cstrace -mode quick -seed 1            30-minute smoke reproduction
 //	cstrace -mode nat   -seed 1            NAT experiment (Table IV, Figs 14-15)
-//	cstrace -mode gen   -out trace.cst     generate a binary trace file
-//	cstrace -mode analyze -in trace.cst    analyze a previously generated trace
+//	cstrace -mode gen   -out trace.cst     generate a binary trace file (v2; -format 1 for legacy)
+//	cstrace -mode analyze -in trace.cst    analyze a trace (-parallel N: segment decode + sharded suite)
+//	cstrace -mode index -in trace.cst      inspect a trace's segment index without decoding it
 //	cstrace -mode pcap  -out trace.pcap    export a (short) trace as pcap or pcapng
 //	cstrace -mode web   -seed 1            web/TCP baseline through the NAT device
 //	cstrace -mode aggregate -seed 1        population self-similarity study
 //	cstrace -mode provision                capacity planning from the paper's budget
 //	cstrace -mode scenario -servers 8      multi-server fleet: merged aggregate analysis
+//	                                       (-out fleet.cst persists the merged trace as v2)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -40,11 +43,12 @@ func main() {
 	log.SetPrefix("cstrace: ")
 
 	var (
-		mode      = flag.String("mode", "quick", "week | quick | nat | gen | analyze | pcap | web | aggregate | provision | scenario")
+		mode      = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | pcap | web | aggregate | provision | scenario")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		duration  = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
-		inFile    = flag.String("in", "", "input trace file (analyze)")
-		outFile   = flag.String("out", "", "output file (gen/pcap; .pcapng selects pcapng)")
+		inFile    = flag.String("in", "", "input trace file (analyze/index)")
+		outFile   = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
+		format    = flag.Int("format", 2, "trace format version to write (gen): 2 = segmented+indexed, 1 = legacy")
 		players   = flag.Int("players", 100000, "target concurrent players (provision)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
 		servers   = flag.Int("servers", 8, "fleet size (scenario)")
@@ -64,9 +68,11 @@ func main() {
 	case "nat":
 		err = runNAT(*seed)
 	case "gen":
-		err = runGen(*seed, *duration, *outFile)
+		err = runGen(*seed, *duration, *outFile, *format)
 	case "analyze":
 		err = runAnalyze(*inFile, *parallel)
+	case "index":
+		err = runIndex(*inFile)
 	case "pcap":
 		err = runPcap(*seed, *duration, *outFile)
 	case "web":
@@ -76,7 +82,7 @@ func main() {
 	case "provision":
 		err = runProvision(*players)
 	case "scenario":
-		err = runScenario(*seed, *servers, *duration, *stagger, *spike, *parallel, *perServer)
+		err = runScenario(*seed, *servers, *duration, *stagger, *spike, *parallel, *perServer, *outFile)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -119,12 +125,16 @@ func runNAT(seed uint64) error {
 	return nil
 }
 
-func runGen(seed uint64, d time.Duration, out string) error {
+func runGen(seed uint64, d time.Duration, out string, format int) error {
 	if out == "" {
 		return fmt.Errorf("gen: -out required")
 	}
 	if d == 0 {
 		d = time.Hour
+	}
+	if format != 1 && format != 2 {
+		// Validate before os.Create truncates an existing trace.
+		return fmt.Errorf("gen: unknown -format %d (want 1 or 2)", format)
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -136,6 +146,9 @@ func runGen(seed uint64, d time.Duration, out string) error {
 	cfg.Duration = d
 	cfg.Outages = nil
 	w := trace.NewWriter(f)
+	if format == 1 {
+		w = trace.NewWriterV1(f)
+	}
 	sorter := trace.NewSortBuffer(2*cfg.TickInterval, w)
 	st, err := gamesim.Run(cfg, sorter, nil)
 	if err != nil {
@@ -145,8 +158,8 @@ func runGen(seed uint64, d time.Duration, out string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	log.Printf("wrote %d records (%d in / %d out) to %s",
-		w.Count(), st.PacketsIn, st.PacketsOut, out)
+	log.Printf("wrote %d records (%d in / %d out) to %s (format v%d)",
+		w.Count(), st.PacketsIn, st.PacketsOut, out, w.Version())
 	return nil
 }
 
@@ -160,28 +173,74 @@ func runAnalyze(in string, parallel int) error {
 	}
 	defer f.Close()
 
-	// Duration is discovered from the stream, so build the suite afterward
-	// by buffering through a first pass of counters only... a single pass
-	// with the default week-scale suite is simpler and correct: collectors
-	// size themselves from record timestamps.
-	suite, err := analysis.NewSuite(analysis.SuiteConfig{})
+	// Duration is discovered from the stream, so a single pass with the
+	// default week-scale suite is correct: collectors size themselves from
+	// record timestamps. With -parallel N the trace's v2 segments decode
+	// on worker goroutines and the suite's collector groups shard across
+	// another set; results are byte-identical at every setting.
+	a, err := cstrace.AnalyzeTrace(f, parallel)
 	if err != nil {
 		return err
 	}
-	// The prefetching read path decodes the next block on its own
-	// goroutine while this one runs the collectors.
-	sink, closeSink := suite.Sink(parallel)
-	n, err := trace.NewReader(f).ReadAllPrefetch(sink)
-	closeSink()
+	if a.Warning != "" {
+		log.Printf("warning: %s", a.Warning)
+	}
+	if err := a.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	log.Printf("analyzed %d records (format v%d)", a.Records, a.Version)
+	return nil
+}
+
+func runIndex(in string) error {
+	if in == "" {
+		return fmt.Errorf("index: -in required")
+	}
+	f, err := os.Open(in)
 	if err != nil {
 		return err
 	}
-	t2 := suite.Count.TableII(0)
-	report.TableII(os.Stdout, t2)
-	report.TableIII(os.Stdout, suite.Count.TableIII())
-	re := analysis.Regions(suite.VT.Points(), 10*time.Millisecond, 50*time.Millisecond, 30*time.Minute+48*time.Second)
-	report.VarianceTime(os.Stdout, suite.VT.Points(), re)
-	log.Printf("analyzed %d records", n)
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+
+	ix, err := trace.ReadIndex(f, st.Size())
+	if errors.Is(err, trace.ErrNoIndex) {
+		// v1: no index to print; count the records the only way possible.
+		n, serr := trace.NewReader(f).ReadAllPrefetch(trace.HandlerFunc(func(trace.Record) {}))
+		if serr != nil {
+			return serr
+		}
+		fmt.Printf("%s: format v1, no segment index (%d records by serial scan, %d bytes)\n",
+			in, n, st.Size())
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+
+	segs := ix.Segments
+	fmt.Printf("%s: format v%d, %d records, %d segments, %d bytes (payload %d)\n",
+		in, ix.Version, ix.Records, len(segs), st.Size(), ix.PayloadBytes())
+	if len(segs) == 0 {
+		return nil
+	}
+	fmt.Printf("time span %v .. %v; mean %.0f records/segment\n\n",
+		segs[0].MinT, segs[len(segs)-1].MaxT, float64(ix.Records)/float64(len(segs)))
+	fmt.Printf("  %4s %12s %10s %9s %14s %14s\n", "seg", "offset", "payload", "records", "minT", "maxT")
+	const head, tail = 24, 4
+	for i, si := range segs {
+		if len(segs) > head+tail && i == head {
+			fmt.Printf("  %4s\n", "...")
+		}
+		if len(segs) > head+tail && i >= head && i < len(segs)-tail {
+			continue
+		}
+		fmt.Printf("  %4d %12d %10d %9d %14s %14s\n",
+			i, si.Offset, si.PayloadLen, si.Count, si.MinT.Round(time.Millisecond), si.MaxT.Round(time.Millisecond))
+	}
 	return nil
 }
 
@@ -267,7 +326,7 @@ func runAggregate(seed uint64) error {
 	return nil
 }
 
-func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel int, perServer bool) error {
+func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel int, perServer bool, out string) error {
 	cfg := cstrace.LaunchDay(seed, servers)
 	if duration > 0 {
 		cfg.Spec.Duration = duration
@@ -276,9 +335,34 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 	cfg.Spec.SpikeMult = spike
 	cfg.Parallelism = parallel
 	cfg.PerServer = perServer
+
+	// -out persists the merged fleet stream as an indexed v2 trace. The
+	// merge's cross-server disorder is bounded by one tick window
+	// (≤ 100 ms), so a 200 ms SortBuffer restores the strict order the
+	// Writer requires.
+	var w *trace.Writer
+	var sorter *trace.SortBuffer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = trace.NewWriter(f)
+		sorter = trace.NewSortBuffer(200*time.Millisecond, w)
+		cfg.Extra = sorter
+	}
+
 	res, err := cstrace.RunScenario(cfg)
 	if err != nil {
 		return err
+	}
+	if w != nil {
+		sorter.Flush()
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		log.Printf("wrote %d merged fleet records to %s (format v%d)", w.Count(), out, w.Version())
 	}
 	if err := res.WriteReport(os.Stdout); err != nil {
 		return err

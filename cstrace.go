@@ -126,6 +126,63 @@ func (r *Results) PerSlotKbs() float64 {
 	return analysis.PerSlotKbs(r.TableII, r.Config.Game.Slots)
 }
 
+// TraceAnalysis bundles the paper quantities recoverable from a persisted
+// record stream. Control-plane numbers (Table I, session stats) come from
+// the generator and are not part of it — persist-and-reanalyze covers the
+// packet-derived tables and figures.
+type TraceAnalysis struct {
+	// Records is the number of records analyzed.
+	Records int64
+	// Version is the trace format version read (1 or 2).
+	Version int
+	// Warning is non-empty when the reader degraded — e.g. a v2 trace whose
+	// index was truncated fell back to a serial scan.
+	Warning string
+
+	Suite    *analysis.Suite
+	TableII  analysis.TableII
+	TableIII analysis.TableIII
+	Regions  analysis.RegionEstimates
+}
+
+// AnalyzeTrace reads a persisted binary trace (format v1 or v2, detected
+// from the header) and runs the record-stream analyses of the paper suite
+// over it. parallelism ≥ 2 both shards the suite's collector groups across
+// workers and, for a v2 trace on a seekable source (*os.File,
+// *bytes.Reader, …), decodes file segments on parallel goroutines with an
+// order-preserving reassembly stage. The results are byte-identical across
+// every parallelism setting and across v1/v2 encodings of the same stream;
+// degraded inputs (v1, non-seekable, damaged index) are analyzed by the
+// serial scan and noted in TraceAnalysis.Warning.
+func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
+	suite, err := analysis.NewSuite(analysis.SuiteConfig{})
+	if err != nil {
+		return nil, err
+	}
+	rd := trace.NewReader(src)
+	sink, closeSink := suite.Sink(parallelism)
+	n, err := rd.ReadAllParallel(sink, parallelism)
+	closeSink()
+	if err != nil {
+		return nil, err
+	}
+	return &TraceAnalysis{
+		Records:  n,
+		Version:  rd.Version(),
+		Warning:  rd.Warning(),
+		Suite:    suite,
+		TableII:  suite.Count.TableII(0),
+		TableIII: suite.Count.TableIII(),
+		Regions: analysis.Regions(suite.VT.Points(), 10*time.Millisecond,
+			50*time.Millisecond, 30*time.Minute+48*time.Second),
+	}, nil
+}
+
+// WriteReport renders the trace-derived tables and figures.
+func (a *TraceAnalysis) WriteReport(w io.Writer) error {
+	return writeTraceAnalysis(w, a)
+}
+
 // ReproduceNAT runs the §IV-A NAT experiment (Table IV, Figs 14-15).
 func ReproduceNAT(seed uint64) (nat.ExperimentResult, error) {
 	return nat.RunExperiment(gamesim.NATExperimentConfig(seed), nat.DefaultConfig(seed))

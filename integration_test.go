@@ -186,3 +186,82 @@ func TestSeedIndependenceOfShape(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzeTraceFormatsByteIdentical is the v1/v2 compatibility golden:
+// the same generated stream persisted by the legacy v1 writer and the
+// segmented v2 writer must render byte-identical analysis reports, at every
+// parallelism setting of the v2 read path.
+func TestAnalyzeTraceFormatsByteIdentical(t *testing.T) {
+	cfg := gamesim.PaperConfig(5)
+	cfg.Duration = 4 * time.Minute
+	cfg.Warmup = time.Minute
+	cfg.Outages = nil
+	cfg.AttemptRate = 0.3
+	cfg.DiurnalAmp = 0
+
+	var v1buf, v2buf bytes.Buffer
+	w1 := trace.NewWriterV1(&v1buf)
+	w2 := trace.NewWriter(&v2buf)
+	w2.SegmentPayload = 1 << 14 // force a multi-segment file at test scale
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.Tee(w1, w2))
+	if _, err := gamesim.Run(cfg, sorter, nil); err != nil {
+		t.Fatal(err)
+	}
+	sorter.Flush()
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type variant struct {
+		name     string
+		raw      []byte
+		parallel int
+		version  int
+	}
+	variants := []variant{
+		{"v1-serial", v1buf.Bytes(), 1, 1},
+		{"v1-parallel", v1buf.Bytes(), 4, 1}, // silently serial: no index exists
+		{"v2-serial", v2buf.Bytes(), 1, 2},
+		{"v2-parallel", v2buf.Bytes(), 4, 2},
+	}
+	var reference []byte
+	for _, v := range variants {
+		a, err := AnalyzeTrace(bytes.NewReader(v.raw), v.parallel)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if a.Version != v.version {
+			t.Errorf("%s: Version = %d, want %d", v.name, a.Version, v.version)
+		}
+		if a.Warning != "" {
+			t.Errorf("%s: unexpected warning %q", v.name, a.Warning)
+		}
+		if a.Records != w1.Count() {
+			t.Errorf("%s: analyzed %d records, wrote %d", v.name, a.Records, w1.Count())
+		}
+		var rep bytes.Buffer
+		if err := a.WriteReport(&rep); err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = rep.Bytes()
+			continue
+		}
+		if !bytes.Equal(rep.Bytes(), reference) {
+			t.Errorf("%s: report diverged from %s", v.name, variants[0].name)
+		}
+	}
+
+	// The v2 index must agree with what the writer says it wrote.
+	ix, err := trace.ReadIndex(bytes.NewReader(v2buf.Bytes()), int64(v2buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Records != w2.Count() || len(ix.Segments) < 2 {
+		t.Errorf("index: %d records in %d segments, writer wrote %d",
+			ix.Records, len(ix.Segments), w2.Count())
+	}
+}

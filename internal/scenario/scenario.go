@@ -186,8 +186,12 @@ type Config struct {
 	// PerServer additionally collects one single-threaded analysis.Suite
 	// per server, for per-box vs aggregate comparison.
 	PerServer bool
-	// Extra, if non-nil, receives the merged record stream (e.g. a
-	// trace.Writer behind a trace.SortBuffer to persist the fleet trace).
+	// Extra, if non-nil, receives the merged record stream — e.g. a
+	// trace.Writer behind a 200 ms trace.SortBuffer to persist the fleet
+	// trace as an indexed v2 file (`cstrace -mode scenario -out`): the
+	// merge's cross-server disorder is bounded by one tick window
+	// (≤ 100 ms), so that slack restores the strict order the Writer
+	// requires.
 	Extra trace.Handler
 }
 

@@ -10,6 +10,8 @@ import (
 )
 
 // Binary trace format: a fixed header followed by delta-encoded records.
+// docs/FORMAT.md is the authoritative byte-level specification; the short
+// version:
 //
 //	header: magic "CSTR" | version u8 | reserved [3]u8
 //	record: deltaT uvarint (ns since previous record)
@@ -17,13 +19,25 @@ import (
 //	        client uvarint
 //	        app    uvarint
 //
+// Version 1 is a single varint stream of records after the header. Version 2
+// (the current default) chunks the identical record encoding into
+// independently-decodable segments ("CSEG" frames carrying payload length,
+// record count and the delta base/min/max timestamps), then appends a
+// segment index ("CSIX") and a fixed-size footer, so a reader can decode
+// segments in parallel and seek by time range. The concatenation of all v2
+// segment payloads is byte-for-byte the v1 record stream.
+//
 // Delta encoding keeps the common case (sub-millisecond gaps, small ids,
 // small payloads) to a handful of bytes per record — a full-week, half
 // billion packet trace fits comfortably on disk.
 
 const (
-	magic   = "CSTR"
-	version = 1
+	magic    = "CSTR"
+	version1 = 1
+	version2 = 2
+	// currentVersion is what NewWriter emits.
+	currentVersion = version2
+	headerLen      = 8
 )
 
 // Format errors.
@@ -31,23 +45,71 @@ var (
 	ErrBadMagic   = errors.New("trace: bad magic")
 	ErrBadVersion = errors.New("trace: unsupported version")
 	ErrCorrupt    = errors.New("trace: corrupt record")
+	// ErrNoIndex reports a trace without a segment index (a v1 file, or a
+	// v2 file whose index was lost); such traces can only be scanned
+	// serially.
+	ErrNoIndex = errors.New("trace: no segment index")
+	// ErrFinished reports a Write after Flush: a v2 Flush seals the file
+	// with its index and footer.
+	ErrFinished = errors.New("trace: write after Flush")
 )
 
 // Writer streams records to an io.Writer in the binary trace format.
 // Records must be delivered in non-decreasing time order.
+//
+// NewWriter emits format v2: records are chunked into independently
+// decodable segments and the file ends with a segment index + footer, so
+// Reader.ReadAllParallel can fan decode out across goroutines. Flush seals
+// the file and must be called exactly once, after the last Write.
 type Writer struct {
-	w     *bufio.Writer
-	last  time.Duration
-	wrote bool
-	n     int64
-	err   error // first encode/IO error; latched for Handle paths
-	buf   [3*binary.MaxVarintLen64 + 1]byte
+	w       *bufio.Writer
+	version uint8
+	last    time.Duration
+	wrote   bool
+	sealed  bool
+	n       int64
+	err     error // first encode/IO error; latched for Handle paths
+	off     int64 // file offset of the next frame to be written
+
+	// SegmentPayload is the v2 target payload size per segment in bytes; a
+	// segment is cut once its encoded payload reaches it. Set it before the
+	// first Write; 0 means DefaultSegmentPayload. Smaller segments
+	// parallelize and seek at finer grain, larger ones amortize the 76 B of
+	// per-segment framing+index overhead further.
+	SegmentPayload int
+
+	seg      []byte // current segment's encoded records (v2)
+	segBase  time.Duration
+	segMin   time.Duration
+	segMax   time.Duration
+	segCount int
+	index    []SegmentInfo
+
+	buf [3*binary.MaxVarintLen64 + 1]byte
 }
 
-// NewWriter creates a Writer.
+// DefaultSegmentPayload is the default v2 segment payload target: 256 KiB
+// (~50 k records at the workload's ~5 B/record), large enough that framing
+// overhead is ~0.03 %, small enough that a few seconds of trace already
+// spans many parallel decode units.
+const DefaultSegmentPayload = 1 << 18
+
+// NewWriter creates a Writer emitting the current format version (v2,
+// segmented + indexed).
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: currentVersion}
 }
+
+// NewWriterV1 creates a Writer emitting the legacy v1 format: one
+// unsegmented varint stream, no index. Readers support v1 indefinitely (see
+// docs/FORMAT.md for the compatibility policy); new traces should use
+// NewWriter.
+func NewWriterV1(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version1}
+}
+
+// Version returns the format version the Writer emits (1 or 2).
+func (w *Writer) Version() int { return int(w.version) }
 
 // Handle implements Handler, so a Writer can sit at the end of a pipeline.
 // The first encoding error latches and surfaces from Err and Flush.
@@ -70,17 +132,28 @@ func (w *Writer) HandleBatch(rs []Record) {
 // Err returns the first error latched by Handle or HandleBatch.
 func (w *Writer) Err() error { return w.err }
 
+func (w *Writer) writeHeader() error {
+	w.wrote = true
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(w.version); err != nil {
+		return err
+	}
+	if _, err := w.w.Write([]byte{0, 0, 0}); err != nil {
+		return err
+	}
+	w.off = headerLen
+	return nil
+}
+
 // Write encodes one record.
 func (w *Writer) Write(r Record) error {
+	if w.sealed {
+		return ErrFinished
+	}
 	if !w.wrote {
-		w.wrote = true
-		if _, err := w.w.WriteString(magic); err != nil {
-			return err
-		}
-		if err := w.w.WriteByte(version); err != nil {
-			return err
-		}
-		if _, err := w.w.Write([]byte{0, 0, 0}); err != nil {
+		if err := w.writeHeader(); err != nil {
 			return err
 		}
 	}
@@ -92,58 +165,166 @@ func (w *Writer) Write(r Record) error {
 	b = append(b, byte(r.Dir)&1|byte(r.Kind)<<1)
 	b = binary.AppendUvarint(b, uint64(r.Client))
 	b = binary.AppendUvarint(b, uint64(r.App))
+
+	if w.version == version1 {
+		w.last = r.T
+		w.n++
+		_, err := w.w.Write(b)
+		return err
+	}
+
+	// v2: records accumulate into the current segment's payload buffer;
+	// the frame header needs the payload length and record count up front,
+	// so the segment is buffered whole and flushed when it reaches target.
+	if w.segCount == 0 {
+		w.segBase = w.last
+		w.segMin = r.T
+	}
+	w.seg = append(w.seg, b...)
+	w.segCount++
+	w.segMax = r.T
 	w.last = r.T
 	w.n++
-	_, err := w.w.Write(b)
-	return err
+	if target := w.segmentTarget(); len(w.seg) >= target {
+		return w.flushSegment()
+	}
+	return nil
+}
+
+func (w *Writer) segmentTarget() int {
+	if w.SegmentPayload > 0 {
+		return w.SegmentPayload
+	}
+	return DefaultSegmentPayload
+}
+
+// flushSegment writes the buffered segment as one "CSEG" frame and records
+// its index entry.
+func (w *Writer) flushSegment() error {
+	if w.segCount == 0 {
+		return nil
+	}
+	w.index = append(w.index, SegmentInfo{
+		Offset:     w.off,
+		PayloadLen: len(w.seg),
+		Count:      w.segCount,
+		BaseT:      w.segBase,
+		MinT:       w.segMin,
+		MaxT:       w.segMax,
+	})
+	var hdr [segHeaderLen]byte
+	copy(hdr[:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(w.seg)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.segCount))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(w.segBase))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(w.segMin))
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(w.segMax))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.seg); err != nil {
+		return err
+	}
+	w.off += segHeaderLen + int64(len(w.seg))
+	w.seg = w.seg[:0]
+	w.segCount = 0
+	return nil
 }
 
 // Count returns the number of records written.
 func (w *Writer) Count() int64 { return w.n }
 
-// Flush flushes buffered output, surfacing any error latched by the Handle
-// paths first. Call it once after the last Write.
+// Flush seals and flushes the trace, surfacing any error latched by the
+// Handle paths first. For v2 it writes the final partial segment, the
+// segment index and the footer, so it must be called exactly once, after
+// the last Write; further Writes fail with ErrFinished.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
 	if !w.wrote {
-		// An empty trace still gets a header.
-		if _, err := w.w.WriteString(magic); err != nil {
+		// An empty trace still gets a header (and, for v2, an empty
+		// index + footer, so the file remains seekable and well-formed).
+		if err := w.writeHeader(); err != nil {
 			return err
 		}
-		if err := w.w.WriteByte(version); err != nil {
+	}
+	if w.version == version2 && !w.sealed {
+		if err := w.flushSegment(); err != nil {
 			return err
 		}
-		if _, err := w.w.Write([]byte{0, 0, 0}); err != nil {
+		if err := w.writeIndexAndFooter(); err != nil {
 			return err
 		}
-		w.wrote = true
+		w.sealed = true
 	}
 	return w.w.Flush()
 }
 
-// Reader streams records from the binary trace format.
+// Reader streams records from the binary trace format, accepting both v1
+// and v2 files transparently: ReadAll / ReadAllPrefetch scan any version
+// serially, and ReadAllParallel additionally decodes v2 segments on worker
+// goroutines when the source is seekable, falling back to the serial scan
+// (with a Warning) when it is not or the index is unreadable.
 type Reader struct {
-	r    *bufio.Reader
-	last time.Duration
-	init bool
+	src     io.Reader // the unbuffered source, for the indexed read path
+	r       *bufio.Reader
+	last    time.Duration
+	init    bool
+	version uint8
+	seg     SegmentInfo // v2: current segment's frame header
+	segLeft int         // v2: records remaining in the current segment
+	done    bool        // v2: index frame reached — clean end of records
+	err     error
+	warn    string
 }
 
 // NewReader creates a Reader.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{src: r, r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Version returns the trace format version (1 or 2), or 0 before the
+// header has been read.
+func (r *Reader) Version() int { return int(r.version) }
+
+// Err returns the cause latched behind the last error the Reader surfaced,
+// or nil. The sentinels (ErrBadMagic, ErrCorrupt) keep error identity
+// stable for callers; Err preserves the close/EOF-tail state of the source
+// — e.g. an io.ErrUnexpectedEOF from a truncated file, or the I/O error a
+// failing disk returned mid-record. Errors from the parallel read path
+// latch in wrapped form: errors.Is against both ErrCorrupt and the
+// underlying cause works.
+func (r *Reader) Err() error { return r.err }
+
+// Warning returns a human-readable note when a read path degraded (e.g.
+// ReadAllParallel fell back to a serial scan because the index was
+// truncated), or "" if none.
+func (r *Reader) Warning() string { return r.warn }
+
+// latch records err as the underlying cause and returns the sentinel.
+func (r *Reader) latch(sentinel, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	if r.err == nil {
+		r.err = err
+	}
+	return sentinel
 }
 
 func (r *Reader) readHeader() error {
-	var hdr [8]byte
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		return ErrBadMagic
+		return r.latch(ErrBadMagic, err)
 	}
 	if string(hdr[:4]) != magic {
 		return ErrBadMagic
 	}
-	if hdr[4] != version {
+	switch hdr[4] {
+	case version1, version2:
+		r.version = hdr[4]
+	default:
 		return ErrBadVersion
 	}
 	r.init = true
@@ -157,24 +338,34 @@ func (r *Reader) Read() (Record, error) {
 			return Record{}, err
 		}
 	}
+	if r.version == version2 {
+		if r.segLeft == 0 {
+			if err := r.nextSegment(); err != nil {
+				return Record{}, err
+			}
+		}
+		r.segLeft--
+	}
 	delta, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		if err == io.EOF {
+		if err == io.EOF && r.version == version1 {
 			return Record{}, io.EOF
 		}
-		return Record{}, ErrCorrupt
+		// v2 records only exist inside a segment with a declared count;
+		// EOF mid-segment is a truncation, not a clean end.
+		return Record{}, r.latch(ErrCorrupt, err)
 	}
 	flags, err := r.r.ReadByte()
 	if err != nil {
-		return Record{}, ErrCorrupt
+		return Record{}, r.latch(ErrCorrupt, err)
 	}
 	client, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return Record{}, ErrCorrupt
+		return Record{}, r.latch(ErrCorrupt, err)
 	}
 	app, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return Record{}, ErrCorrupt
+		return Record{}, r.latch(ErrCorrupt, err)
 	}
 	if client > 1<<32-1 || app > 1<<16-1 {
 		return Record{}, ErrCorrupt

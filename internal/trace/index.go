@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The v2 segment index and footer, and the parallel read path built on
+// them. The index ("CSIX" frame) duplicates every segment's frame header
+// plus its file offset; the fixed-size footer at the end of the file points
+// back at the index, so an indexed reader needs exactly two reads (footer,
+// then index) before it can fan segment decode out across workers. The
+// index is advisory: a serial scanner never needs it, and an unreadable
+// index degrades to the serial scan (see Reader.ReadAllParallel).
+
+// Index is the parsed segment index of a v2 trace.
+type Index struct {
+	// Version is the trace format version (always 2 for an indexed trace).
+	Version int
+	// Records is the total record count, from the footer.
+	Records int64
+	// Segments lists every segment in file order.
+	Segments []SegmentInfo
+}
+
+// PayloadBytes sums the record payload bytes across segments.
+func (ix *Index) PayloadBytes() int64 {
+	var n int64
+	for _, s := range ix.Segments {
+		n += int64(s.PayloadLen)
+	}
+	return n
+}
+
+// writeIndexAndFooter appends the "CSIX" frame and the footer. Called by
+// Flush after the final segment.
+func (w *Writer) writeIndexAndFooter() error {
+	indexOff := w.off
+	var b []byte
+	b = append(b, indexMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.index)))
+	for _, si := range w.index {
+		b = binary.LittleEndian.AppendUint64(b, uint64(si.Offset))
+		b = binary.LittleEndian.AppendUint32(b, uint32(si.PayloadLen))
+		b = binary.LittleEndian.AppendUint32(b, uint32(si.Count))
+		b = binary.LittleEndian.AppendUint64(b, uint64(si.BaseT))
+		b = binary.LittleEndian.AppendUint64(b, uint64(si.MinT))
+		b = binary.LittleEndian.AppendUint64(b, uint64(si.MaxT))
+	}
+	// Footer: records u64 | indexOff u64 | segCount u32 | "CSFT".
+	b = binary.LittleEndian.AppendUint64(b, uint64(w.n))
+	b = binary.LittleEndian.AppendUint64(b, uint64(indexOff))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.index)))
+	b = append(b, footerMagic...)
+	_, err := w.w.Write(b)
+	w.off += int64(len(b))
+	return err
+}
+
+// ReadIndex reads and validates the segment index of a v2 trace from a
+// random-access source of the given total size. It returns ErrNoIndex for a
+// v1 trace, and a descriptive error (wrapping ErrCorrupt where the bytes
+// are implausible) when the index or footer is damaged — callers treat any
+// error as "scan serially instead".
+func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
+	if size < headerLen+footerLen {
+		return nil, fmt.Errorf("%w: file too small (%d bytes) for an indexed trace", ErrCorrupt, size)
+	}
+	var hdr [headerLen]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	switch hdr[4] {
+	case version1:
+		return nil, ErrNoIndex
+	case version2:
+	default:
+		return nil, ErrBadVersion
+	}
+
+	var foot [footerLen]byte
+	if _, err := ra.ReadAt(foot[:], size-footerLen); err != nil {
+		return nil, err
+	}
+	if string(foot[16+4:]) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic %q", ErrCorrupt, foot[20:])
+	}
+	records := int64(binary.LittleEndian.Uint64(foot[0:]))
+	indexOff := int64(binary.LittleEndian.Uint64(foot[8:]))
+	segCount := int64(binary.LittleEndian.Uint32(foot[16:]))
+	indexLen := int64(indexHeaderLen) + segCount*indexEntryLen
+	if records < 0 || indexOff < headerLen || indexOff+indexLen != size-footerLen {
+		return nil, fmt.Errorf("%w: footer geometry does not match file size", ErrCorrupt)
+	}
+
+	raw := make([]byte, indexLen)
+	if _, err := ra.ReadAt(raw, indexOff); err != nil {
+		return nil, err
+	}
+	if string(raw[:4]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad index marker %q", ErrCorrupt, raw[:4])
+	}
+	if int64(binary.LittleEndian.Uint32(raw[4:])) != segCount {
+		return nil, fmt.Errorf("%w: index and footer disagree on segment count", ErrCorrupt)
+	}
+
+	ix := &Index{Version: version2, Records: records, Segments: make([]SegmentInfo, segCount)}
+	var sum int64
+	nextOff := int64(headerLen)
+	b := raw[indexHeaderLen:]
+	for i := range ix.Segments {
+		si := SegmentInfo{
+			Offset:     int64(binary.LittleEndian.Uint64(b[0:])),
+			PayloadLen: int(binary.LittleEndian.Uint32(b[8:])),
+			Count:      int(binary.LittleEndian.Uint32(b[12:])),
+			BaseT:      sliceDuration(b[16:]),
+			MinT:       sliceDuration(b[24:]),
+			MaxT:       sliceDuration(b[32:]),
+		}
+		b = b[indexEntryLen:]
+		// Segments tile the byte range [header, index) exactly, counts are
+		// positive, and the delta-base chain links each segment to its
+		// predecessor's last timestamp.
+		if si.Offset != nextOff || si.Count <= 0 || si.PayloadLen <= 0 ||
+			si.MinT < si.BaseT || si.MaxT < si.MinT {
+			return nil, fmt.Errorf("%w: index entry %d implausible", ErrCorrupt, i)
+		}
+		if i == 0 {
+			if si.BaseT != 0 {
+				return nil, fmt.Errorf("%w: first segment delta base %v, want 0", ErrCorrupt, si.BaseT)
+			}
+		} else if si.BaseT != ix.Segments[i-1].MaxT {
+			return nil, fmt.Errorf("%w: index entry %d breaks the timestamp chain", ErrCorrupt, i)
+		}
+		nextOff = si.Offset + segHeaderLen + int64(si.PayloadLen)
+		sum += int64(si.Count)
+		ix.Segments[i] = si
+	}
+	if nextOff != indexOff {
+		return nil, fmt.Errorf("%w: segments end at %d but index starts at %d", ErrCorrupt, nextOff, indexOff)
+	}
+	if sum != records {
+		return nil, fmt.Errorf("%w: index counts %d records, footer says %d", ErrCorrupt, sum, records)
+	}
+	return ix, nil
+}
+
+func sliceDuration(b []byte) time.Duration {
+	return time.Duration(binary.LittleEndian.Uint64(b))
+}
+
+// seekerAt is what the indexed read path needs from the source.
+type seekerAt interface {
+	io.ReaderAt
+	io.Seeker
+}
+
+// sourceSize probes the source's total size without disturbing its current
+// position (the buffered serial reader must stay usable for fallback).
+func sourceSize(s io.Seeker) (int64, error) {
+	pos, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	size, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	_, err = s.Seek(pos, io.SeekStart)
+	return size, err
+}
+
+// ReadAllParallel drains the stream into h exactly as ReadAll does, but for
+// a v2 trace on a seekable source (an *os.File, a *bytes.Reader, …) it
+// decodes file segments on up to workers goroutines: an order-preserving
+// reassembly stage delivers each segment's pooled blocks to h in file
+// order, so the delivered stream — and any report computed from it — is
+// byte-identical to the serial paths.
+//
+// Degraded cases fall back to the serial ReadAllPrefetch scan, latching an
+// explanation in Warning when the degradation is unexpected: a
+// non-seekable source, or a truncated/corrupt index or footer. A v1 trace
+// (no index can exist) and workers ≤ 1 select the serial scan silently.
+// Call it on a fresh Reader.
+func (r *Reader) ReadAllParallel(h Handler, workers int) (int64, error) {
+	if !r.init {
+		if err := r.readHeader(); err != nil {
+			return 0, err
+		}
+	}
+	if r.version == version1 || workers <= 1 {
+		return r.ReadAllPrefetch(h)
+	}
+	sa, ok := r.src.(seekerAt)
+	if !ok {
+		r.warn = "parallel decode needs a seekable source; using serial scan"
+		return r.ReadAllPrefetch(h)
+	}
+	size, err := sourceSize(sa)
+	if err != nil {
+		r.warn = fmt.Sprintf("parallel decode: source size unavailable (%v); using serial scan", err)
+		return r.ReadAllPrefetch(h)
+	}
+	ix, err := ReadIndex(sa, size)
+	if err != nil {
+		r.warn = fmt.Sprintf("segment index unreadable (%v); using serial scan", err)
+		return r.ReadAllPrefetch(h)
+	}
+	n, err := parallelDecode(sa, ix, workers, Batch(h))
+	if err != nil && r.err == nil {
+		// Same contract as the serial paths: the full wrapped error (which
+		// preserves the I/O cause via %w) is reachable from Err even when
+		// the caller only inspects the ErrCorrupt sentinel.
+		r.err = err
+	}
+	return n, err
+}
+
+// segResult carries one decoded segment from a worker to the reassembly
+// stage. On error the blocks decoded before the corruption are still
+// delivered, preserving ReadAll's records-before-error semantics.
+type segResult struct {
+	blocks []*Block
+	err    error
+}
+
+// parallelDecode fans segment decode out across workers and reassembles in
+// file order. In-flight segments are bounded by a token budget so decode
+// cannot run arbitrarily ahead of a slow consumer.
+func parallelDecode(ra io.ReaderAt, ix *Index, workers int, bh BatchHandler) (int64, error) {
+	segs := ix.Segments
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+
+	results := make([]chan segResult, len(segs))
+	for i := range results {
+		results[i] = make(chan segResult, 1)
+	}
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	// tokens bounds in-flight segments (decoding or decoded-but-undelivered)
+	// to roughly 2× the worker count.
+	tokens := make(chan struct{}, 2*workers)
+	go func() {
+		defer close(jobs)
+		for i := range segs {
+			select {
+			case tokens <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []byte
+			for i := range jobs {
+				var res segResult
+				res.blocks, scratch, res.err = readSegmentAt(ra, segs[i], scratch)
+				results[i] <- res
+			}
+		}()
+	}
+
+	var n int64
+	var firstErr error
+	for i := 0; i < len(segs) && firstErr == nil; i++ {
+		res := <-results[i]
+		// Blocks decoded before a mid-segment corruption still deliver.
+		for _, blk := range res.blocks {
+			bh.HandleBatch(*blk)
+			n += int64(len(*blk))
+			FreeBlock(blk)
+		}
+		if res.err != nil {
+			firstErr = res.err
+			close(stop)
+		} else {
+			<-tokens
+		}
+	}
+	if firstErr != nil {
+		// Undispatched segments never produce a result, so the in-order
+		// loop must not wait on them; workers finish their outstanding
+		// jobs (result channels are buffered) and the stragglers' blocks
+		// are recycled off-path.
+		go func() {
+			wg.Wait()
+			for _, ch := range results {
+				select {
+				case res := <-ch:
+					for _, blk := range res.blocks {
+						FreeBlock(blk)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	return n, firstErr
+}

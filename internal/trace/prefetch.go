@@ -2,11 +2,14 @@ package trace
 
 import "io"
 
-// Prefetching read path: ReadAll decodes and analyzes on one goroutine, so
-// the varint decode serializes with the collector sweeps. ReadAllPrefetch
-// moves decoding to its own goroutine, sending pooled blocks over a bounded
-// channel — the next block decodes while the current one is being analyzed,
-// overlapping file I/O and analysis in -mode analyze.
+// Prefetching serial read path: ReadAll decodes and analyzes on one
+// goroutine, so the varint decode serializes with the collector sweeps.
+// ReadAllPrefetch moves decoding to its own goroutine, sending pooled
+// blocks over a bounded channel — the next block decodes while the current
+// one is being analyzed, overlapping file I/O and analysis. It is the
+// serial scan every degraded case of ReadAllParallel falls back to: v1
+// traces (no index exists), non-seekable sources, and v2 files with a
+// damaged index or footer.
 
 // prefetchDepth bounds the decoded-but-unconsumed block queue.
 const prefetchDepth = 4
@@ -21,30 +24,16 @@ type prefetchMsg struct {
 // ReadAllPrefetch drains the stream into h exactly as ReadAll does, but
 // decodes up to prefetchDepth blocks ahead on a separate goroutine. The
 // delivered stream, record count and error behavior are identical to
-// ReadAll: records decoded before an error still reach h.
+// ReadAll: records decoded before an error still reach h. For v2 traces the
+// decode goroutine additionally works segment-at-a-time out of an in-memory
+// slab instead of per-record reader calls, which roughly triples decode
+// throughput (see BenchmarkAnalyzeV1 vs BenchmarkAnalyzeV2).
 func (r *Reader) ReadAllPrefetch(h Handler) (int64, error) {
 	ch := make(chan prefetchMsg, prefetchDepth)
 	go func() {
 		defer close(ch)
-		blk := NewBlock()
-		for {
-			rec, err := r.Read()
-			if err != nil {
-				if len(*blk) > 0 {
-					ch <- prefetchMsg{blk: blk}
-				} else {
-					FreeBlock(blk)
-				}
-				if err != io.EOF {
-					ch <- prefetchMsg{err: err}
-				}
-				return
-			}
-			*blk = append(*blk, rec)
-			if len(*blk) == cap(*blk) {
-				ch <- prefetchMsg{blk: blk}
-				blk = NewBlock()
-			}
+		if err := r.prefetchLoop(ch); err != nil && err != io.EOF {
+			ch <- prefetchMsg{err: err}
 		}
 	}()
 
@@ -59,4 +48,67 @@ func (r *Reader) ReadAllPrefetch(h Handler) (int64, error) {
 		FreeBlock(msg.blk)
 	}
 	return n, nil
+}
+
+// prefetchLoop decodes the whole stream into ch, returning io.EOF on a
+// clean end of stream.
+func (r *Reader) prefetchLoop(ch chan<- prefetchMsg) error {
+	if !r.init {
+		if err := r.readHeader(); err != nil {
+			return err
+		}
+	}
+	if r.version == version2 {
+		return r.prefetchSegments(ch)
+	}
+	blk := NewBlock()
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			if len(*blk) > 0 {
+				ch <- prefetchMsg{blk: blk}
+			} else {
+				FreeBlock(blk)
+			}
+			return err
+		}
+		*blk = append(*blk, rec)
+		if len(*blk) == cap(*blk) {
+			ch <- prefetchMsg{blk: blk}
+			blk = NewBlock()
+		}
+	}
+}
+
+// prefetchSegments is the v2 serial decode loop: read each segment's
+// payload into a reused slab, decode it in one in-memory pass, ship the
+// blocks. Identical stream and records-before-error semantics as the
+// per-record loop, at a fraction of the per-record cost.
+func (r *Reader) prefetchSegments(ch chan<- prefetchMsg) error {
+	var slab []byte
+	for {
+		if err := r.nextSegment(); err != nil {
+			return err
+		}
+		si := r.seg
+		if cap(slab) < si.PayloadLen {
+			slab = make([]byte, si.PayloadLen)
+		}
+		slab = slab[:si.PayloadLen]
+		got, readErr := io.ReadFull(r.r, slab)
+		blocks, decErr := decodePayload(slab[:got], si)
+		for _, blk := range blocks {
+			ch <- prefetchMsg{blk: blk}
+		}
+		if readErr != nil {
+			return r.latch(ErrCorrupt, readErr)
+		}
+		if decErr != nil {
+			return decErr
+		}
+		// The payload is fully consumed: advance the scanner state so a
+		// subsequent frame parses from a consistent position.
+		r.segLeft = 0
+		r.last = si.MaxT
+	}
 }

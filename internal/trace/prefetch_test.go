@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 )
@@ -58,28 +59,87 @@ func TestReadAllPrefetchMatchesReadAll(t *testing.T) {
 	}
 }
 
-// TestReadAllPrefetchErrorParity: on a truncated stream both paths must
-// surface the same error, and the prefetch path must still deliver every
-// record decoded before the corruption.
+// TestReadAllPrefetchErrorParity: on a stream truncated mid-segment both
+// paths must surface ErrCorrupt, and the prefetch path must still deliver
+// every record it reported.
 func TestReadAllPrefetchErrorParity(t *testing.T) {
 	raw := prefetchTestTrace(t, 1000)
-	truncated := raw[:len(raw)-3]
+	// Cut inside the first segment's payload: past the 8-byte file header
+	// and 36-byte frame header, well before the segment ends.
+	truncated := raw[:200]
 
 	var sync Collect
 	sn, syncErr := NewReader(bytes.NewReader(truncated)).ReadAll(&sync)
 	var pre Collect
 	pn, preErr := NewReader(bytes.NewReader(truncated)).ReadAllPrefetch(&pre)
 
-	if syncErr == nil || preErr == nil {
-		t.Fatalf("truncated stream: sync err %v, prefetch err %v", syncErr, preErr)
+	if !errors.Is(syncErr, ErrCorrupt) || !errors.Is(preErr, ErrCorrupt) {
+		t.Fatalf("truncated stream: sync err %v, prefetch err %v, want ErrCorrupt", syncErr, preErr)
 	}
-	if syncErr != preErr {
-		t.Errorf("errors diverge: sync %v, prefetch %v", syncErr, preErr)
-	}
-	if sn != pn {
+	// The per-record and slab decoders walk the same bytes: the pre-error
+	// delivery must be identical, not merely non-empty.
+	if sn == 0 || sn != pn {
 		t.Errorf("pre-error counts diverge: sync %d, prefetch %d", sn, pn)
 	}
-	if len(pre.Records) != int(pn) {
-		t.Errorf("prefetch delivered %d records but reported %d", len(pre.Records), pn)
+	if len(pre.Records) != int(pn) || len(sync.Records) != int(sn) {
+		t.Errorf("delivered/reported mismatch: sync %d/%d, prefetch %d/%d",
+			len(sync.Records), sn, len(pre.Records), pn)
+	}
+	for i := 0; i < len(sync.Records) && i < len(pre.Records); i++ {
+		if sync.Records[i] != pre.Records[i] {
+			t.Fatalf("pre-error record %d diverges: %+v vs %+v", i, sync.Records[i], pre.Records[i])
+		}
+	}
+}
+
+// TestReadAllPrefetchV1MatchesV2: the identical record stream encoded as v1
+// and v2 decodes to the identical records on every serial path.
+func TestReadAllPrefetchV1MatchesV2(t *testing.T) {
+	const n = 2*BlockSize + 7
+	recs := make([]Record, 0, n)
+	var v1buf, v2buf bytes.Buffer
+	w1, w2 := NewWriterV1(&v1buf), NewWriter(&v2buf)
+	w2.SegmentPayload = 1 << 10 // force many segments
+	for i := 0; i < n; i++ {
+		r := Record{
+			T:      time.Duration(i) * 211 * time.Microsecond,
+			Dir:    Direction(i % 2),
+			Kind:   Kind(i % 5),
+			Client: uint32(i % 17),
+			App:    uint16(30 + i%200),
+		}
+		recs = append(recs, r)
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, raw := range map[string][]byte{"v1": v1buf.Bytes(), "v2": v2buf.Bytes()} {
+		var all, pre Collect
+		if _, err := NewReader(bytes.NewReader(raw)).ReadAll(&all); err != nil {
+			t.Fatalf("%s ReadAll: %v", name, err)
+		}
+		if _, err := NewReader(bytes.NewReader(raw)).ReadAllPrefetch(&pre); err != nil {
+			t.Fatalf("%s ReadAllPrefetch: %v", name, err)
+		}
+		for _, got := range [][]Record{all.Records, pre.Records} {
+			if len(got) != n {
+				t.Fatalf("%s: decoded %d records, want %d", name, len(got), n)
+			}
+			for i := range got {
+				if got[i] != recs[i] {
+					t.Fatalf("%s: record %d = %+v, want %+v", name, i, got[i], recs[i])
+				}
+			}
+		}
 	}
 }

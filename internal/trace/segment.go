@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Format v2 segment framing. Each segment is an independently decodable
+// chunk of the record stream: its frame header carries everything a decoder
+// needs (payload length, record count, and the delta base timestamp), so
+// workers can decode segments concurrently from an io.ReaderAt without any
+// shared state, and a serial scanner can walk the frames with a plain
+// io.Reader. See docs/FORMAT.md for the byte-level specification.
+
+const (
+	segMagic    = "CSEG"
+	indexMagic  = "CSIX"
+	footerMagic = "CSFT"
+
+	// segHeaderLen is the fixed "CSEG" frame header:
+	// magic 4 | payloadLen u32 | count u32 | baseT u64 | minT u64 | maxT u64.
+	segHeaderLen = 4 + 4 + 4 + 8 + 8 + 8
+	// indexEntryLen is one index entry:
+	// offset u64 | payloadLen u32 | count u32 | baseT u64 | minT u64 | maxT u64.
+	indexEntryLen = 8 + 4 + 4 + 8 + 8 + 8
+	// indexHeaderLen is the "CSIX" frame header: magic 4 | segCount u32.
+	indexHeaderLen = 4 + 4
+	// footerLen is the fixed trailer:
+	// records u64 | indexOff u64 | segCount u32 | magic 4.
+	footerLen = 8 + 8 + 4 + 4
+)
+
+// SegmentInfo describes one v2 segment, as recorded in the index and
+// duplicated in the segment's own frame header.
+type SegmentInfo struct {
+	// Offset is the file offset of the segment frame (its "CSEG" marker).
+	Offset int64
+	// PayloadLen is the record payload size in bytes (frame header
+	// excluded).
+	PayloadLen int
+	// Count is the number of records in the segment (always ≥ 1; the
+	// writer never emits empty segments).
+	Count int
+	// BaseT is the timestamp of the last record before this segment (0 for
+	// the first segment): the segment's first delta is relative to it, so
+	// decode needs no other context.
+	BaseT time.Duration
+	// MinT and MaxT are the timestamps of the segment's first and last
+	// record — the seek key for time-range queries.
+	MinT, MaxT time.Duration
+}
+
+// parseSegmentHeader decodes a "CSEG" frame header.
+func parseSegmentHeader(hdr []byte) (SegmentInfo, error) {
+	if string(hdr[:4]) != segMagic {
+		return SegmentInfo{}, fmt.Errorf("%w: bad segment marker %q", ErrCorrupt, hdr[:4])
+	}
+	si := SegmentInfo{
+		PayloadLen: int(binary.LittleEndian.Uint32(hdr[4:])),
+		Count:      int(binary.LittleEndian.Uint32(hdr[8:])),
+		BaseT:      time.Duration(binary.LittleEndian.Uint64(hdr[12:])),
+		MinT:       time.Duration(binary.LittleEndian.Uint64(hdr[20:])),
+		MaxT:       time.Duration(binary.LittleEndian.Uint64(hdr[28:])),
+	}
+	if si.Count <= 0 || si.PayloadLen <= 0 || si.MinT < si.BaseT || si.MaxT < si.MinT {
+		return SegmentInfo{}, fmt.Errorf("%w: implausible segment header", ErrCorrupt)
+	}
+	return si, nil
+}
+
+// nextSegment advances the serial scanner to the next segment frame. It
+// returns io.EOF at the clean end of records: the index frame, or — for a
+// file whose tail was lost — a bare EOF at a frame boundary (latched as a
+// warning, since the records themselves were all recovered).
+func (r *Reader) nextSegment() error {
+	if r.done {
+		return io.EOF
+	}
+	var mark [4]byte
+	if _, err := io.ReadFull(r.r, mark[:]); err != nil {
+		if err == io.EOF {
+			r.done = true
+			if r.warn == "" {
+				r.warn = "v2 trace ends without an index frame (truncated tail); all segments before it were recovered"
+			}
+			return io.EOF
+		}
+		return r.latch(ErrCorrupt, err)
+	}
+	switch string(mark[:]) {
+	case indexMagic:
+		// End of record segments; the rest of the file is index + footer,
+		// which the serial scanner does not need.
+		r.done = true
+		return io.EOF
+	case segMagic:
+		var rest [segHeaderLen - 4]byte
+		if _, err := io.ReadFull(r.r, rest[:]); err != nil {
+			return r.latch(ErrCorrupt, err)
+		}
+		var hdr [segHeaderLen]byte
+		copy(hdr[:4], mark[:])
+		copy(hdr[4:], rest[:])
+		si, err := parseSegmentHeader(hdr[:])
+		if err != nil {
+			return err
+		}
+		r.seg = si
+		r.segLeft = si.Count
+		// Segments are self-contained: the delta chain restarts from the
+		// header's base, which equals the previous segment's last T in any
+		// well-formed file.
+		r.last = si.BaseT
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown frame marker %q", ErrCorrupt, mark[:])
+	}
+}
+
+// decodePayload decodes an in-memory segment payload into pooled blocks.
+// This is the v2 fast path: varints decode straight out of the slab with no
+// per-byte reader calls, which is what makes segment decode worth
+// parallelizing (the per-record cost drops well below the v1 bufio path).
+//
+// Every decoded record is appended to blocks obtained from the pool and the
+// full set is returned; on a corrupt payload the blocks decoded so far are
+// returned alongside the error so callers can preserve ReadAll's
+// records-before-error delivery semantics. Count and MinT/MaxT from si are
+// cross-checked against the payload — any mismatch is corruption.
+func decodePayload(p []byte, si SegmentInfo) ([]*Block, error) {
+	blocks := make([]*Block, 0, si.Count/BlockSize+1)
+	blk := NewBlock()
+	last := si.BaseT
+	for i := 0; i < si.Count; i++ {
+		delta, n := binary.Uvarint(p)
+		if n <= 0 {
+			return closePayload(blocks, blk), fmt.Errorf("%w: truncated delta at record %d", ErrCorrupt, i)
+		}
+		p = p[n:]
+		if len(p) == 0 {
+			return closePayload(blocks, blk), fmt.Errorf("%w: truncated flags at record %d", ErrCorrupt, i)
+		}
+		flags := p[0]
+		p = p[1:]
+		client, n := binary.Uvarint(p)
+		if n <= 0 {
+			return closePayload(blocks, blk), fmt.Errorf("%w: truncated client at record %d", ErrCorrupt, i)
+		}
+		p = p[n:]
+		app, n := binary.Uvarint(p)
+		if n <= 0 {
+			return closePayload(blocks, blk), fmt.Errorf("%w: truncated app at record %d", ErrCorrupt, i)
+		}
+		p = p[n:]
+		if client > 1<<32-1 || app > 1<<16-1 {
+			return closePayload(blocks, blk), fmt.Errorf("%w: out-of-range field at record %d", ErrCorrupt, i)
+		}
+		last += time.Duration(delta)
+		if len(*blk) == cap(*blk) {
+			blocks = append(blocks, blk)
+			blk = NewBlock()
+		}
+		*blk = append(*blk, Record{
+			T:      last,
+			Dir:    Direction(flags & 1),
+			Kind:   Kind(flags >> 1 & 0x7),
+			Client: uint32(client),
+			App:    uint16(app),
+		})
+	}
+	blocks = closePayload(blocks, blk)
+	if len(p) != 0 {
+		return blocks, fmt.Errorf("%w: %d trailing bytes after segment records", ErrCorrupt, len(p))
+	}
+	if first := (*blocks[0])[0].T; first != si.MinT {
+		return blocks, fmt.Errorf("%w: first record at %v, header says %v", ErrCorrupt, first, si.MinT)
+	}
+	if last != si.MaxT {
+		return blocks, fmt.Errorf("%w: last record at %v, header says %v", ErrCorrupt, last, si.MaxT)
+	}
+	return blocks, nil
+}
+
+// closePayload appends the in-progress block (or recycles it if empty).
+func closePayload(blocks []*Block, blk *Block) []*Block {
+	if len(*blk) > 0 {
+		return append(blocks, blk)
+	}
+	FreeBlock(blk)
+	return blocks
+}
+
+// readSegmentAt reads and decodes one segment from an io.ReaderAt using the
+// caller's scratch buffer (grown as needed and returned for reuse). The
+// frame header re-read from the file is cross-checked against the index
+// entry, so a file whose index and segments disagree surfaces as ErrCorrupt
+// rather than silently mis-decoding.
+func readSegmentAt(ra io.ReaderAt, si SegmentInfo, scratch []byte) ([]*Block, []byte, error) {
+	need := segHeaderLen + si.PayloadLen
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	scratch = scratch[:need]
+	if _, err := ra.ReadAt(scratch, si.Offset); err != nil {
+		return nil, scratch, fmt.Errorf("%w: segment at offset %d: %w", ErrCorrupt, si.Offset, err)
+	}
+	got, err := parseSegmentHeader(scratch[:segHeaderLen])
+	if err != nil {
+		return nil, scratch, err
+	}
+	got.Offset = si.Offset
+	if got != si {
+		return nil, scratch, fmt.Errorf("%w: segment header at offset %d disagrees with index", ErrCorrupt, si.Offset)
+	}
+	blocks, err := decodePayload(scratch[segHeaderLen:], si)
+	return blocks, scratch, err
+}

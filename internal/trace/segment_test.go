@@ -1,0 +1,418 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// v2TestStream builds a deterministic record stream and its v2 encoding
+// with small segments (so even short streams span many of them).
+func v2TestStream(t *testing.T, n, segPayload int) ([]Record, []byte) {
+	t.Helper()
+	recs := make([]Record, 0, n)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SegmentPayload = segPayload
+	for i := 0; i < n; i++ {
+		r := Record{
+			T:      time.Duration(i) * 173 * time.Microsecond,
+			Dir:    Direction(i % 2),
+			Kind:   Kind(i % 5),
+			Client: uint32(i % 31),
+			App:    uint16(20 + i%300),
+		}
+		recs = append(recs, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return recs, buf.Bytes()
+}
+
+// TestV2ParallelMatchesSerial: the parallel decode must deliver the exact
+// serial stream for every worker count, across sizes that exercise empty
+// files, single segments and partial tails.
+func TestV2ParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 5000, 20000} {
+		recs, raw := v2TestStream(t, n, 1<<10)
+		for _, workers := range []int{1, 2, 3, 8} {
+			var got Collect
+			rd := NewReader(bytes.NewReader(raw))
+			pn, err := rd.ReadAllParallel(&got, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if rd.Warning() != "" {
+				t.Fatalf("n=%d workers=%d: unexpected fallback: %s", n, workers, rd.Warning())
+			}
+			if pn != int64(n) || len(got.Records) != n {
+				t.Fatalf("n=%d workers=%d: delivered %d/%d records", n, workers, pn, len(got.Records))
+			}
+			for i := range recs {
+				if got.Records[i] != recs[i] {
+					t.Fatalf("n=%d workers=%d: record %d = %+v, want %+v",
+						n, workers, i, got.Records[i], recs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReadIndexGeometry: the index must tile the file exactly, chain delta
+// bases through segment boundaries, and agree with the footer totals.
+func TestReadIndexGeometry(t *testing.T) {
+	const n = 12345
+	recs, raw := v2TestStream(t, n, 1<<10)
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Version != 2 || ix.Records != n {
+		t.Fatalf("Version=%d Records=%d", ix.Version, ix.Records)
+	}
+	if len(ix.Segments) < 8 {
+		t.Fatalf("only %d segments; SegmentPayload not honored?", len(ix.Segments))
+	}
+	var sum int
+	next := int64(headerLen)
+	for i, si := range ix.Segments {
+		if si.Offset != next {
+			t.Fatalf("segment %d at %d, want %d", i, si.Offset, next)
+		}
+		if i == 0 && si.BaseT != 0 {
+			t.Fatalf("first BaseT = %v", si.BaseT)
+		}
+		if i > 0 && si.BaseT != ix.Segments[i-1].MaxT {
+			t.Fatalf("segment %d BaseT %v != prev MaxT %v", i, si.BaseT, ix.Segments[i-1].MaxT)
+		}
+		sum += si.Count
+		next = si.Offset + segHeaderLen + int64(si.PayloadLen)
+	}
+	if sum != n {
+		t.Fatalf("index counts %d records, want %d", sum, n)
+	}
+	if first, last := ix.Segments[0].MinT, ix.Segments[len(ix.Segments)-1].MaxT; first != recs[0].T || last != recs[n-1].T {
+		t.Fatalf("span [%v, %v], want [%v, %v]", first, last, recs[0].T, recs[n-1].T)
+	}
+	if ix.PayloadBytes() <= 0 {
+		t.Fatal("PayloadBytes not positive")
+	}
+}
+
+// nonSeeker hides the seek/readat capability of an underlying reader.
+type nonSeeker struct{ io.Reader }
+
+// TestParallelFallsBackSerial: a damaged index or footer, or a non-seekable
+// source, must degrade to the serial scan — full stream, nil error, and an
+// explanatory Warning.
+func TestParallelFallsBackSerial(t *testing.T) {
+	const n = 9000
+	recs, raw := v2TestStream(t, n, 1<<10)
+	cases := map[string]io.Reader{
+		"truncated-footer": bytes.NewReader(raw[:len(raw)-5]),
+		"truncated-index":  bytes.NewReader(raw[:len(raw)-footerLen-13]),
+		"zeroed-footer":    bytes.NewReader(append(append([]byte{}, raw[:len(raw)-8]...), 0, 0, 0, 0, 0, 0, 0, 0)),
+		"non-seekable":     nonSeeker{bytes.NewReader(raw)},
+	}
+	for name, src := range cases {
+		rd := NewReader(src)
+		var got Collect
+		pn, err := rd.ReadAllParallel(&got, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rd.Warning() == "" {
+			t.Errorf("%s: fallback did not set Warning", name)
+		}
+		if pn != int64(n) || len(got.Records) != n {
+			t.Fatalf("%s: delivered %d/%d records, want %d", name, pn, len(got.Records), n)
+		}
+		for i := range recs {
+			if got.Records[i] != recs[i] {
+				t.Fatalf("%s: record %d diverges", name, i)
+			}
+		}
+	}
+}
+
+// TestV2CorruptPayload: damage inside a middle segment must surface
+// ErrCorrupt on the serial and parallel paths alike, with the records of
+// the preceding segments still delivered on the parallel path.
+func TestV2CorruptPayload(t *testing.T) {
+	const n = 9000
+	_, raw := v2TestStream(t, n, 1<<10)
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Segments) < 4 {
+		t.Fatalf("need several segments, have %d", len(ix.Segments))
+	}
+	// Truncate the stream mid-way through the third segment's payload: a
+	// hard corruption no path can decode past.
+	seg := ix.Segments[2]
+	cut := seg.Offset + segHeaderLen + int64(seg.PayloadLen)/2
+	bad := raw[:cut]
+
+	var serial Collect
+	_, serr := NewReader(bytes.NewReader(bad)).ReadAllPrefetch(&serial)
+	if !errors.Is(serr, ErrCorrupt) {
+		t.Fatalf("serial err = %v, want ErrCorrupt", serr)
+	}
+
+	// With the intact index spliced back on, the parallel path sees a
+	// valid index whose segment bytes are damaged. Rebuild: keep all
+	// segments but zero a byte inside segment 2's payload.
+	mut := append([]byte{}, raw...)
+	mut[seg.Offset+segHeaderLen+5] ^= 0xFF
+	var par Collect
+	prd := NewReader(bytes.NewReader(mut))
+	pn, perr := prd.ReadAllParallel(&par, 4)
+	if !errors.Is(perr, ErrCorrupt) {
+		t.Fatalf("parallel err = %v, want ErrCorrupt", perr)
+	}
+	if prd.Err() == nil || !errors.Is(prd.Err(), ErrCorrupt) {
+		t.Fatalf("parallel path did not latch the cause: Err() = %v", prd.Err())
+	}
+	// Everything before the damaged segment must have been delivered.
+	min := int64(ix.Segments[0].Count + ix.Segments[1].Count)
+	if pn < min {
+		t.Fatalf("parallel delivered %d records before error, want ≥ %d", pn, min)
+	}
+	if int64(len(par.Records)) != pn {
+		t.Fatalf("delivered %d but reported %d", len(par.Records), pn)
+	}
+}
+
+// TestV2IndexSegmentDisagreement: an index entry that contradicts the
+// segment's own frame header is corruption, not silent mis-decode.
+func TestV2IndexSegmentDisagreement(t *testing.T) {
+	const n = 5000
+	_, raw := v2TestStream(t, n, 1<<10)
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a count byte inside the on-disk frame header of segment 1 and
+	// patch MinT/MaxT consistency so parseSegmentHeader alone still passes.
+	mut := append([]byte{}, raw...)
+	off := ix.Segments[1].Offset
+	binary.LittleEndian.PutUint32(mut[off+8:], uint32(ix.Segments[1].Count+1))
+	_, perr := NewReader(bytes.NewReader(mut)).ReadAllParallel(&Collect{}, 4)
+	if !errors.Is(perr, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", perr)
+	}
+}
+
+// TestV2EmptyTrace: an empty v2 file still carries a header, an empty index
+// and a footer, and every read path reports zero records cleanly.
+func TestV2EmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantSize := headerLen + indexHeaderLen + footerLen
+	if buf.Len() != wantSize {
+		t.Fatalf("empty v2 file is %d bytes, want %d", buf.Len(), wantSize)
+	}
+	ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Records != 0 || len(ix.Segments) != 0 {
+		t.Fatalf("index = %+v", ix)
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())).Read(); err != io.EOF {
+		t.Fatalf("Read = %v, want io.EOF", err)
+	}
+	pn, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAllParallel(&Collect{}, 4)
+	if err != nil || pn != 0 {
+		t.Fatalf("parallel = %d, %v", pn, err)
+	}
+}
+
+// TestWriterSealing: Flush seals a v2 trace; the Handle path latches the
+// resulting ErrFinished instead of corrupting the file.
+func TestWriterSealing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{App: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{T: time.Second}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("Write after Flush = %v, want ErrFinished", err)
+	}
+	w.Handle(Record{T: time.Second})
+	if !errors.Is(w.Err(), ErrFinished) {
+		t.Fatalf("Err() = %v, want ErrFinished", w.Err())
+	}
+}
+
+// TestReaderErrLatchesCause: the sentinel errors keep their identity while
+// Err() preserves the underlying EOF-tail/IO state the old reader dropped.
+func TestReaderErrLatchesCause(t *testing.T) {
+	// v1 stream truncated mid-varint.
+	trunc := append([]byte("CSTR"), version1, 0, 0, 0, 0x80)
+	rd := NewReader(bytes.NewReader(trunc))
+	if _, err := rd.Read(); err != ErrCorrupt {
+		t.Fatalf("Read = %v, want ErrCorrupt", err)
+	}
+	if rd.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("Err() = %v, want io.ErrUnexpectedEOF", rd.Err())
+	}
+
+	// Header shorter than 8 bytes: bad magic, cause latched.
+	rd2 := NewReader(bytes.NewReader([]byte("CST")))
+	if _, err := rd2.Read(); err != ErrBadMagic {
+		t.Fatalf("Read = %v, want ErrBadMagic", err)
+	}
+	if rd2.Err() == nil {
+		t.Fatal("Err() = nil, want latched cause")
+	}
+
+	// A clean v1 EOF latches nothing.
+	var buf bytes.Buffer
+	w := NewWriterV1(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd3 := NewReader(&buf)
+	if _, err := rd3.Read(); err != io.EOF {
+		t.Fatalf("Read = %v, want io.EOF", err)
+	}
+	if rd3.Err() != nil {
+		t.Fatalf("Err() = %v, want nil", rd3.Err())
+	}
+}
+
+// TestVersionPolicy: version bytes above the current version must error
+// cleanly everywhere, and ReadIndex must identify v1 as index-less.
+func TestVersionPolicy(t *testing.T) {
+	future := append([]byte("CSTR"), 3, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(future)).Read(); err != ErrBadVersion {
+		t.Fatalf("Read = %v, want ErrBadVersion", err)
+	}
+	if _, err := NewReader(bytes.NewReader(future)).ReadAllParallel(&Collect{}, 4); err != ErrBadVersion {
+		t.Fatalf("ReadAllParallel = %v, want ErrBadVersion", err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(future), int64(len(future))); err != ErrBadVersion {
+		// ReadIndex sees a file too small before it sees the version;
+		// grow it past the minimum.
+		padded := append(append([]byte{}, future...), make([]byte, 64)...)
+		if _, err := ReadIndex(bytes.NewReader(padded), int64(len(padded))); err != ErrBadVersion {
+			t.Fatalf("ReadIndex = %v, want ErrBadVersion", err)
+		}
+	}
+
+	var v1 bytes.Buffer
+	w := NewWriterV1(&v1)
+	for i := 0; i < 100; i++ {
+		if err := w.Write(Record{T: time.Duration(i) * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(v1.Bytes()), int64(v1.Len())); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("ReadIndex(v1) = %v, want ErrNoIndex", err)
+	}
+	// A v1 trace through ReadAllParallel silently uses the serial path —
+	// that is the documented fallback, not a warning case.
+	rd := NewReader(bytes.NewReader(v1.Bytes()))
+	pn, err := rd.ReadAllParallel(&Collect{}, 4)
+	if err != nil || pn != 100 {
+		t.Fatalf("v1 via ReadAllParallel = %d, %v", pn, err)
+	}
+}
+
+// goldenV1 is a two-record v1 file written by the original (pre-v2) Writer,
+// byte for byte; goldenV2 is the same stream in v2 form, as specified in
+// docs/FORMAT.md. If either comparison breaks, the on-disk format changed
+// and the compatibility policy was violated.
+var (
+	goldenRecords = []Record{
+		{T: 0, Dir: In, Kind: KindGame, Client: 1, App: 40},
+		{T: 50 * time.Millisecond, Dir: Out, Kind: KindGame, Client: 1, App: 130},
+	}
+	goldenPayload = []byte{
+		0x00, 0x00, 0x01, 0x28, // delta 0 | in/game | client 1 | app 40
+		0x80, 0xE1, 0xEB, 0x17, // delta 50 ms (uvarint 50 000 000)
+		0x01, 0x01, 0x82, 0x01, // out/game | client 1 | app 130
+	}
+	goldenV1 = append([]byte{'C', 'S', 'T', 'R', 1, 0, 0, 0}, goldenPayload...)
+	goldenV2 = func() []byte {
+		b := []byte{'C', 'S', 'T', 'R', 2, 0, 0, 0}
+		// Segment frame at offset 8.
+		b = append(b, 'C', 'S', 'E', 'G')
+		b = binary.LittleEndian.AppendUint32(b, 12) // payload bytes
+		b = binary.LittleEndian.AppendUint32(b, 2)  // records
+		b = binary.LittleEndian.AppendUint64(b, 0)  // baseT
+		b = binary.LittleEndian.AppendUint64(b, 0)  // minT
+		b = binary.LittleEndian.AppendUint64(b, 50_000_000)
+		b = append(b, goldenPayload...)
+		// Index frame at offset 56.
+		b = append(b, 'C', 'S', 'I', 'X')
+		b = binary.LittleEndian.AppendUint32(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, 8)
+		b = binary.LittleEndian.AppendUint32(b, 12)
+		b = binary.LittleEndian.AppendUint32(b, 2)
+		b = binary.LittleEndian.AppendUint64(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 50_000_000)
+		// Footer.
+		b = binary.LittleEndian.AppendUint64(b, 2)
+		b = binary.LittleEndian.AppendUint64(b, 56)
+		b = binary.LittleEndian.AppendUint32(b, 1)
+		return append(b, 'C', 'S', 'F', 'T')
+	}()
+)
+
+// TestGoldenFiles: both golden byte strings decode to the golden records,
+// and today's writers reproduce them exactly.
+func TestGoldenFiles(t *testing.T) {
+	for name, raw := range map[string][]byte{"v1": goldenV1, "v2": goldenV2} {
+		var got Collect
+		n, err := NewReader(bytes.NewReader(raw)).ReadAll(&got)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != 2 || got.Records[0] != goldenRecords[0] || got.Records[1] != goldenRecords[1] {
+			t.Fatalf("%s decoded %d: %+v", name, n, got.Records)
+		}
+	}
+
+	var v1, v2 bytes.Buffer
+	w1, w2 := NewWriterV1(&v1), NewWriter(&v2)
+	for _, r := range goldenRecords {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), goldenV1) {
+		t.Errorf("v1 writer output diverged from golden:\n got %x\nwant %x", v1.Bytes(), goldenV1)
+	}
+	if !bytes.Equal(v2.Bytes(), goldenV2) {
+		t.Errorf("v2 writer output diverged from golden:\n got %x\nwant %x", v2.Bytes(), goldenV2)
+	}
+}

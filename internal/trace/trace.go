@@ -17,11 +17,16 @@
 // subsets it, and SortBuffer restores strict time order to
 // bounded-disorder streams for order-sensitive consumers.
 //
-// Writer/Reader persist streams in a delta-encoded binary format;
-// Reader.ReadAllPrefetch decodes ahead on a goroutine so file I/O overlaps
-// analysis. PCAP{,NG}Writer and ReadPCAP{,NG} exchange traces with
-// standard capture tooling. See docs/ARCHITECTURE.md for the end-to-end
-// data flow.
+// Writer/Reader persist streams in a delta-encoded binary format
+// (docs/FORMAT.md is the byte-level spec). NewWriter emits format v2:
+// records chunk into independently-decodable segments with a segment index
+// and footer, so Reader.ReadAllParallel can fan segment decode out across
+// worker goroutines with order-preserving reassembly — and fall back to
+// the serial Reader.ReadAllPrefetch scan (which decodes ahead on one
+// goroutine, overlapping file I/O with analysis) for v1 files,
+// non-seekable sources and damaged indexes. PCAP{,NG}Writer and
+// ReadPCAP{,NG} exchange traces with standard capture tooling. See
+// docs/ARCHITECTURE.md for the end-to-end data flow.
 package trace
 
 import (

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -184,9 +185,15 @@ func TestReaderBadInput(t *testing.T) {
 	if _, err := NewReader(bytes.NewReader(bad)).Read(); err != ErrBadVersion {
 		t.Errorf("err = %v, want ErrBadVersion", err)
 	}
-	// Header followed by garbage mid-record.
-	trunc := append([]byte("CSTR"), version, 0, 0, 0, 0x80)
+	// v1 header followed by garbage mid-record.
+	trunc := append([]byte("CSTR"), version1, 0, 0, 0, 0x80)
 	if _, err := NewReader(bytes.NewReader(trunc)).Read(); err != ErrCorrupt {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+	// v2 header followed by an unknown frame marker.
+	badFrame := append([]byte("CSTR"), version2, 0, 0, 0)
+	badFrame = append(badFrame, "WHAT"...)
+	if _, err := NewReader(bytes.NewReader(badFrame)).Read(); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("err = %v, want ErrCorrupt", err)
 	}
 }

@@ -58,3 +58,13 @@ func writeReport(w io.Writer, r *Results) error {
 	report.Burstiness(w, r.Suite.Gaps, tick, corr)
 	return nil
 }
+
+// writeTraceAnalysis renders the subset of the report recoverable from a
+// persisted record stream (no Table I: session stats live with the
+// generator, not the trace).
+func writeTraceAnalysis(w io.Writer, a *TraceAnalysis) error {
+	report.TableII(w, a.TableII)
+	report.TableIII(w, a.TableIII)
+	report.VarianceTime(w, a.Suite.VT.Points(), a.Regions)
+	return nil
+}
