@@ -36,10 +36,19 @@ func benchGame(seed uint64) gamesim.Config {
 	return cfg
 }
 
+// benchSuiteConfig is the paper suite sized to the bench window, with the
+// sorting stage skipped: every bench feeds a time-ordered stream (the
+// generator emits sorted windows; trace files store sorted records).
+func benchSuiteConfig(d time.Duration) analysis.SuiteConfig {
+	sc := analysis.DefaultSuiteConfig(d)
+	sc.SortedInput = true
+	return sc
+}
+
 // run executes the window into a fresh suite.
 func runSuite(b *testing.B, seed uint64) (*analysis.Suite, gamesim.Stats) {
 	b.Helper()
-	suite, err := analysis.NewSuite(analysis.DefaultSuiteConfig(benchWindow))
+	suite, err := analysis.NewSuite(benchSuiteConfig(benchWindow))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -376,7 +385,7 @@ func pipelineRecords(b *testing.B) []trace.Record {
 
 func benchPipeline(b *testing.B, feed func(*analysis.Suite, []trace.Record)) {
 	recs := pipelineRecords(b)
-	sc := analysis.DefaultSuiteConfig(Quick(1).Game.Duration)
+	sc := benchSuiteConfig(Quick(1).Game.Duration)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		suite, err := analysis.NewSuite(sc)
@@ -474,7 +483,7 @@ func analyzeTraceRaw(b *testing.B) (v1, v2 []byte) {
 }
 
 func benchAnalyze(b *testing.B, run func(*analysis.Suite) (int64, error)) {
-	sc := analysis.DefaultSuiteConfig(Quick(1).Game.Duration)
+	sc := benchSuiteConfig(Quick(1).Game.Duration)
 	b.ResetTimer()
 	var n int64
 	for i := 0; i < b.N; i++ {
@@ -552,8 +561,9 @@ func BenchmarkScenario(b *testing.B) {
 	b.ReportMetric(perSlot, "kbs/slot")
 }
 
-// BenchmarkGeneratorThroughput measures raw generation speed: how fast the
-// half-billion-packet week can be regenerated.
+// BenchmarkGeneratorThroughput measures raw generation speed through a
+// per-record handler: how fast the half-billion-packet week can be
+// regenerated by a legacy consumer.
 func BenchmarkGeneratorThroughput(b *testing.B) {
 	var n int64
 	for i := 0; i < b.N; i++ {
@@ -564,6 +574,64 @@ func BenchmarkGeneratorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+// nullSink consumes blocks for free: generation benches measure the
+// generator, not the consumer.
+type nullSink struct{}
+
+func (nullSink) Handle(trace.Record)        {}
+func (nullSink) HandleBatch([]trace.Record) {}
+
+// benchGenerate measures the batch-native generation path at a given fill
+// worker count. Records reach the handler as per-window blocks.
+func benchGenerate(b *testing.B, workers int) {
+	b.Helper()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		cfg := benchGame(uint64(i + 1))
+		cfg.Workers = workers
+		st, err := gamesim.Run(cfg, nullSink{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += st.PacketsIn + st.PacketsOut
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+// BenchmarkGenerate is the serial fill path; BenchmarkGenerateParallel
+// fills tick windows on GOMAXPROCS worker goroutines (byte-identical
+// stream; the speedup needs real cores).
+func BenchmarkGenerate(b *testing.B)         { benchGenerate(b, 1) }
+func BenchmarkGenerateParallel(b *testing.B) { benchGenerate(b, runtime.GOMAXPROCS(0)) }
+
+// benchEndToEnd measures the full gen→analyze path — Reproduce with the
+// given generator fill workers and collector-group shards. This is the
+// number the provisioning question rides on: how fast a paper-scale
+// workload can be produced and characterized.
+func benchEndToEnd(b *testing.B, genWorkers, parallel int) {
+	b.Helper()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Game: benchGame(uint64(i + 1)), Suite: analysis.DefaultSuiteConfig(benchWindow)}
+		cfg.Game.Workers = genWorkers
+		cfg.Parallelism = parallel
+		res, err := Reproduce(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += res.TableII.TotalPackets
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+// BenchmarkEndToEndSerial is one goroutine end to end;
+// BenchmarkEndToEndParallel runs generator fill workers and sharded
+// collector groups at GOMAXPROCS each (reports byte-identical to serial).
+func BenchmarkEndToEndSerial(b *testing.B) { benchEndToEnd(b, 1, 1) }
+func BenchmarkEndToEndParallel(b *testing.B) {
+	benchEndToEnd(b, runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0))
 }
 
 func meanOf(xs []float64) float64 {

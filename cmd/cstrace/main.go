@@ -43,18 +43,23 @@ func main() {
 	log.SetPrefix("cstrace: ")
 
 	var (
-		mode      = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | pcap | web | aggregate | provision | scenario")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		duration  = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
-		inFile    = flag.String("in", "", "input trace file (analyze/index)")
-		outFile   = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
-		format    = flag.Int("format", 2, "trace format version to write (gen): 2 = segmented+indexed, 1 = legacy")
-		players   = flag.Int("players", 100000, "target concurrent players (provision)")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
-		servers   = flag.Int("servers", 8, "fleet size (scenario)")
-		stagger   = flag.Duration("stagger", 0, "per-server launch stagger (scenario)")
-		spike     = flag.Float64("spike", 6, "launch-day arrival surge multiplier (scenario; <=1 disables)")
-		perServer = flag.Bool("perserver", false, "print the per-server breakdown with per-box suites (scenario)")
+		mode       = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | pcap | web | aggregate | provision | scenario")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		duration   = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
+		inFile     = flag.String("in", "", "input trace file (analyze/index)")
+		outFile    = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
+		format     = flag.Int("format", 2, "trace format version to write (gen): 2 = segmented+indexed, 1 = legacy")
+		players    = flag.Int("players", 100000, "target concurrent players (provision)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
+		genWorkers = flag.Int("genworkers", runtime.GOMAXPROCS(0), "generator fill-stage goroutines (week/quick/gen; 1 = serial, results identical)")
+		servers    = flag.Int("servers", 8, "fleet size (scenario)")
+		stagger    = flag.Duration("stagger", 0, "per-server launch stagger (scenario)")
+		spike      = flag.Float64("spike", 6, "launch-day arrival surge multiplier (scenario; <=1 disables)")
+		perServer  = flag.Bool("perserver", false, "print the per-server breakdown with full per-box suites (scenario)")
+		perSlim    = flag.Bool("perslim", false, "like -perserver but with the slim per-box collector set (counters + minute series); scales to hundreds of servers")
+		depths     = flag.Bool("depths", false, "print collector-group channel-depth stats after a sharded run (week/quick/analyze)")
+		from       = flag.Duration("from", 0, "analyze only records at or after this offset (analyze)")
+		to         = flag.Duration("to", 0, "analyze only records before this offset (analyze; 0 = end of trace)")
 	)
 	flag.Parse()
 
@@ -62,15 +67,15 @@ func main() {
 	var err error
 	switch *mode {
 	case "week":
-		err = runReproduce(cstrace.Full(*seed), *duration, *parallel)
+		err = runReproduce(cstrace.Full(*seed), *duration, *parallel, *genWorkers, *depths)
 	case "quick":
-		err = runReproduce(cstrace.Quick(*seed), *duration, *parallel)
+		err = runReproduce(cstrace.Quick(*seed), *duration, *parallel, *genWorkers, *depths)
 	case "nat":
 		err = runNAT(*seed)
 	case "gen":
-		err = runGen(*seed, *duration, *outFile, *format)
+		err = runGen(*seed, *duration, *outFile, *format, *genWorkers)
 	case "analyze":
-		err = runAnalyze(*inFile, *parallel)
+		err = runAnalyze(*inFile, *parallel, *from, *to, *depths)
 	case "index":
 		err = runIndex(*inFile)
 	case "pcap":
@@ -82,7 +87,13 @@ func main() {
 	case "provision":
 		err = runProvision(*players)
 	case "scenario":
-		err = runScenario(*seed, *servers, *duration, *stagger, *spike, *parallel, *perServer, *outFile)
+		perMode := cstrace.PerServerNone
+		if *perSlim {
+			perMode = cstrace.PerServerSlim
+		} else if *perServer {
+			perMode = cstrace.PerServerFull
+		}
+		err = runScenario(*seed, *servers, *duration, *stagger, *spike, *parallel, perMode, *outFile)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -92,12 +103,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cstrace: %s mode finished in %v\n", *mode, time.Since(start).Round(time.Millisecond))
 }
 
-func runReproduce(cfg cstrace.Config, override time.Duration, parallel int) error {
+func runReproduce(cfg cstrace.Config, override time.Duration, parallel, genWorkers int, depths bool) error {
 	if override > 0 {
 		cfg.Game.Duration = override
 		cfg.Suite = analysis.DefaultSuiteConfig(override)
 	}
 	cfg.Parallelism = parallel
+	cfg.Game.Workers = genWorkers
 	res, err := cstrace.Reproduce(cfg)
 	if err != nil {
 		return err
@@ -107,7 +119,24 @@ func runReproduce(cfg cstrace.Config, override time.Duration, parallel int) erro
 	}
 	fmt.Printf("Per-slot bandwidth: %.1f kbs across %d slots (paper: ~40 kbs)\n",
 		res.PerSlotKbs(), cfg.Game.Slots)
+	if depths {
+		printDepths(res.GroupDepths)
+	}
 	return nil
+}
+
+// printDepths renders sharded collector-group depth statistics: the group
+// whose mean rides the channel bound is the pipeline's straggler.
+func printDepths(ds []analysis.GroupDepth) {
+	if len(ds) == 0 {
+		fmt.Fprintln(os.Stderr, "cstrace: no group depths (single-threaded run)")
+		return
+	}
+	fmt.Printf("Collector group depths (channel bound %d)\n", analysis.ShardChanDepth)
+	fmt.Printf("  %-16s %10s %10s %6s\n", "group", "blocks", "mean", "max")
+	for _, d := range ds {
+		fmt.Printf("  %-16s %10d %10.2f %6d\n", d.Name, d.Blocks, d.MeanDepth(), d.MaxDepth)
+	}
 }
 
 func runNAT(seed uint64) error {
@@ -125,7 +154,7 @@ func runNAT(seed uint64) error {
 	return nil
 }
 
-func runGen(seed uint64, d time.Duration, out string, format int) error {
+func runGen(seed uint64, d time.Duration, out string, format, genWorkers int) error {
 	if out == "" {
 		return fmt.Errorf("gen: -out required")
 	}
@@ -145,16 +174,17 @@ func runGen(seed uint64, d time.Duration, out string, format int) error {
 	cfg := gamesim.PaperConfig(seed)
 	cfg.Duration = d
 	cfg.Outages = nil
+	cfg.Workers = genWorkers
 	w := trace.NewWriter(f)
 	if format == 1 {
 		w = trace.NewWriterV1(f)
 	}
-	sorter := trace.NewSortBuffer(2*cfg.TickInterval, w)
-	st, err := gamesim.Run(cfg, sorter, nil)
+	// The generator emits a strictly time-ordered stream — exactly what
+	// the Writer requires — so records encode as they are produced.
+	st, err := gamesim.Run(cfg, w, nil)
 	if err != nil {
 		return err
 	}
-	sorter.Flush()
 	if err := w.Flush(); err != nil {
 		return err
 	}
@@ -163,7 +193,7 @@ func runGen(seed uint64, d time.Duration, out string, format int) error {
 	return nil
 }
 
-func runAnalyze(in string, parallel int) error {
+func runAnalyze(in string, parallel int, from, to time.Duration, depths bool) error {
 	if in == "" {
 		return fmt.Errorf("analyze: -in required")
 	}
@@ -178,7 +208,17 @@ func runAnalyze(in string, parallel int) error {
 	// record timestamps. With -parallel N the trace's v2 segments decode
 	// on worker goroutines and the suite's collector groups shard across
 	// another set; results are byte-identical at every setting.
-	a, err := cstrace.AnalyzeTrace(f, parallel)
+	var a *cstrace.TraceAnalysis
+	if from > 0 || to > 0 {
+		// Time slice: binary-search the segment index, decode only the
+		// overlapping segments.
+		if to == 0 {
+			to = 1<<63 - 1
+		}
+		a, err = cstrace.AnalyzeTraceRange(f, parallel, from, to)
+	} else {
+		a, err = cstrace.AnalyzeTrace(f, parallel)
+	}
 	if err != nil {
 		return err
 	}
@@ -187,6 +227,9 @@ func runAnalyze(in string, parallel int) error {
 	}
 	if err := a.WriteReport(os.Stdout); err != nil {
 		return err
+	}
+	if depths {
+		printDepths(a.GroupDepths)
 	}
 	log.Printf("analyzed %d records (format v%d)", a.Records, a.Version)
 	return nil
@@ -265,18 +308,18 @@ func runPcap(seed uint64, d time.Duration, out string) error {
 	if strings.HasSuffix(out, ".pcapng") {
 		pw = trace.NewPCAPNGWriter(f, start)
 	}
+	// The generator's stream is strictly time-ordered, so packets write
+	// in emission order.
 	var n int64
 	var writeErr error
-	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.HandlerFunc(func(r trace.Record) {
+	if _, err := gamesim.Run(cfg, trace.HandlerFunc(func(r trace.Record) {
 		if writeErr == nil {
 			writeErr = pw.Write(r)
 			n++
 		}
-	}))
-	if _, err := gamesim.Run(cfg, sorter, nil); err != nil {
+	}), nil); err != nil {
 		return err
 	}
-	sorter.Flush()
 	if writeErr != nil {
 		return writeErr
 	}
@@ -326,7 +369,7 @@ func runAggregate(seed uint64) error {
 	return nil
 }
 
-func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel int, perServer bool, out string) error {
+func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel int, perMode cstrace.PerServerMode, out string) error {
 	cfg := cstrace.LaunchDay(seed, servers)
 	if duration > 0 {
 		cfg.Spec.Duration = duration
@@ -334,7 +377,7 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 	cfg.Spec.Stagger = stagger
 	cfg.Spec.SpikeMult = spike
 	cfg.Parallelism = parallel
-	cfg.PerServer = perServer
+	cfg.PerServer = perMode
 
 	// -out persists the merged fleet stream as an indexed v2 trace. The
 	// merge's cross-server disorder is bounded by one tick window
@@ -367,13 +410,23 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 	if err := res.WriteReport(os.Stdout); err != nil {
 		return err
 	}
-	if perServer {
-		// Per-box suites run on each server's own clock: the paper's
-		// single-server predictability, once per box.
-		fmt.Println("Per-server suites (local clock)")
+	if perMode != cstrace.PerServerNone {
+		// Per-box collectors run on each server's own clock: the paper's
+		// single-server predictability, once per box. The slim set carries
+		// the same headline table at a fraction of the collection cost.
+		label := "suites"
+		if perMode == cstrace.PerServerSlim {
+			label = "slim collectors"
+		}
+		fmt.Printf("Per-server %s (local clock)\n", label)
 		fmt.Println("-------------------------------")
 		for _, s := range res.Servers {
-			t2 := s.Suite.Count.TableII(s.Game.Duration)
+			var t2 analysis.TableII
+			if s.Suite != nil {
+				t2 = s.Suite.Count.TableII(s.Game.Duration)
+			} else {
+				t2 = s.Slim.TableII()
+			}
 			fmt.Printf("  %-8s %8.1f kbs mean  %6.1f kbs/slot  %7.0f pps  in:out pkts %.2f\n",
 				s.Name, t2.MeanBW.Kbs(), t2.MeanBW.Kbs()/float64(s.Game.Slots),
 				float64(t2.MeanPPS), float64(t2.PacketsIn)/float64(t2.PacketsOut))

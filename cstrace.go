@@ -55,6 +55,11 @@ type Config struct {
 	// collector groups across workers (clamped to the number of groups).
 	// Results are byte-identical across all settings; on multi-core
 	// hardware sharding overlaps the collector sweeps with generation.
+	//
+	// Generation-side parallelism is configured separately on
+	// Game.Workers: the payload-size fill stage of the generator runs on
+	// that many goroutines, again with byte-identical results. The two
+	// knobs compose — a fully parallel reproduction sets both.
 	Parallelism int
 }
 
@@ -87,6 +92,11 @@ type Results struct {
 	TableII  analysis.TableII
 	TableIII analysis.TableIII
 	Regions  analysis.RegionEstimates
+
+	// GroupDepths holds the sharded suite's per-group channel-depth
+	// statistics (nil for single-threaded runs) — the measurement that
+	// names the next collector-group straggler.
+	GroupDepths []analysis.GroupDepth
 }
 
 // Reproduce runs the workload through the full analysis suite.
@@ -94,21 +104,25 @@ func Reproduce(cfg Config) (*Results, error) {
 	if cfg.Suite.Duration == 0 {
 		cfg.Suite = analysis.DefaultSuiteConfig(cfg.Game.Duration)
 	}
+	// The generator emits a strictly time-ordered stream, so the suite's
+	// order-sensitive collectors are fed directly — no sorting stage.
+	cfg.Suite.SortedInput = true
 	suite, err := analysis.NewSuite(cfg.Suite)
 	if err != nil {
 		return nil, err
 	}
 	sink, closeSink := suite.Sink(cfg.Parallelism)
+	tee := sink
 	if cfg.Extra != nil {
-		sink = trace.Tee(sink, cfg.Extra)
+		tee = trace.Tee(sink, cfg.Extra)
 	}
-	st, err := gamesim.Run(cfg.Game, sink, suite.Observe)
+	st, err := gamesim.Run(cfg.Game, tee, suite.Observe)
 	closeSink()
 	if err != nil {
 		return nil, err
 	}
 
-	return &Results{
+	res := &Results{
 		Config:   cfg,
 		Stats:    st,
 		Suite:    suite,
@@ -117,7 +131,11 @@ func Reproduce(cfg Config) (*Results, error) {
 		TableIII: suite.Count.TableIII(),
 		Regions: analysis.Regions(suite.VT.Points(), cfg.Suite.VarTimeBase,
 			cfg.Game.TickInterval, cfg.Game.MapDuration+cfg.Game.MapChangePause),
-	}, nil
+	}
+	if sh, ok := sink.(*analysis.ShardedSuite); ok {
+		res.GroupDepths = sh.Depths()
+	}
+	return res, nil
 }
 
 // PerSlotKbs returns the paper's headline figure: mean bandwidth divided by
@@ -143,6 +161,10 @@ type TraceAnalysis struct {
 	TableII  analysis.TableII
 	TableIII analysis.TableIII
 	Regions  analysis.RegionEstimates
+
+	// GroupDepths holds the sharded suite's per-group channel-depth
+	// statistics (nil for single-threaded runs).
+	GroupDepths []analysis.GroupDepth
 }
 
 // AnalyzeTrace reads a persisted binary trace (format v1 or v2, detected
@@ -155,7 +177,9 @@ type TraceAnalysis struct {
 // degraded inputs (v1, non-seekable, damaged index) are analyzed by the
 // serial scan and noted in TraceAnalysis.Warning.
 func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
-	suite, err := analysis.NewSuite(analysis.SuiteConfig{})
+	// The binary format stores records in non-decreasing time order (the
+	// Writer rejects anything else), so the suite skips its sorting stage.
+	suite, err := analysis.NewSuite(analysis.SuiteConfig{SortedInput: true})
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +190,7 @@ func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TraceAnalysis{
+	a := &TraceAnalysis{
 		Records:  n,
 		Version:  rd.Version(),
 		Warning:  rd.Warning(),
@@ -175,12 +199,54 @@ func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 		TableIII: suite.Count.TableIII(),
 		Regions: analysis.Regions(suite.VT.Points(), 10*time.Millisecond,
 			50*time.Millisecond, 30*time.Minute+48*time.Second),
-	}, nil
+	}
+	if sh, ok := sink.(*analysis.ShardedSuite); ok {
+		a.GroupDepths = sh.Depths()
+	}
+	return a, nil
 }
 
 // WriteReport renders the trace-derived tables and figures.
 func (a *TraceAnalysis) WriteReport(w io.Writer) error {
 	return writeTraceAnalysis(w, a)
+}
+
+// AnalyzeTraceRange is AnalyzeTrace restricted to the records with
+// from ≤ T < to. For an indexed v2 trace on a seekable source only the
+// overlapping file segments are read and decoded (trace.Reader.ReadRange),
+// so slicing an hour out of a week costs an hour's I/O. Collectors that bin
+// by absolute time (minute series, interval windows) keep their absolute
+// positions; Table II/III rates are computed over the observed span of the
+// slice. parallelism shards the collector groups as in AnalyzeTrace.
+func AnalyzeTraceRange(src io.Reader, parallelism int, from, to time.Duration) (*TraceAnalysis, error) {
+	suite, err := analysis.NewSuite(analysis.SuiteConfig{SortedInput: true})
+	if err != nil {
+		return nil, err
+	}
+	rd := trace.NewReader(src)
+	sink, closeSink := suite.Sink(parallelism)
+	n, err := rd.ReadRange(from, to, sink)
+	closeSink()
+	if err != nil {
+		return nil, err
+	}
+	// Rates over the slice: the observed span from the range start to the
+	// last record seen (End), not the whole-trace duration.
+	span := suite.Count.End - from
+	a := &TraceAnalysis{
+		Records:  n,
+		Version:  rd.Version(),
+		Warning:  rd.Warning(),
+		Suite:    suite,
+		TableII:  suite.Count.TableII(span),
+		TableIII: suite.Count.TableIII(),
+		Regions: analysis.Regions(suite.VT.Points(), 10*time.Millisecond,
+			50*time.Millisecond, 30*time.Minute+48*time.Second),
+	}
+	if sh, ok := sink.(*analysis.ShardedSuite); ok {
+		a.GroupDepths = sh.Depths()
+	}
+	return a, nil
 }
 
 // ReproduceNAT runs the §IV-A NAT experiment (Table IV, Figs 14-15).

@@ -22,7 +22,7 @@ func main() {
 	// Region rollout: each server opens two minutes after the previous.
 	cfg.Spec.Stagger = 2 * time.Minute
 	cfg.Parallelism = runtime.GOMAXPROCS(0)
-	cfg.PerServer = true
+	cfg.PerServer = cstrace.PerServerFull
 
 	res, err := cstrace.RunScenario(cfg)
 	if err != nil {

@@ -70,7 +70,7 @@ func TestSizeDist(t *testing.T) {
 	s.Handle(rec(0, trace.In, 1, 40))
 	s.Handle(rec(0, trace.In, 1, 40))
 	s.Handle(rec(0, trace.Out, 1, 130))
-	if s.In.Total() != 2 || s.Out.Total() != 1 || s.Total.Total() != 3 {
+	if s.In.Total() != 2 || s.Out.Total() != 1 || s.Total().Total() != 3 {
 		t.Fatal("totals")
 	}
 	if s.In.Count(40) != 2 || s.Out.Count(130) != 1 {
@@ -79,7 +79,7 @@ func TestSizeDist(t *testing.T) {
 	if s.In.Mean() != 40 {
 		t.Error("mean")
 	}
-	cdf := s.Total.CDF()
+	cdf := s.Total().CDF()
 	if cdf[39] != 0 || math.Abs(cdf[40]-2.0/3) > 1e-12 || cdf[130] != 1 {
 		t.Errorf("cdf: %v %v %v", cdf[39], cdf[40], cdf[130])
 	}

@@ -6,8 +6,8 @@ import (
 	"sort"
 	"time"
 
-	"cstrace/internal/stats"
 	"cstrace/internal/trace"
+	"cstrace/internal/units"
 )
 
 // Interarrival collects per-direction packet interarrival times. The paper
@@ -17,11 +17,17 @@ import (
 // smooth superposition of independent client streams — and it is what
 // source models (Borella; internal/sourcemodel) consume.
 type Interarrival struct {
-	last  [2]time.Duration
-	seen  [2]bool
-	summ  [2]stats.Summary
-	hist  [2][]int64 // log₂-spaced microsecond buckets
-	total [2]int64
+	last [2]time.Duration
+	seen [2]bool
+	// Plain power sums instead of a Welford accumulator: the mean and CV
+	// the report needs come out of Σx and Σx², two fused multiply-adds per
+	// record where Welford's recurrence costs a divide. Gaps are seconds in
+	// [1e-9, 1e3], so the sums hold comfortable precision at half a billion
+	// samples.
+	n          [2]int64
+	sum, sumSq [2]float64
+	hist       [2][]int64 // log₂-spaced microsecond buckets
+	total      [2]int64
 }
 
 // interarrivalBuckets is the number of log₂ microsecond buckets: bucket i
@@ -43,7 +49,10 @@ func (ia *Interarrival) Handle(r trace.Record) {
 	if ia.seen[d] {
 		gap := r.T - ia.last[d]
 		if gap >= 0 {
-			ia.summ[d].Add(gap.Seconds())
+			g := gap.Seconds()
+			ia.n[d]++
+			ia.sum[d] += g
+			ia.sumSq[d] += g * g
 			ia.hist[d][iaBucket(gap)]++
 			ia.total[d]++
 		}
@@ -52,24 +61,43 @@ func (ia *Interarrival) Handle(r trace.Record) {
 	ia.last[d] = r.T
 }
 
-// HandleBatch implements trace.BatchHandler: the per-direction cursors work
-// in locals across the block, with one write-back.
+// HandleBatch implements trace.BatchHandler: the per-direction cursors and
+// log₂ histogram accumulate in locals across the block, with one write-back
+// per block instead of shared-state bumps per record. (The floating-point
+// power sums accumulate per record, in exactly the order the per-record
+// path would: float addition is order-sensitive, and results must be
+// identical whatever the batch boundaries.)
 func (ia *Interarrival) HandleBatch(rs []trace.Record) {
 	last, seen := ia.last, ia.seen
+	var hist [2][interarrivalBuckets]int64
+	var total [2]int64
 	for _, r := range rs {
 		d := r.Dir
 		if seen[d] {
 			gap := r.T - last[d]
 			if gap >= 0 {
-				ia.summ[d].Add(gap.Seconds())
-				ia.hist[d][iaBucket(gap)]++
-				ia.total[d]++
+				g := gap.Seconds()
+				ia.sum[d] += g
+				ia.sumSq[d] += g * g
+				hist[d][iaBucket(gap)]++
+				total[d]++
 			}
 		}
 		seen[d] = true
 		last[d] = r.T
 	}
 	ia.last, ia.seen = last, seen
+	for d := 0; d < 2; d++ {
+		if total[d] == 0 {
+			continue
+		}
+		ia.n[d] += total[d]
+		ia.total[d] += total[d]
+		dst := ia.hist[d]
+		for b, c := range hist[d] {
+			dst[b] += c
+		}
+	}
 }
 
 func iaBucket(gap time.Duration) int {
@@ -85,16 +113,25 @@ func iaBucket(gap time.Duration) int {
 }
 
 // Mean returns the mean interarrival time in seconds for the direction.
-func (ia *Interarrival) Mean(d trace.Direction) float64 { return ia.summ[d].Mean() }
+func (ia *Interarrival) Mean(d trace.Direction) float64 {
+	if ia.n[d] == 0 {
+		return 0
+	}
+	return ia.sum[d] / float64(ia.n[d])
+}
 
 // CV returns the coefficient of variation (σ/mean) — the burstiness scalar:
 // ≈1 for Poisson, ≫1 for the server's burst-then-silence pattern.
 func (ia *Interarrival) CV(d trace.Direction) float64 {
-	m := ia.summ[d].Mean()
+	m := ia.Mean(d)
 	if m == 0 {
 		return 0
 	}
-	return ia.summ[d].StdDev() / m
+	v := ia.sumSq[d]/float64(ia.n[d]) - m*m
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v) / m
 }
 
 // Quantile returns an approximate q-quantile (0<q<1) of the interarrival
@@ -155,19 +192,34 @@ func (k *KindBreakdown) Handle(r trace.Record) {
 	row.WireBytes += int64(r.Wire())
 }
 
-// HandleBatch implements trace.BatchHandler.
+// HandleBatch implements trace.BatchHandler: per-kind tallies accumulate in
+// a block-local array (kinds fit in three bits, so the array is 8 wide) and
+// merge into the shared rows once per block.
 func (k *KindBreakdown) HandleBatch(rs []trace.Record) {
+	var pkts, app [8]int64
 	for _, r := range rs {
-		var row *KindRow
-		if int(r.Kind) < len(k.byKind) {
-			row = k.byKind[r.Kind]
+		if int(r.Kind) < len(pkts) {
+			pkts[r.Kind]++
+			app[r.Kind] += int64(r.App)
+		} else {
+			// Unknown kind (future format): take the slow path.
+			row := k.row(r.Kind)
+			row.Packets++
+			row.AppBytes += int64(r.App)
+			row.WireBytes += int64(r.Wire())
 		}
+	}
+	for kind, n := range pkts {
+		if n == 0 {
+			continue
+		}
+		row := k.byKind[kind]
 		if row == nil {
-			row = k.row(r.Kind)
+			row = k.row(trace.Kind(kind))
 		}
-		row.Packets++
-		row.AppBytes += int64(r.App)
-		row.WireBytes += int64(r.Wire())
+		row.Packets += n
+		row.AppBytes += app[kind]
+		row.WireBytes += app[kind] + n*units.WireOverhead
 	}
 }
 
@@ -260,30 +312,44 @@ func (p *Periodicity) Handle(r trace.Record) {
 	p.current++
 }
 
-// HandleBatch implements trace.BatchHandler.
+// HandleBatch implements trace.BatchHandler. The bin index is cached
+// across the sweep: broadcast bursts put runs of records in one bin, and a
+// comparison against the cached bin's bounds replaces the 64-bit division
+// for every record of a run.
 func (p *Periodicity) HandleBatch(rs []trace.Record) {
 	dir, bin := p.dir, p.bin
+	lo := time.Duration(p.binIdx) * bin
+	hi := lo + bin
 	for _, r := range rs {
 		if r.Dir != dir {
 			continue
 		}
-		idx := int64(r.T / bin)
-		for idx > p.binIdx {
-			p.closeBin()
+		if r.T < lo || r.T >= hi {
+			idx := int64(r.T / bin)
+			for idx > p.binIdx {
+				p.closeBin()
+			}
+			lo = time.Duration(p.binIdx) * bin
+			hi = lo + bin
 		}
 		p.current++
 	}
 }
 
-// closeBin finalizes the currently filling bin and moves to the next.
+// closeBin finalizes the currently filling bin and moves to the next. Empty
+// bins contribute nothing to the lag products, so the O(maxLag) inner loop
+// runs only for occupied bins — on a 10 ms grid under a 50 ms tick, most
+// bins are empty and close for the cost of a ring store.
 func (p *Periodicity) closeBin() {
 	x := float64(p.current)
 	p.sum += x
 	p.sumSq += x * x
-	for l := 1; l <= p.maxLag; l++ {
-		if p.n-int64(l) >= 0 {
-			prev := p.recent[(p.n-int64(l))%int64(p.maxLag)]
-			p.lagSum[l] += x * float64(prev)
+	if p.current != 0 {
+		for l := 1; l <= p.maxLag; l++ {
+			if p.n-int64(l) >= 0 {
+				prev := p.recent[(p.n-int64(l))%int64(p.maxLag)]
+				p.lagSum[l] += x * float64(prev)
+			}
 		}
 	}
 	p.recent[p.n%int64(p.maxLag)] = p.current

@@ -33,13 +33,57 @@ func (f FlowStats) MeanKbs() float64 {
 // FlowBandwidth groups traffic by session and produces the paper's Fig 11:
 // the histogram of mean bandwidth across sessions longer than a cutoff.
 // Handshake traffic with no session (Client 0) is ignored.
+//
+// Session ids from the generator are small dense integers, so the hot path
+// indexes a slice grown to the highest id seen; ids past the dense bound
+// (foreign traces with sparse ids) fall back to a map.
 type FlowBandwidth struct {
+	dense []*FlowStats // index = client id, for ids < denseFlowLimit
 	flows map[uint32]*FlowStats
 }
+
+// denseFlowLimit bounds the slice-indexed fast path; the slice grows to the
+// highest id actually seen, so the worst case is one pointer per session.
+const denseFlowLimit = 1 << 21
 
 // NewFlowBandwidth creates the collector.
 func NewFlowBandwidth() *FlowBandwidth {
 	return &FlowBandwidth{flows: make(map[uint32]*FlowStats)}
+}
+
+// flow returns (creating if needed) the accumulator for one client id.
+func (fb *FlowBandwidth) flow(client uint32, t time.Duration) *FlowStats {
+	if client < denseFlowLimit {
+		if int(client) >= len(fb.dense) {
+			grown := make([]*FlowStats, client+1+uint32(len(fb.dense)/2))
+			copy(grown, fb.dense)
+			fb.dense = grown
+		}
+		f := fb.dense[client]
+		if f == nil {
+			f = &FlowStats{Client: client, First: t}
+			fb.dense[client] = f
+		}
+		return f
+	}
+	f := fb.flows[client]
+	if f == nil {
+		f = &FlowStats{Client: client, First: t}
+		fb.flows[client] = f
+	}
+	return f
+}
+
+// each visits every flow.
+func (fb *FlowBandwidth) each(visit func(*FlowStats)) {
+	for _, f := range fb.dense {
+		if f != nil {
+			visit(f)
+		}
+	}
+	for _, f := range fb.flows {
+		visit(f)
+	}
 }
 
 // Handle implements trace.Handler.
@@ -47,11 +91,7 @@ func (fb *FlowBandwidth) Handle(r trace.Record) {
 	if r.Client == 0 {
 		return
 	}
-	f := fb.flows[r.Client]
-	if f == nil {
-		f = &FlowStats{Client: r.Client, First: r.T}
-		fb.flows[r.Client] = f
-	}
+	f := fb.flow(r.Client, r.T)
 	if r.T > f.Last {
 		f.Last = r.T
 	}
@@ -63,25 +103,13 @@ func (fb *FlowBandwidth) Handle(r trace.Record) {
 	f.WireBytes += int64(r.Wire())
 }
 
-// HandleBatch implements trace.BatchHandler. Consecutive records frequently
-// belong to the same session (command streams, download runs), so the last
-// flow is cached to skip the map lookup.
+// HandleBatch implements trace.BatchHandler.
 func (fb *FlowBandwidth) HandleBatch(rs []trace.Record) {
-	var lastClient uint32
-	var last *FlowStats
 	for _, r := range rs {
 		if r.Client == 0 {
 			continue
 		}
-		f := last
-		if r.Client != lastClient || f == nil {
-			f = fb.flows[r.Client]
-			if f == nil {
-				f = &FlowStats{Client: r.Client, First: r.T}
-				fb.flows[r.Client] = f
-			}
-			lastClient, last = r.Client, f
-		}
+		f := fb.flow(r.Client, r.T)
 		if r.T > f.Last {
 			f.Last = r.T
 		}
@@ -95,29 +123,37 @@ func (fb *FlowBandwidth) HandleBatch(rs []trace.Record) {
 }
 
 // NumFlows returns the number of sessions observed.
-func (fb *FlowBandwidth) NumFlows() int { return len(fb.flows) }
+func (fb *FlowBandwidth) NumFlows() int {
+	n := len(fb.flows)
+	for _, f := range fb.dense {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Histogram bins mean session bandwidth (bits/sec) for sessions lasting at
 // least minDuration, over [0, maxBps) with the given number of bins —
 // Fig 11 uses sessions > 30 s on [0, 150000) b/s.
 func (fb *FlowBandwidth) Histogram(minDuration time.Duration, maxBps float64, bins int) *stats.Histogram {
 	h := stats.MustHistogram(0, maxBps, bins)
-	for _, f := range fb.flows {
+	fb.each(func(f *FlowStats) {
 		if f.Duration() >= minDuration {
 			h.Add(f.MeanKbs() * 1e3)
 		}
-	}
+	})
 	return h
 }
 
 // Flows returns per-session stats for sessions lasting at least minDuration.
 func (fb *FlowBandwidth) Flows(minDuration time.Duration) []FlowStats {
-	out := make([]FlowStats, 0, len(fb.flows))
-	for _, f := range fb.flows {
+	out := make([]FlowStats, 0, fb.NumFlows())
+	fb.each(func(f *FlowStats) {
 		if f.Duration() >= minDuration {
 			out = append(out, *f)
 		}
-	}
+	})
 	return out
 }
 
@@ -125,15 +161,15 @@ func (fb *FlowBandwidth) Flows(minDuration time.Duration) []FlowStats {
 // bandwidth is below bps (e.g. the modem barrier at 56 kb/s).
 func (fb *FlowBandwidth) FractionBelow(minDuration time.Duration, bps float64) float64 {
 	var total, below int
-	for _, f := range fb.flows {
+	fb.each(func(f *FlowStats) {
 		if f.Duration() < minDuration {
-			continue
+			return
 		}
 		total++
 		if f.MeanKbs()*1e3 < bps {
 			below++
 		}
-	}
+	})
 	if total == 0 {
 		return 0
 	}

@@ -9,24 +9,35 @@ import (
 
 // Sharded mode: the suite's collectors split into groups with no shared
 // state, each group owned by one worker goroutine, and every incoming block
-// fans out to all groups over bounded channels. Because each collector sees
-// every record in exactly the stream order (channels are FIFO and each
-// collector lives in exactly one group), sharded results are byte-identical
-// to single-threaded results — the parallelism only overlaps the groups'
-// sweeps in time.
+// fans out to all ingest groups over bounded channels. Because each
+// collector sees every record in exactly the stream order (channels are
+// FIFO and each collector lives in exactly one group), sharded results are
+// byte-identical to single-threaded results — the parallelism only overlaps
+// the groups' sweeps in time.
 //
 // The natural split is by collector cost profile:
 //
-//	sizes/flows   — Counters, SizeDist, FlowBandwidth, KindBreakdown
-//	variance-time — MinuteSeries, VarTime, IntervalWindows
-//	order         — SortBuffer → Interarrival, Periodicity (heap-heavy)
+//	counts — Counters, SizeDist, FlowBandwidth, KindBreakdown
+//	series — MinuteSeries, VarTime, IntervalWindows
+//	order  — SortBuffer → Interarrival, Periodicity (sort-heavy)
+//	gaps   — Interarrival alone  (when the order group is split)
+//	tick   — Periodicity alone   (when the order group is split)
+//
+// The order group has historically been the straggler (the sort is the
+// single most expensive sweep), so with enough workers it splits: the
+// SortBuffer stage keeps its own worker and fans its sorted output to
+// dedicated Interarrival and Periodicity workers. With SuiteConfig
+// .SortedInput there is no sort stage at all and Gaps/Tick become ordinary
+// ingest groups. Each group records channel-depth statistics at enqueue
+// time (Depths), so the next straggler is measurable rather than guessed.
 
-// shardChanDepth bounds each group's channel: enough to keep workers busy,
+// ShardChanDepth bounds each group's channel: enough to keep workers busy,
 // small enough to backpressure the generator instead of ballooning memory.
-const shardChanDepth = 8
+// Depth statistics (GroupDepth) are reported against this bound.
+const ShardChanDepth = 8
 
 // shardBlock is a refcounted copy of an incoming batch, shared read-only by
-// every group and recycled when the last group finishes with it.
+// every receiving group and recycled when the last one finishes with it.
 type shardBlock struct {
 	recs trace.Block
 	refs atomic.Int32
@@ -38,89 +49,6 @@ var shardBlockPool = sync.Pool{
 	},
 }
 
-// ShardedSuite runs a Suite's collector groups on worker goroutines. Create
-// one with Shard, feed it records or blocks, and call Close to drain the
-// workers and finalize the underlying suite. The embedded Suite's accessors
-// (Count, Sizes, Window, ...) are valid after Close.
-type ShardedSuite struct {
-	*Suite
-	chans   []chan *shardBlock
-	wg      sync.WaitGroup
-	pending *shardBlock
-	stopped bool
-}
-
-// shardGroups returns the collector-group sweep functions in their natural
-// three-way split.
-func shardGroups() []func(*Suite, []trace.Record) {
-	return []func(*Suite, []trace.Record){
-		func(s *Suite, rs []trace.Record) {
-			s.Count.HandleBatch(rs)
-			s.Sizes.HandleBatch(rs)
-			s.Flows.HandleBatch(rs)
-			s.Kinds.HandleBatch(rs)
-		},
-		func(s *Suite, rs []trace.Record) {
-			s.Minutes.HandleBatch(rs)
-			s.VT.HandleBatch(rs)
-			for _, w := range s.Windows {
-				w.HandleBatch(rs)
-			}
-		},
-		func(s *Suite, rs []trace.Record) {
-			s.sorted.HandleBatch(rs)
-		},
-	}
-}
-
-// Shard wraps a freshly built Suite in sharded mode with up to workers
-// goroutines (clamped to the three collector groups; values below 2 still
-// shard with 2 workers — use the plain Suite for single-threaded runs).
-// The caller must not feed the inner Suite directly afterwards.
-func Shard(s *Suite, workers int) *ShardedSuite {
-	groups := shardGroups()
-	if workers < 2 {
-		workers = 2
-	}
-	if workers > len(groups) {
-		workers = len(groups)
-	}
-	// Partition the groups across the workers: with 2 workers the two
-	// cheap sweeps share a goroutine and the heap-heavy order group gets
-	// its own.
-	var parts [][]func(*Suite, []trace.Record)
-	switch workers {
-	case 2:
-		parts = [][]func(*Suite, []trace.Record){
-			{groups[0], groups[1]},
-			{groups[2]},
-		}
-	default:
-		for _, g := range groups {
-			parts = append(parts, []func(*Suite, []trace.Record){g})
-		}
-	}
-
-	sh := &ShardedSuite{Suite: s, pending: getShardBlock()}
-	for _, part := range parts {
-		ch := make(chan *shardBlock, shardChanDepth)
-		sh.chans = append(sh.chans, ch)
-		sh.wg.Add(1)
-		go func(part []func(*Suite, []trace.Record), ch chan *shardBlock) {
-			defer sh.wg.Done()
-			for blk := range ch {
-				for _, sweep := range part {
-					sweep(s, blk.recs)
-				}
-				if blk.refs.Add(-1) == 0 {
-					putShardBlock(blk)
-				}
-			}
-		}(part, ch)
-	}
-	return sh
-}
-
 func getShardBlock() *shardBlock {
 	blk := shardBlockPool.Get().(*shardBlock)
 	blk.recs = blk.recs[:0]
@@ -128,6 +56,196 @@ func getShardBlock() *shardBlock {
 }
 
 func putShardBlock(blk *shardBlock) { shardBlockPool.Put(blk) }
+
+// GroupDepth is one collector group's channel-depth statistics: how many
+// blocks were enqueued to it and how full its channel was at each enqueue.
+// A group whose mean depth hugs the channel bound is the straggler the
+// pipeline is waiting on; a group near zero has headroom to absorb more
+// collectors.
+type GroupDepth struct {
+	Name     string
+	Blocks   int64 // blocks enqueued over the run
+	SumDepth int64 // sum over enqueues of the queue length found
+	MaxDepth int64
+}
+
+// MeanDepth returns the average queue length observed at enqueue.
+func (g GroupDepth) MeanDepth() float64 {
+	if g.Blocks == 0 {
+		return 0
+	}
+	return float64(g.SumDepth) / float64(g.Blocks)
+}
+
+// shardWorker is one collector group: a bounded channel, the sweeps that
+// run on its goroutine, and depth statistics owned by its single enqueuer.
+type shardWorker struct {
+	depth  GroupDepth
+	ch     chan *shardBlock
+	sweeps []func([]trace.Record)
+}
+
+func newShardWorker(name string, sweeps ...func([]trace.Record)) *shardWorker {
+	return &shardWorker{
+		depth:  GroupDepth{Name: name},
+		ch:     make(chan *shardBlock, ShardChanDepth),
+		sweeps: sweeps,
+	}
+}
+
+// send enqueues a block, recording the queue depth it found. Must only be
+// called from the group's single enqueuing goroutine.
+func (w *shardWorker) send(blk *shardBlock) {
+	d := int64(len(w.ch))
+	w.depth.Blocks++
+	w.depth.SumDepth += d
+	if d > w.depth.MaxDepth {
+		w.depth.MaxDepth = d
+	}
+	w.ch <- blk
+}
+
+func (w *shardWorker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for blk := range w.ch {
+		for _, sweep := range w.sweeps {
+			sweep(blk.recs)
+		}
+		if blk.refs.Add(-1) == 0 {
+			putShardBlock(blk)
+		}
+	}
+}
+
+// ShardedSuite runs a Suite's collector groups on worker goroutines. Create
+// one with Shard, feed it records or blocks, and call Close to drain the
+// workers and finalize the underlying suite. The embedded Suite's accessors
+// (Count, Sizes, Window, ...) are valid after Close.
+type ShardedSuite struct {
+	*Suite
+	ingest  []*shardWorker // fed by HandleBatch's fan-out
+	down    []*shardWorker // fed by the order worker's sorted fan-out
+	wg      sync.WaitGroup
+	downWg  sync.WaitGroup
+	pending *shardBlock
+	stopped bool
+}
+
+// sortedFan sits behind the suite's SortBuffer in split mode: each released
+// (strictly ordered) block is copied into a refcounted shardBlock and
+// enqueued to the downstream order-sensitive groups. It runs on the order
+// group's worker goroutine, which is that channel set's single enqueuer.
+type sortedFan struct {
+	down []*shardWorker
+}
+
+func (f *sortedFan) Handle(r trace.Record) { f.HandleBatch([]trace.Record{r}) }
+
+func (f *sortedFan) HandleBatch(rs []trace.Record) {
+	if len(rs) == 0 {
+		return
+	}
+	blk := getShardBlock()
+	blk.recs = append(blk.recs, rs...)
+	blk.refs.Store(int32(len(f.down)))
+	for _, w := range f.down {
+		w.send(blk)
+	}
+}
+
+// Shard wraps a freshly built Suite in sharded mode with up to workers
+// goroutines (clamped to the available collector groups; values below 2
+// still shard with 2 workers — use the plain Suite for single-threaded
+// runs). The caller must not feed the inner Suite directly afterwards.
+func Shard(s *Suite, workers int) *ShardedSuite {
+	counts := func(rs []trace.Record) {
+		s.Count.HandleBatch(rs)
+		s.Sizes.HandleBatch(rs)
+		s.Flows.HandleBatch(rs)
+		s.Kinds.HandleBatch(rs)
+	}
+	series := func(rs []trace.Record) {
+		s.Minutes.HandleBatch(rs)
+		s.VT.HandleBatch(rs)
+		for _, w := range s.Windows {
+			w.HandleBatch(rs)
+		}
+	}
+	gaps := s.Gaps.HandleBatch
+	tick := s.Tick.HandleBatch
+
+	sh := &ShardedSuite{Suite: s, pending: getShardBlock()}
+	if s.sorted == nil {
+		// Sorted input: no sort stage; the order-sensitive collectors are
+		// ordinary ingest groups.
+		switch {
+		case workers <= 2:
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts+series", counts, series),
+				newShardWorker("gaps+tick", gaps, tick),
+			}
+		case workers == 3:
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts", counts),
+				newShardWorker("series", series),
+				newShardWorker("gaps+tick", gaps, tick),
+			}
+		default:
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts", counts),
+				newShardWorker("series", series),
+				newShardWorker("gaps", gaps),
+				newShardWorker("tick", tick),
+			}
+		}
+	} else {
+		order := s.sorted.HandleBatch
+		switch {
+		case workers <= 2:
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts+series", counts, series),
+				newShardWorker("order+gaps+tick", order),
+			}
+		case workers == 3:
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts", counts),
+				newShardWorker("series", series),
+				newShardWorker("order+gaps+tick", order),
+			}
+		case workers == 4:
+			sh.down = []*shardWorker{newShardWorker("gaps+tick", gaps, tick)}
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts", counts),
+				newShardWorker("series", series),
+				newShardWorker("order", order),
+			}
+		default:
+			sh.down = []*shardWorker{
+				newShardWorker("gaps", gaps),
+				newShardWorker("tick", tick),
+			}
+			sh.ingest = []*shardWorker{
+				newShardWorker("counts", counts),
+				newShardWorker("series", series),
+				newShardWorker("order", order),
+			}
+		}
+		if len(sh.down) > 0 {
+			// Split order group: rewire the SortBuffer's downstream from the
+			// inline Tee to the fan-out, and start the downstream workers.
+			s.orderOut.h = &sortedFan{down: sh.down}
+			for _, w := range sh.down {
+				sh.downWg.Add(1)
+				go w.run(&sh.downWg)
+			}
+		}
+	}
+	for _, w := range sh.ingest {
+		sh.wg.Add(1)
+		go w.run(&sh.wg)
+	}
+	return sh
+}
 
 // Handle implements trace.Handler.
 func (sh *ShardedSuite) Handle(r trace.Record) {
@@ -156,16 +274,16 @@ func (sh *ShardedSuite) HandleBatch(rs []trace.Record) {
 	}
 }
 
-// flush fans the pending block out to every group.
+// flush fans the pending block out to every ingest group.
 func (sh *ShardedSuite) flush() {
 	blk := sh.pending
 	if len(blk.recs) == 0 {
 		return
 	}
 	sh.pending = getShardBlock()
-	blk.refs.Store(int32(len(sh.chans)))
-	for _, ch := range sh.chans {
-		ch <- blk
+	blk.refs.Store(int32(len(sh.ingest)))
+	for _, w := range sh.ingest {
+		w.send(blk)
 	}
 }
 
@@ -175,12 +293,36 @@ func (sh *ShardedSuite) Close() {
 	if !sh.stopped {
 		sh.stopped = true
 		sh.flush()
-		for _, ch := range sh.chans {
-			close(ch)
+		for _, w := range sh.ingest {
+			close(w.ch)
 		}
 		sh.wg.Wait()
+		if len(sh.down) > 0 {
+			// The ingest workers are parked, so flushing the SortBuffer from
+			// here is single-threaded; its tail fans out to the downstream
+			// workers, which then drain and stop.
+			sh.Suite.sorted.Flush()
+			for _, w := range sh.down {
+				close(w.ch)
+			}
+			sh.downWg.Wait()
+		}
 	}
 	sh.Suite.Close()
+}
+
+// Depths returns every collector group's channel-depth statistics, ingest
+// groups first. Only valid after Close; the straggler is the group whose
+// mean depth rides the channel bound (its consumers are always behind).
+func (sh *ShardedSuite) Depths() []GroupDepth {
+	out := make([]GroupDepth, 0, len(sh.ingest)+len(sh.down))
+	for _, w := range sh.ingest {
+		out = append(out, w.depth)
+	}
+	for _, w := range sh.down {
+		out = append(out, w.depth)
+	}
+	return out
 }
 
 // Sink returns the suite's ingest handler for the given parallelism level

@@ -81,8 +81,10 @@ func TestShardedMatchesSingleThreaded(t *testing.T) {
 		diffFingerprint(t, want, got)
 	}
 
-	// Sharded with 2 and 3 workers.
-	for _, workers := range []int{2, 3} {
+	// Sharded at every composition: 2-3 workers keep the order group
+	// inline, 4 splits Gaps+Tick onto a downstream worker behind the
+	// SortBuffer fan-out, 5 gives each its own.
+	for _, workers := range []int{2, 3, 4, 5} {
 		s := newSuite()
 		sh := Shard(s, workers)
 		if _, err := gamesim.Run(cfg, sh, sh.Observe); err != nil {
@@ -91,6 +93,44 @@ func TestShardedMatchesSingleThreaded(t *testing.T) {
 		sh.Close()
 		if got := suiteFingerprint(s); !reflect.DeepEqual(want, got) {
 			t.Errorf("sharded(%d) suite diverges from per-record suite", workers)
+			diffFingerprint(t, want, got)
+		}
+		for _, d := range sh.Depths() {
+			if d.Blocks == 0 {
+				t.Errorf("sharded(%d): group %q saw no blocks", workers, d.Name)
+			}
+		}
+	}
+
+	// Sorted-input mode: the generator's stream is strictly ordered, so
+	// the suite drops its sorting stage; every collector result must still
+	// match the unsorted reference exactly, single-threaded and sharded.
+	scSorted := sc
+	scSorted.SortedInput = true
+	sorted, err := NewSuite(scSorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gamesim.Run(cfg, sorted, sorted.Observe); err != nil {
+		t.Fatal(err)
+	}
+	sorted.Close()
+	if got := suiteFingerprint(sorted); !reflect.DeepEqual(want, got) {
+		t.Errorf("sorted-input suite diverges from sorting suite")
+		diffFingerprint(t, want, got)
+	}
+	for _, workers := range []int{2, 3, 4} {
+		s, err := NewSuite(scSorted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := Shard(s, workers)
+		if _, err := gamesim.Run(cfg, sh, sh.Observe); err != nil {
+			t.Fatal(err)
+		}
+		sh.Close()
+		if got := suiteFingerprint(s); !reflect.DeepEqual(want, got) {
+			t.Errorf("sorted sharded(%d) suite diverges from per-record suite", workers)
 			diffFingerprint(t, want, got)
 		}
 	}

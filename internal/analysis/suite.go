@@ -21,6 +21,15 @@ type SuiteConfig struct {
 	// Windows configures the small-scale interval plots to collect
 	// (Figs 6-10). Nil selects the paper's set.
 	Windows []WindowSpec
+	// SortedInput declares that records arrive in non-decreasing time
+	// order, so the order-sensitive collectors (Interarrival, Periodicity)
+	// are fed directly instead of through the suite's internal SortBuffer —
+	// the single most expensive stage of an unsorted sweep. The generator
+	// emits sorted streams and the binary trace format stores them sorted;
+	// only cross-server merges (scenario aggregates) still need the buffer.
+	// Feeding a sorted suite out-of-order records corrupts only those two
+	// collectors' results; everything else is order-insensitive.
+	SortedInput bool
 }
 
 // WindowSpec asks for the first N bins at a given interval size.
@@ -73,12 +82,25 @@ type Suite struct {
 	Kinds   *KindBreakdown
 	Gaps    *Interarrival
 	Tick    *Periodicity
-	// sorted feeds the order-sensitive collectors (Gaps, Tick): the
-	// generator interleaves per-client schedules within one tick, and
-	// interarrival/autocorrelation analysis needs strict time order.
-	sorted *trace.SortBuffer
-	closed bool
+	// sorted feeds the order-sensitive collectors (Gaps, Tick) when the
+	// input stream's order is not guaranteed (cross-server merges). It is
+	// nil with cfg.SortedInput, where Gaps and Tick are fed directly; in
+	// sharded mode its downstream is orderOut, which Shard can rewire to
+	// fan the sorted stream out to dedicated Gaps/Tick workers.
+	sorted   *trace.SortBuffer
+	orderOut *switchHandler
+	closed   bool
 }
+
+// switchHandler is a mutable indirection point in a handler chain: Shard
+// swaps its target to split a stage's downstream onto worker goroutines.
+type switchHandler struct {
+	h trace.Handler
+}
+
+func (sw *switchHandler) Handle(r trace.Record) { sw.h.Handle(r) }
+
+func (sw *switchHandler) HandleBatch(rs []trace.Record) { trace.Dispatch(sw.h, rs) }
 
 // NewSuite builds a suite.
 func NewSuite(cfg SuiteConfig) (*Suite, error) {
@@ -109,8 +131,10 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 		Gaps:    NewInterarrival(),
 		Tick:    NewPeriodicity(trace.Out, cfg.VarTimeBase, 30),
 	}
-	s.sorted = trace.NewSortBuffer(200*time.Millisecond,
-		trace.Tee(s.Gaps, s.Tick))
+	if !cfg.SortedInput {
+		s.orderOut = &switchHandler{h: trace.Tee(s.Gaps, s.Tick)}
+		s.sorted = trace.NewSortBuffer(200*time.Millisecond, s.orderOut)
+	}
 	for _, w := range cfg.Windows {
 		s.Windows = append(s.Windows, NewIntervalWindow(w.Interval, w.N))
 	}
@@ -125,7 +149,12 @@ func (s *Suite) Handle(r trace.Record) {
 	s.Flows.Handle(r)
 	s.VT.Handle(r)
 	s.Kinds.Handle(r)
-	s.sorted.Handle(r)
+	if s.sorted != nil {
+		s.sorted.Handle(r)
+	} else {
+		s.Gaps.Handle(r)
+		s.Tick.Handle(r)
+	}
 	for _, w := range s.Windows {
 		w.Handle(r)
 	}
@@ -140,7 +169,12 @@ func (s *Suite) HandleBatch(rs []trace.Record) {
 	s.Flows.HandleBatch(rs)
 	s.VT.HandleBatch(rs)
 	s.Kinds.HandleBatch(rs)
-	s.sorted.HandleBatch(rs)
+	if s.sorted != nil {
+		s.sorted.HandleBatch(rs)
+	} else {
+		s.Gaps.HandleBatch(rs)
+		s.Tick.HandleBatch(rs)
+	}
 	for _, w := range s.Windows {
 		w.HandleBatch(rs)
 	}
@@ -158,7 +192,9 @@ func (s *Suite) Close() {
 	s.VT.Close(s.cfg.Duration)
 	s.Minutes.PadTo(s.cfg.Duration)
 	s.Players.Finish(s.cfg.Duration)
-	s.sorted.Flush()
+	if s.sorted != nil {
+		s.sorted.Flush()
+	}
 	s.Tick.Flush()
 }
 

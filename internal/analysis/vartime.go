@@ -58,7 +58,10 @@ func (v *VarTime) Handle(r trace.Record) {
 	}
 }
 
-// HandleBatch implements trace.BatchHandler.
+// HandleBatch implements trace.BatchHandler. The bin index is cached
+// across the sweep: consecutive records usually share a 10 ms bin (a
+// broadcast burst lands in one), and a bounds comparison replaces the
+// 64-bit division for every record of a run.
 func (v *VarTime) HandleBatch(rs []trace.Record) {
 	if len(rs) == 0 {
 		return
@@ -68,8 +71,18 @@ func (v *VarTime) HandleBatch(rs []trace.Record) {
 	n := int64(len(ring))
 	base := v.base
 	head, maxIdx := v.head, v.maxIdx
+	cached := int64(-1)
+	var lo, hi time.Duration
 	for _, r := range rs {
-		idx := int64(r.T / base)
+		var idx int64
+		if cached >= 0 && r.T >= lo && r.T < hi {
+			idx = cached
+		} else {
+			idx = int64(r.T / base)
+			cached = idx
+			lo = time.Duration(idx) * base
+			hi = lo + base
+		}
 		if idx < head {
 			idx = head
 		}

@@ -32,6 +32,40 @@ func (g *RNG) Split() *RNG {
 	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
 }
 
+// Splitter derives an indexed family of independent RNG streams from one
+// point in a parent stream: Stream(i) depends only on the two key words
+// drawn when the Splitter was created and on i, never on how many other
+// streams were created or in what order. That is what lets work units
+// (e.g. one simulation tick each) be processed out of order or on parallel
+// workers while sampling exactly the values a sequential run would.
+type Splitter struct {
+	k1, k2 uint64
+}
+
+// NewSplitter draws the key material for an indexed stream family,
+// advancing the parent by two words.
+func (g *RNG) NewSplitter() Splitter {
+	return Splitter{k1: g.r.Uint64(), k2: g.r.Uint64()}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective mixer whose output is
+// statistically independent across consecutive inputs, the standard way to
+// derive seed families from a counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// Stream returns the i-th stream of the family. Calls are pure: the same
+// (Splitter, i) always yields an identical generator.
+func (s Splitter) Stream(i uint64) *RNG {
+	a := splitmix64(s.k1 ^ i)
+	b := splitmix64(s.k2 + i*0x9E3779B97F4A7C15)
+	return &RNG{r: rand.New(rand.NewPCG(a, b))}
+}
+
 // Float64 returns a uniform value in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

@@ -27,6 +27,12 @@ import (
 type Config struct {
 	Seed     uint64
 	Duration time.Duration
+	// Workers is the number of goroutines running the payload-size fill
+	// stage of traffic generation. 0 or 1 generates inline; 2 or more
+	// fills tick windows concurrently with in-order delivery. The record
+	// stream is byte-identical at every setting (see Run); on multi-core
+	// hardware workers overlap size sampling with planning and analysis.
+	Workers int
 	// Warmup runs the server for this long before recording starts, so the
 	// trace begins on a busy server exactly as the paper's did ("after a
 	// brief warm-up period, we recorded the traffic"). Records, statistics
@@ -147,6 +153,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Warmup < 0 || c.Warmup%c.TickInterval != 0 {
 		return errors.New("gamesim: Warmup must be a non-negative multiple of TickInterval")
+	}
+	if c.Workers < 0 {
+		return errors.New("gamesim: Workers must be non-negative")
 	}
 	if c.SpikeMult > 1 && c.SpikeDecay <= 0 {
 		return errors.New("gamesim: SpikeDecay must be positive when SpikeMult > 1")

@@ -104,13 +104,14 @@ type player struct {
 type sim struct {
 	cfg    Config
 	h      trace.Handler
-	bat    *trace.Batcher // per-tick emission block, flushed to h
+	cur    *tickPlan // emission window being planned
 	ev     EventFunc
 	kernel eventsim.Sim
 
-	rng      *dist.RNG // control-plane randomness
-	sizeRNG  *dist.RNG // payload sizing (hot path)
-	roundRNG *dist.RNG // round schedule (advanced only while generating traffic)
+	rng      *dist.RNG     // control-plane randomness
+	schedRNG *dist.RNG     // schedule jitter (sequential; consumed by the planner)
+	sizes    dist.Splitter // per-window payload-size streams (indexed by tick)
+	roundRNG *dist.RNG     // round schedule (advanced only while generating traffic)
 	zipf     *dist.Zipf
 
 	players     []*player
@@ -136,6 +137,14 @@ type sim struct {
 // Run simulates the configured server, streaming every packet record to h
 // (which may be nil to run only the session/control plane, e.g. to study
 // Table I quantities quickly) and lifecycle events to ev (may be nil).
+//
+// Records arrive at h in strict time order, one block per tick window
+// (downstream batch handlers see one slab per window instead of one virtual
+// call per record). With cfg.Workers ≥ 2 the payload-size fill stage runs
+// on worker goroutines and h is invoked from a single delivery goroutine —
+// still one block per window, in window order, byte-identical to a serial
+// run; ev keeps firing from the coordinating goroutine, so an EventFunc
+// that shares state with h must tolerate the two running concurrently.
 func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
@@ -148,8 +157,13 @@ func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
 		uniqueAttempt: make(map[uint32]bool),
 		uniqueEst:     make(map[uint32]bool),
 	}
-	s.sizeRNG = s.rng.Split()
+	s.schedRNG = s.rng.Split()
 	s.roundRNG = s.rng.Split()
+	// Key the per-window size streams off the schedule stream, not the
+	// control-plane stream: the control plane consumes exactly the draws it
+	// did before the traffic plane was batch-native, keeping session-level
+	// behavior for a given seed stable across that refactor.
+	s.sizes = s.schedRNG.NewSplitter()
 	var err error
 	s.zipf, err = dist.NewZipf(cfg.Population, cfg.PopularityExp)
 	if err != nil {
@@ -173,25 +187,58 @@ func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
 		// Control plane only: no per-tick traffic.
 		s.kernel.RunUntil(total)
 	} else {
-		// Records accumulate into a pooled block and flush once per tick:
-		// downstream batch handlers see one slab per tick window instead
-		// of one virtual call per record.
-		s.bat = trace.NewBatcher(trace.Batch(h))
-		defer s.bat.Close()
+		var gp *genPipeline
+		if cfg.Workers > 1 {
+			gp = newGenPipeline(&s.cfg, s.sizes, h, cfg.Workers)
+		}
 		dt := cfg.TickInterval
+		var tick uint64
 		for t := time.Duration(0); t < total; t += dt {
 			s.window = t
+			s.cur = newTickPlan(tick)
+			tick++
 			s.kernel.RunUntil(t)
 			end := t + dt
 			if end > total {
 				end = total
 			}
-			s.generateWindow(t, end)
-			s.bat.Flush()
+			s.buildWindow(t, end)
+			s.finishWindow(gp)
+		}
+		if gp != nil {
+			s.addTotals(gp.close())
 		}
 	}
 	s.finish()
 	return s.stats, nil
+}
+
+// finishWindow hands the planned window to the fill stage: inline for a
+// serial run, onto the worker pipeline otherwise. Empty windows (warm-up,
+// outages, an idle server) are recycled without dispatch.
+func (s *sim) finishWindow(gp *genPipeline) {
+	p := s.cur
+	s.cur = nil
+	if p == nil || len(p.recs) == 0 {
+		freeTickPlan(p)
+		return
+	}
+	if gp != nil {
+		gp.dispatch(p)
+		return
+	}
+	sortPlan(p)
+	s.addTotals(fillSizes(&s.cfg, p, s.sizes.Stream(p.tick)))
+	trace.Dispatch(s.h, p.recs)
+	freeTickPlan(p)
+}
+
+// addTotals folds fill-stage traffic tallies into the statistics.
+func (s *sim) addTotals(tt tickTotals) {
+	s.stats.PacketsIn += tt.pIn
+	s.stats.PacketsOut += tt.pOut
+	s.stats.AppBytesIn += tt.bIn
+	s.stats.AppBytesOut += tt.bOut
 }
 
 // startRecording marks the end of the warm-up phase: statistics restart and
@@ -214,19 +261,15 @@ func (s *sim) startRecording(now time.Duration) {
 	}
 }
 
+// emit appends one fixed-size record (handshakes, rejects, leaves) to the
+// window being planned. Traffic statistics are tallied by the fill stage,
+// which sees every record of the window with its final payload size.
 func (s *sim) emit(r trace.Record) {
 	if s.h == nil || !s.warm {
 		return
 	}
 	r.T -= s.cfg.Warmup
-	s.bat.Handle(r)
-	if r.Dir == trace.In {
-		s.stats.PacketsIn++
-		s.stats.AppBytesIn += int64(r.App)
-	} else {
-		s.stats.PacketsOut++
-		s.stats.AppBytesOut += int64(r.App)
-	}
+	s.cur.append(r, tagFixed)
 }
 
 func (s *sim) event(t time.Duration, typ EventType, session, client uint32) {
@@ -467,28 +510,14 @@ func (s *sim) outageStart(d time.Duration) {
 
 // --- traffic generation ---
 
-// snapSize draws one snapshot payload size given the current activity level.
-func (s *sim) snapSize(players int, act float64, elite bool) uint16 {
-	mu := s.cfg.SnapBase + s.cfg.SnapPerPlayer*float64(players)*act
-	if elite {
-		// High-rate clients receive more frequent, smaller deltas.
-		mu *= 0.6
-	}
-	v := mu + s.cfg.SnapSigma*s.sizeRNG.NormFloat64()
-	if v < float64(s.cfg.SnapMin) {
-		v = float64(s.cfg.SnapMin)
-	}
-	if v > float64(s.cfg.SnapMax) {
-		v = float64(s.cfg.SnapMax)
-	}
-	return uint16(v)
-}
-
-func (s *sim) cmdSize() uint16 {
-	return uint16(s.cfg.InPayload.Sample(s.sizeRNG))
-}
-
-func (s *sim) generateWindow(start, end time.Duration) {
+// buildWindow plans the tick window [start, end): it advances every
+// player's schedules across the window exactly once and appends one
+// skeleton record per packet to the current plan. Payload sizes that
+// depend on the window RNG stream (snapshots, commands) are left open for
+// the fill stage; fixed sizes (downloads, handshakes appended by emit) are
+// final. During warm-up the schedules advance but nothing is recorded, so
+// the fill stage never runs for discarded traffic.
+func (s *sim) buildWindow(start, end time.Duration) {
 	if s.outage {
 		// Total connectivity loss: nothing reaches the tap. Client-side
 		// schedules still advance so streams resume naturally.
@@ -508,43 +537,50 @@ func (s *sim) generateWindow(start, end time.Duration) {
 	if serverUp {
 		act = s.activity(start)
 	}
+	w := s.cfg.Warmup
+	plan := s.cur
+	plan.n = len(s.players)
+	plan.act = act
+	record := s.warm
 
 	// Synchronous snapshot broadcast: one packet per ordinary client, sent
 	// back-to-back at the tick instant (the paper's 50 ms bursts).
-	if serverUp && !s.cfg.DesynchronizeTicks {
-		n := len(s.players)
+	if record && serverUp && !s.cfg.DesynchronizeTicks {
 		burst := 0
 		for _, p := range s.players {
 			if p.elite {
 				continue
 			}
 			t := start + time.Duration(burst)*s.cfg.BurstSpacing
-			s.emit(trace.Record{T: t, Dir: trace.Out, Kind: trace.KindGame, Client: p.session, App: s.snapSize(n, act, false)})
+			plan.append(trace.Record{T: t - w, Dir: trace.Out, Kind: trace.KindGame, Client: p.session}, tagSnap)
 			burst++
 		}
 	}
 
-	n := len(s.players)
 	for _, p := range s.players {
 		// Inbound command stream (throttled to keepalives during the
 		// map-change pause while the client sits at the loading screen).
-		gapScale := 1
+		gapScale := time.Duration(1)
 		if s.paused {
 			gapScale = keepaliveDivisor
 		}
 		for p.nextCmd < end {
-			if p.nextCmd >= start {
-				s.emit(trace.Record{T: p.nextCmd, Dir: trace.In, Kind: trace.KindGame, Client: p.session, App: s.cmdSize()})
+			if record && p.nextCmd >= start {
+				plan.append(trace.Record{T: p.nextCmd - w, Dir: trace.In, Kind: trace.KindGame, Client: p.session}, tagCmd)
 			}
-			p.nextCmd += s.jitteredGap(p.cmdGap) * time.Duration(gapScale)
+			p.nextCmd += s.jitteredGap(p.cmdGap) * gapScale
 		}
 
 		// Per-client snapshot schedules: elites at their elevated rate,
 		// and everyone when the desync ablation is on.
 		if serverUp && (p.elite || s.cfg.DesynchronizeTicks) {
+			tag := uint8(tagSnap)
+			if p.elite {
+				tag = tagSnapElite
+			}
 			for p.nextSnap < end {
-				if p.nextSnap >= start {
-					s.emit(trace.Record{T: p.nextSnap, Dir: trace.Out, Kind: trace.KindGame, Client: p.session, App: s.snapSize(n, act, p.elite)})
+				if record && p.nextSnap >= start {
+					plan.append(trace.Record{T: p.nextSnap - w, Dir: trace.Out, Kind: trace.KindGame, Client: p.session}, tag)
 				}
 				p.nextSnap += p.snapGap
 			}
@@ -563,8 +599,8 @@ func (s *sim) generateWindow(start, end time.Duration) {
 					sz = p.dlOut
 				}
 				p.dlOut -= sz
-				if p.dlNextOut >= start {
-					s.emit(trace.Record{T: p.dlNextOut, Dir: trace.Out, Kind: trace.KindDownload, Client: p.session, App: uint16(sz)})
+				if record && p.dlNextOut >= start {
+					plan.append(trace.Record{T: p.dlNextOut - w, Dir: trace.Out, Kind: trace.KindDownload, Client: p.session, App: uint16(sz)}, tagFixed)
 				}
 				p.dlNextOut += gap
 			}
@@ -577,8 +613,8 @@ func (s *sim) generateWindow(start, end time.Duration) {
 					sz = p.dlIn
 				}
 				p.dlIn -= sz
-				if p.dlNextIn >= start {
-					s.emit(trace.Record{T: p.dlNextIn, Dir: trace.In, Kind: trace.KindDownload, Client: p.session, App: uint16(sz)})
+				if record && p.dlNextIn >= start {
+					plan.append(trace.Record{T: p.dlNextIn - w, Dir: trace.In, Kind: trace.KindDownload, Client: p.session, App: uint16(sz)}, tagFixed)
 				}
 				p.dlNextIn += gap
 			}
@@ -586,9 +622,11 @@ func (s *sim) generateWindow(start, end time.Duration) {
 	}
 }
 
-// jitteredGap applies symmetric fractional jitter to a base interval.
+// jitteredGap applies symmetric fractional jitter to a base interval. Jitter
+// draws come from the planner's own sequential stream, so schedule advance is
+// identical however the fill stage runs.
 func (s *sim) jitteredGap(base time.Duration) time.Duration {
-	j := 1 + s.cfg.CmdJitter*(2*s.sizeRNG.Float64()-1)
+	j := 1 + s.cfg.CmdJitter*(2*s.schedRNG.Float64()-1)
 	return time.Duration(float64(base) * j)
 }
 

@@ -1,0 +1,62 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"cstrace/internal/trace"
+)
+
+// TestDeviceBatchMatchesPerRecord: the device's batch path must count,
+// drop, restamp and forward exactly as the per-record path does.
+func TestDeviceBatchMatchesPerRecord(t *testing.T) {
+	// A bursty offered stream: 20 back-to-back outgoing packets per 50 ms
+	// tick plus incoming packets trickling through the interval — the
+	// §IV-A shape that overruns the forwarding engine.
+	var recs []trace.Record
+	for tick := 0; tick < 400; tick++ {
+		base := time.Duration(tick) * 50 * time.Millisecond
+		for b := 0; b < 40; b++ {
+			recs = append(recs, trace.Record{T: base + time.Duration(b)*15*time.Microsecond,
+				Dir: trace.Out, Client: uint32(b + 1), App: 130})
+		}
+		for c := 0; c < 30; c++ {
+			recs = append(recs, trace.Record{T: base + time.Duration(c+1)*1500*time.Microsecond,
+				Dir: trace.In, Client: uint32(c + 1), App: 40})
+		}
+	}
+
+	var one trace.Collect
+	d1, err := New(DefaultConfig(3), &one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		d1.Handle(r)
+	}
+
+	var batch trace.Collect
+	d2, err := New(DefaultConfig(3), &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(recs); i += 333 {
+		end := min(i+333, len(recs))
+		d2.HandleBatch(recs[i:end])
+	}
+
+	if d1.Counts() != d2.Counts() {
+		t.Fatalf("counts diverge: %+v vs %+v", d1.Counts(), d2.Counts())
+	}
+	if len(one.Records) != len(batch.Records) {
+		t.Fatalf("forwarded %d per-record vs %d batched", len(one.Records), len(batch.Records))
+	}
+	for i := range one.Records {
+		if one.Records[i] != batch.Records[i] {
+			t.Fatalf("record %d diverges", i)
+		}
+	}
+	if d1.Counts().LossIn() == 0 {
+		t.Error("offered stream never lost an incoming packet; queue path unexercised")
+	}
+}

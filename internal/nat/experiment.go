@@ -33,59 +33,38 @@ type ExperimentResult struct {
 // RunExperiment reproduces §IV-A: a single 30-minute map traced through the
 // device. gameCfg is typically gamesim.NATExperimentConfig(seed) and natCfg
 // DefaultConfig(seed).
+//
+// The whole path is block-oriented: the generator's per-tick blocks tee to
+// the offered-load window and the device in one call each, and the device
+// forwards each block's survivors to the delivered-load window as one
+// block. The generator emits a strictly time-ordered stream, which is
+// exactly what the queueing model needs — no sorting stage.
 func RunExperiment(gameCfg gamesim.Config, natCfg Config) (ExperimentResult, error) {
 	seconds := int(gameCfg.Duration / time.Second)
 
-	offered := struct {
-		in, out *analysis.IntervalWindow
-	}{
-		analysis.NewIntervalWindow(time.Second, seconds),
-		analysis.NewIntervalWindow(time.Second, seconds),
-	}
-	delivered := struct {
-		in, out *analysis.IntervalWindow
-	}{
-		analysis.NewIntervalWindow(time.Second, seconds),
-		analysis.NewIntervalWindow(time.Second, seconds),
-	}
+	// One window per side of the device: IntervalWindow bins each
+	// direction separately, so the four series of Figs 14-15 are two
+	// collectors, not four.
+	offered := analysis.NewIntervalWindow(time.Second, seconds)
+	delivered := analysis.NewIntervalWindow(time.Second, seconds)
 
 	// Offered -> [count offered] -> device -> [count delivered].
-	after := trace.HandlerFunc(func(r trace.Record) {
-		if r.Dir == trace.In {
-			delivered.in.Handle(r)
-		} else {
-			delivered.out.Handle(r)
-		}
-	})
-	device, err := New(natCfg, after)
+	device, err := New(natCfg, delivered)
 	if err != nil {
 		return ExperimentResult{}, err
 	}
-	before := trace.HandlerFunc(func(r trace.Record) {
-		if r.Dir == trace.In {
-			offered.in.Handle(r)
-		} else {
-			offered.out.Handle(r)
-		}
-		device.Handle(r)
-	})
-	// The queueing model needs a strictly time-ordered arrival stream; the
-	// generator's disorder is bounded by one tick.
-	sorter := trace.NewSortBuffer(2*gameCfg.TickInterval, before)
-
-	st, err := gamesim.Run(gameCfg, sorter, nil)
+	st, err := gamesim.Run(gameCfg, trace.Tee(offered, device), nil)
 	if err != nil {
 		return ExperimentResult{}, err
 	}
-	sorter.Flush()
 
 	return ExperimentResult{
 		Counts:       device.Counts(),
 		Stats:        st,
-		ClientsToNAT: offered.in.InPPS(),
-		NATToServer:  delivered.in.InPPS(),
-		ServerToNAT:  offered.out.OutPPS(),
-		NATToClients: delivered.out.OutPPS(),
+		ClientsToNAT: offered.InPPS(),
+		NATToServer:  delivered.InPPS(),
+		ServerToNAT:  offered.OutPPS(),
+		NATToClients: delivered.OutPPS(),
 		MeanDelayIn:  device.DelayIn().Mean(),
 		MaxDelayIn:   device.DelayIn().Max(),
 		MeanDelayOut: device.DelayOut().Mean(),

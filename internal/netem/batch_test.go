@@ -1,0 +1,64 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"cstrace/internal/trace"
+)
+
+// mixedFlow builds a time-ordered two-direction stream dense enough to
+// exercise queue drops on the modem profile.
+func mixedFlow(n int) []trace.Record {
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, trace.Record{
+			T:      time.Duration(i) * 12 * time.Millisecond,
+			Dir:    trace.Direction(i % 2),
+			Kind:   trace.KindGame,
+			Client: 1,
+			App:    uint16(60 + i%200),
+		})
+	}
+	return recs
+}
+
+// TestLastMileBatchMatchesPerRecord: the batch path must forward exactly
+// the records, in the order, with the statistics of the per-record path.
+func TestLastMileBatchMatchesPerRecord(t *testing.T) {
+	recs := mixedFlow(4000)
+
+	var one trace.Collect
+	lm1, err := New(Modem56k(), 7, &one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		lm1.Handle(r)
+	}
+
+	var batch trace.Collect
+	lm2, err := New(Modem56k(), 7, &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(recs); i += 256 {
+		end := min(i+256, len(recs))
+		lm2.HandleBatch(recs[i:end])
+	}
+
+	if len(one.Records) != len(batch.Records) {
+		t.Fatalf("forwarded %d per-record vs %d batched", len(one.Records), len(batch.Records))
+	}
+	for i := range one.Records {
+		if one.Records[i] != batch.Records[i] {
+			t.Fatalf("record %d diverges: %+v vs %+v", i, one.Records[i], batch.Records[i])
+		}
+	}
+	if *lm1.Down() != *lm2.Down() || *lm1.Up() != *lm2.Up() {
+		t.Error("link statistics diverge between per-record and batch paths")
+	}
+	if lm1.Down().Dropped == 0 {
+		t.Error("test flow never dropped; queue path unexercised")
+	}
+}

@@ -18,9 +18,10 @@ var sizeCDFProbes = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}
 func SizeCDF(w io.Writer, title string, d *analysis.SizeDist) {
 	fmt.Fprintf(w, "%s\n", title)
 	fmt.Fprintf(w, "%8s %10s %10s %10s\n", "P", "inbound", "outbound", "total")
+	total := d.Total() // derived from In+Out; build it once for the table
 	for _, p := range sizeCDFProbes {
 		fmt.Fprintf(w, "%7.0f%% %9dB %9dB %9dB\n", p*100,
-			quantileOf(d.In, p), quantileOf(d.Out, p), quantileOf(d.Total, p))
+			quantileOf(d.In, p), quantileOf(d.Out, p), quantileOf(total, p))
 	}
 	fmt.Fprintln(w)
 }

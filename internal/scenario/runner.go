@@ -30,12 +30,13 @@ var fleetBlockPool = sync.Pool{
 }
 
 // serverSink receives one server's per-tick batches on its worker
-// goroutine: each batch feeds the optional per-server suite in local time,
-// then a time-shifted copy is tagged and sent to the merge.
+// goroutine: each batch feeds the optional per-server collectors in local
+// time, then a time-shifted copy is tagged and sent to the merge.
 type serverSink struct {
 	out    chan<- *fleetBlock
 	offset time.Duration
-	per    *analysis.Suite // may be nil
+	per    *analysis.Suite     // full per-box suite; may be nil
+	slim   *analysis.SlimSuite // slim per-box set; may be nil
 }
 
 // HandleBatch implements trace.BatchHandler.
@@ -45,6 +46,9 @@ func (s *serverSink) HandleBatch(rs []trace.Record) {
 	}
 	if s.per != nil {
 		s.per.HandleBatch(rs)
+	}
+	if s.slim != nil {
+		s.slim.HandleBatch(rs)
 	}
 	blk := fleetBlockPool.Get().(*fleetBlock)
 	blk.recs = append(blk.recs[:0], rs...)
@@ -79,8 +83,11 @@ type ServerResult struct {
 	Game  gamesim.Config
 	Stats gamesim.Stats
 	// Suite is the server's own closed analysis suite (timestamps in the
-	// server's local clock); nil unless Config.PerServer.
+	// server's local clock); nil unless Config.PerServer is PerServerFull.
 	Suite *analysis.Suite
+	// Slim is the server's closed slim collector set; nil unless
+	// Config.PerServer is PerServerSlim.
+	Slim *analysis.SlimSuite
 }
 
 // Result is a completed fleet run.
@@ -150,23 +157,30 @@ func Run(cfg Config) (*Result, error) {
 
 	for i, sp := range cfg.Servers {
 		chans[i] = make(chan *fleetBlock, streamDepth)
-		var per *analysis.Suite
-		if cfg.PerServer {
-			if per, err = analysis.NewSuite(analysis.DefaultSuiteConfig(sp.Game.Duration)); err != nil {
+		sr := ServerResult{Name: sp.Name, Game: sp.Game}
+		switch cfg.PerServer {
+		case PerServerFull:
+			// Per-box suites see one generator's stream, which is strictly
+			// time-ordered, so they skip the sorting stage.
+			sc := analysis.DefaultSuiteConfig(sp.Game.Duration)
+			sc.SortedInput = true
+			if sr.Suite, err = analysis.NewSuite(sc); err != nil {
 				closeSink()
 				return nil, err
 			}
+		case PerServerSlim:
+			sr.Slim = analysis.NewSlimSuite(sp.Game.Duration)
 		}
-		res.Servers[i] = ServerResult{Name: sp.Name, Game: sp.Game, Suite: per}
+		res.Servers[i] = sr
 	}
 
 	var wg sync.WaitGroup
 	for i, sp := range cfg.Servers {
 		wg.Add(1)
-		go func(i int, sp ServerSpec, per *analysis.Suite) {
+		go func(i int, sp ServerSpec, per *analysis.Suite, slim *analysis.SlimSuite) {
 			defer wg.Done()
 			defer close(chans[i])
-			ss := &serverSink{out: chans[i], offset: sp.StartOffset, per: per}
+			ss := &serverSink{out: chans[i], offset: sp.StartOffset, per: per, slim: slim}
 			ev := func(e gamesim.SessionEvent) {
 				if per != nil {
 					per.Observe(e)
@@ -178,9 +192,12 @@ func Run(cfg Config) (*Result, error) {
 			if per != nil {
 				per.Close()
 			}
+			if slim != nil {
+				slim.Close()
+			}
 			res.Servers[i].Stats = st
 			errs[i] = err
-		}(i, sp, res.Servers[i].Suite)
+		}(i, sp, res.Servers[i].Suite, res.Servers[i].Slim)
 	}
 
 	// K-way merge on this goroutine: hold one head block per live stream,

@@ -172,6 +172,23 @@ func (sp Spec) Build() ([]ServerSpec, error) {
 	return servers, nil
 }
 
+// PerServerMode selects what is collected per server alongside the fleet
+// aggregate.
+type PerServerMode int
+
+const (
+	// PerServerNone collects nothing per box (the default).
+	PerServerNone PerServerMode = iota
+	// PerServerFull runs the complete paper suite per box — every table
+	// and figure, at full sweep cost. Right for small fleets studied in
+	// depth.
+	PerServerFull
+	// PerServerSlim runs the lightweight analysis.SlimSuite per box:
+	// counters and minute series only, a small fraction of the full
+	// suite's cost, so per-box collection scales to hundreds of servers.
+	PerServerSlim
+)
+
 // Config configures one fleet run.
 type Config struct {
 	// Servers is the fleet; RunSpec builds it from a Spec.
@@ -183,9 +200,9 @@ type Config struct {
 	// workers, exactly as cstrace.Config.Parallelism does. Results are
 	// byte-identical across settings.
 	Parallelism int
-	// PerServer additionally collects one single-threaded analysis.Suite
-	// per server, for per-box vs aggregate comparison.
-	PerServer bool
+	// PerServer selects per-box collection: nothing, the full paper suite,
+	// or the slim counters+minutes set.
+	PerServer PerServerMode
 	// Extra, if non-nil, receives the merged record stream — e.g. a
 	// trace.Writer behind a 200 ms trace.SortBuffer to persist the fleet
 	// trace as an indexed v2 file (`cstrace -mode scenario -out`): the

@@ -214,6 +214,17 @@ func (h *IntHistogram) Add(v int) {
 // Total returns the number of samples.
 func (h *IntHistogram) Total() int64 { return h.total }
 
+// Merge adds the samples of o (whose value range must not exceed h's) —
+// the write-back half of collectors that tally into per-part histograms and
+// combine once, and of derived views like "total = in + out".
+func (h *IntHistogram) Merge(o *IntHistogram) {
+	for v, c := range o.counts {
+		h.counts[v] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
 // Mean returns the exact mean of the recorded values (not bin-clamped).
 func (h *IntHistogram) Mean() float64 {
 	if h.total == 0 {

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// rangeTrace builds a trace of count records at fixed spacing with small
+// segments, so range queries span several segments.
+func rangeTrace(t *testing.T, v1 bool, count int, gap time.Duration) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if v1 {
+		w = NewWriterV1(&buf)
+	}
+	w.SegmentPayload = 256 // many small segments
+	for i := 0; i < count; i++ {
+		if err := w.Write(Record{
+			T:      time.Duration(i) * gap,
+			Dir:    Direction(i & 1),
+			Kind:   KindGame,
+			Client: uint32(i%50 + 1),
+			App:    uint16(40 + i%100),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadRangeMatchesFilteredScan: the indexed range read must deliver
+// exactly the records a full scan filtered to [from, to) would, in order,
+// for ranges landing on and off segment boundaries.
+func TestReadRangeMatchesFilteredScan(t *testing.T) {
+	const count = 5000
+	gap := time.Millisecond
+	raw := rangeTrace(t, false, count, gap)
+
+	var all Collect
+	if _, err := NewReader(bytes.NewReader(raw)).ReadAll(&all); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct{ from, to time.Duration }{
+		{0, 5 * time.Second},                 // prefix
+		{time.Second, 2 * time.Second},       // interior
+		{4900 * time.Millisecond, time.Hour}, // suffix, open end
+		{time.Hour, 2 * time.Hour},           // empty, past the end
+		{0, 1},                               // single leading record
+		{2500 * time.Millisecond, 2500*time.Millisecond + 1}, // single interior record
+		{3 * time.Second, time.Second},                       // inverted: empty
+	}
+	for _, tc := range cases {
+		var want Collect
+		for _, r := range all.Records {
+			if r.T >= tc.from && r.T < tc.to {
+				want.Records = append(want.Records, r)
+			}
+		}
+
+		rd := NewReader(bytes.NewReader(raw))
+		var got Collect
+		n, err := rd.ReadRange(tc.from, tc.to, &got)
+		if err != nil {
+			t.Fatalf("[%v,%v): %v", tc.from, tc.to, err)
+		}
+		if rd.Warning() != "" {
+			t.Fatalf("[%v,%v): unexpected degradation: %s", tc.from, tc.to, rd.Warning())
+		}
+		if n != int64(len(want.Records)) || !recordsEqual(got.Records, want.Records) {
+			t.Errorf("[%v,%v): got %d records, want %d", tc.from, tc.to, n, len(want.Records))
+		}
+	}
+}
+
+// TestReadRangeFallbacks: a v1 trace and a non-seekable source both degrade
+// to the filtered serial scan with identical results.
+func TestReadRangeFallbacks(t *testing.T) {
+	const count = 2000
+	gap := time.Millisecond
+	from, to := 500*time.Millisecond, 700*time.Millisecond
+
+	want := func(raw []byte) []Record {
+		var all Collect
+		if _, err := NewReader(bytes.NewReader(raw)).ReadAll(&all); err != nil {
+			t.Fatal(err)
+		}
+		var out []Record
+		for _, r := range all.Records {
+			if r.T >= from && r.T < to {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	// v1: no index can exist; silent serial scan.
+	rawV1 := rangeTrace(t, true, count, gap)
+	var gotV1 Collect
+	if _, err := NewReader(bytes.NewReader(rawV1)).ReadRange(from, to, &gotV1); err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(gotV1.Records, want(rawV1)) {
+		t.Error("v1 fallback range read diverges from filtered scan")
+	}
+
+	// v2 through a non-seekable source: serial scan plus a warning.
+	rawV2 := rangeTrace(t, false, count, gap)
+	rd := NewReader(onlyReader{bytes.NewReader(rawV2)})
+	var gotNS Collect
+	if _, err := rd.ReadRange(from, to, &gotNS); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Warning() == "" {
+		t.Error("non-seekable v2 range read should warn about the serial scan")
+	}
+	if !recordsEqual(gotNS.Records, want(rawV2)) {
+		t.Error("non-seekable fallback range read diverges from filtered scan")
+	}
+}
+
+// onlyReader hides Seek/ReadAt from the reader.
+type onlyReader struct{ r *bytes.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

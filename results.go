@@ -46,7 +46,7 @@ func writeReport(w io.Writer, r *Results) error {
 	report.Series(w, "Figure 11: client bandwidth histogram (2 kbs bins, 0-150 kbs)", bw, 75, 8)
 
 	report.SizePDF(w, "Figure 12a: packet size PDF, total (20-byte bins)",
-		r.Suite.Sizes.Total.BinnedPDF(20), 20, 25)
+		r.Suite.Sizes.Total().BinnedPDF(20), 20, 25)
 	report.SizePDF(w, "Figure 12b-in: packet size PDF, inbound",
 		r.Suite.Sizes.In.BinnedPDF(20), 20, 25)
 	report.SizePDF(w, "Figure 12b-out: packet size PDF, outbound",

@@ -18,6 +18,18 @@ import (
 // See scenario.Spec for the field-by-field story.
 type Scenario = scenario.Spec
 
+// PerServerMode selects per-box collection for a scenario run; see the
+// scenario package constants re-exported below.
+type PerServerMode = scenario.PerServerMode
+
+// Per-box collection modes: nothing, the full paper suite per server, or
+// the slim counters+minutes set that scales to hundreds of servers.
+const (
+	PerServerNone = scenario.PerServerNone
+	PerServerFull = scenario.PerServerFull
+	PerServerSlim = scenario.PerServerSlim
+)
+
 // ScenarioConfig selects a fleet to simulate and how to analyze it.
 type ScenarioConfig struct {
 	// Spec declares the fleet; it is expanded with Spec.Build unless
@@ -32,9 +44,11 @@ type ScenarioConfig struct {
 	// as Config.Parallelism does; results are byte-identical across
 	// settings.
 	Parallelism int
-	// PerServer additionally collects a per-server analysis suite for
-	// per-box vs aggregate comparison.
-	PerServer bool
+	// PerServer selects per-box collection alongside the aggregate:
+	// PerServerFull runs a complete per-server analysis suite for per-box
+	// vs aggregate comparison; PerServerSlim collects only counters and
+	// minute series per box, cheap enough for very large fleets.
+	PerServer PerServerMode
 	// Extra, if non-nil, receives the merged fleet record stream.
 	Extra trace.Handler
 }

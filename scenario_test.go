@@ -95,7 +95,7 @@ func TestScenarioDeterminism(t *testing.T) {
 // TestScenarioAggregateConservation: every packet a server generates
 // reaches the aggregate suite exactly once through the merge.
 func TestScenarioAggregateConservation(t *testing.T) {
-	res, err := RunScenario(ScenarioConfig{Spec: scenarioSpec(5, 3), PerServer: true})
+	res, err := RunScenario(ScenarioConfig{Spec: scenarioSpec(5, 3), PerServer: PerServerFull})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,5 +115,43 @@ func TestScenarioAggregateConservation(t *testing.T) {
 	}
 	if res.TotalSlots() != 22+32+16 {
 		t.Errorf("TotalSlots = %d", res.TotalSlots())
+	}
+}
+
+// TestScenarioSlimPerServer: the slim per-box collector set must agree
+// exactly with the full per-box suite on the quantities both collect —
+// counters and minute series — at a fraction of the collection cost.
+func TestScenarioSlimPerServer(t *testing.T) {
+	full, err := RunScenario(ScenarioConfig{Spec: scenarioSpec(9, 3), PerServer: PerServerFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim, err := RunScenario(ScenarioConfig{Spec: scenarioSpec(9, 3), PerServer: PerServerSlim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Servers {
+		f, s := full.Servers[i], slim.Servers[i]
+		if s.Suite != nil || f.Slim != nil {
+			t.Fatalf("server %d: wrong collector set for mode", i)
+		}
+		if s.Slim == nil {
+			t.Fatalf("server %d: slim mode collected nothing", i)
+		}
+		ft2 := f.Suite.Count.TableII(f.Game.Duration)
+		st2 := s.Slim.TableII()
+		if ft2 != st2 {
+			t.Errorf("server %d: slim Table II diverges from full suite:\nfull: %+v\nslim: %+v", i, ft2, st2)
+		}
+		fk, sk := f.Suite.Minutes.KbsTotal(), s.Slim.Minutes.KbsTotal()
+		if len(fk) != len(sk) {
+			t.Fatalf("server %d: minute series lengths %d vs %d", i, len(fk), len(sk))
+		}
+		for m := range fk {
+			if fk[m] != sk[m] {
+				t.Errorf("server %d: minute %d diverges: %v vs %v", i, m, fk[m], sk[m])
+				break
+			}
+		}
 	}
 }

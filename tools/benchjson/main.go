@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// artifact and gates throughput regressions against a checked-in baseline.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'Pipeline|Analyze' -benchtime 1x . | \
+//	    go run ./tools/benchjson -out BENCH.json -baseline BENCH_4.json -tolerance 0.25
+//
+// Parsing keeps the two numbers provisioning decisions ride on: ns/op and
+// the repo's Mrec/s custom metric. The regression gate compares only
+// Mrec/s — wall-clock ns/op varies with iteration counts and host load,
+// while records-per-second of the fixed workloads is the contract — and
+// fails (exit 1) when any benchmark present in both files lost more than
+// the tolerated fraction.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded result.
+type Entry struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	MrecPerS float64 `json:"mrec_per_s,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse extracts entries from `go test -bench` output.
+func parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		fields := strings.Fields(m[2])
+		// Metrics come in "value unit" pairs after the iteration count.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "Mrec/s":
+				e.MrecPerS = v
+			}
+		}
+		if e.NsPerOp > 0 {
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func load(path string) ([]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "write parsed results as JSON to this file")
+	baseline := flag.String("baseline", "", "compare Mrec/s against this JSON baseline")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional Mrec/s regression vs baseline")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	entries, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	if *out != "" {
+		raw, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d entries to %s\n", len(entries), *out)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	baseBy := make(map[string]Entry, len(base))
+	for _, e := range base {
+		baseBy[e.Name] = e
+	}
+	failed := false
+	for _, e := range entries {
+		b, ok := baseBy[e.Name]
+		if !ok || b.MrecPerS == 0 || e.MrecPerS == 0 {
+			continue
+		}
+		change := e.MrecPerS/b.MrecPerS - 1
+		status := "ok"
+		if change < -*tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %8.2f -> %8.2f Mrec/s  %+6.1f%%  %s\n",
+			e.Name, b.MrecPerS, e.MrecPerS, change*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: throughput regressed more than %.0f%% vs %s\n",
+			*tolerance*100, *baseline)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
