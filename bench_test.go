@@ -440,29 +440,36 @@ func BenchmarkPipelineSharded(b *testing.B) {
 	})
 }
 
-// --- analyze benches: the -mode analyze read path, v1 vs v2 ---
+// --- analyze benches: the -mode analyze read path, v1 vs v2 vs v3 ---
 //
-// The three BenchmarkAnalyze* functions re-analyze the identical Quick(1)
-// stream persisted in both trace formats. V1 is the legacy serial baseline
+// The BenchmarkAnalyze* functions re-analyze the identical Quick(1) stream
+// persisted in all three trace formats. V1 is the legacy serial baseline
 // (per-record bufio decode + single-threaded suite); V2 decodes
-// segment-at-a-time out of in-memory slabs; V2Parallel additionally fans
-// segment decode across worker goroutines and shards the collector groups
-// (on a single-core host it measures the slab-decode win alone — the
-// goroutine fan-out adds its speedup only with real cores).
+// segment-at-a-time out of in-memory slabs; V3 additionally inflates the
+// per-segment flate compression. The Parallel variants fan segment decode
+// across worker goroutines and shard the collector groups — V2Parallel
+// through the single order-preserving reassembly-dispatch goroutine,
+// V3Parallel through the direct decode-to-shard delivery
+// (Reader.ReadAllSharded), which is the path -mode analyze -parallel runs.
+// On a single-core host the parallel variants measure the coordination
+// floor; the fan-out adds its speedup only with real cores. Every bench
+// also reports the on-disk bytes/record of its input — the storage half of
+// the provisioning budget.
 
 var (
 	analyzeOnce  sync.Once
 	analyzeRawV1 []byte
 	analyzeRawV2 []byte
+	analyzeRawV3 []byte
 )
 
-func analyzeTraceRaw(b *testing.B) (v1, v2 []byte) {
+func analyzeTraceRaw(b *testing.B) (v1, v2, v3 []byte) {
 	b.Helper()
 	analyzeOnce.Do(func() {
 		recs := pipelineRecords(b)
-		var v1buf, v2buf bytes.Buffer
-		w1, w2 := trace.NewWriterV1(&v1buf), trace.NewWriter(&v2buf)
-		sorter := trace.NewSortBuffer(2*Quick(1).Game.TickInterval, trace.Tee(w1, w2))
+		var v1buf, v2buf, v3buf bytes.Buffer
+		w1, w2, w3 := trace.NewWriterV1(&v1buf), trace.NewWriterV2(&v2buf), trace.NewWriter(&v3buf)
+		sorter := trace.NewSortBuffer(2*Quick(1).Game.TickInterval, trace.Tee(w1, w2, w3))
 		for i := 0; i < len(recs); i += trace.BlockSize {
 			end := i + trace.BlockSize
 			if end > len(recs) {
@@ -471,18 +478,17 @@ func analyzeTraceRaw(b *testing.B) (v1, v2 []byte) {
 			sorter.HandleBatch(recs[i:end])
 		}
 		sorter.Flush()
-		if err := w1.Flush(); err != nil {
-			panic(err)
+		for _, w := range []*trace.Writer{w1, w2, w3} {
+			if err := w.Flush(); err != nil {
+				panic(err)
+			}
 		}
-		if err := w2.Flush(); err != nil {
-			panic(err)
-		}
-		analyzeRawV1, analyzeRawV2 = v1buf.Bytes(), v2buf.Bytes()
+		analyzeRawV1, analyzeRawV2, analyzeRawV3 = v1buf.Bytes(), v2buf.Bytes(), v3buf.Bytes()
 	})
-	return analyzeRawV1, analyzeRawV2
+	return analyzeRawV1, analyzeRawV2, analyzeRawV3
 }
 
-func benchAnalyze(b *testing.B, run func(*analysis.Suite) (int64, error)) {
+func benchAnalyze(b *testing.B, rawLen int, run func(*analysis.Suite) (int64, error)) {
 	sc := benchSuiteConfig(Quick(1).Game.Duration)
 	b.ResetTimer()
 	var n int64
@@ -496,12 +502,15 @@ func benchAnalyze(b *testing.B, run func(*analysis.Suite) (int64, error)) {
 		}
 	}
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+	if n > 0 {
+		b.ReportMetric(float64(rawLen)/float64(n), "B/rec")
+	}
 }
 
 // BenchmarkAnalyzeV1 is the serial ReadAll baseline over the legacy format.
 func BenchmarkAnalyzeV1(b *testing.B) {
-	raw, _ := analyzeTraceRaw(b)
-	benchAnalyze(b, func(s *analysis.Suite) (int64, error) {
+	raw, _, _ := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAll(s)
 		s.Close()
 		return n, err
@@ -511,22 +520,47 @@ func BenchmarkAnalyzeV1(b *testing.B) {
 // BenchmarkAnalyzeV2 is the serial v2 scan: slab decode, one goroutine
 // ahead, single-threaded suite.
 func BenchmarkAnalyzeV2(b *testing.B) {
-	_, raw := analyzeTraceRaw(b)
-	benchAnalyze(b, func(s *analysis.Suite) (int64, error) {
+	_, raw, _ := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllPrefetch(s)
 		s.Close()
 		return n, err
 	})
 }
 
-// BenchmarkAnalyzeV2Parallel is the full -mode analyze -parallel 4 path:
-// indexed segment decode on 4 workers, order-preserving reassembly, sharded
-// collector groups.
+// BenchmarkAnalyzeV3 is the serial v3 scan: slab decode plus per-segment
+// flate inflation, one goroutine ahead, single-threaded suite.
+func BenchmarkAnalyzeV3(b *testing.B) {
+	_, _, raw := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllPrefetch(s)
+		s.Close()
+		return n, err
+	})
+}
+
+// BenchmarkAnalyzeV2Parallel is the legacy parallel path: indexed segment
+// decode on 4 workers funneled through the single order-preserving
+// reassembly-dispatch goroutine into sharded collector groups.
 func BenchmarkAnalyzeV2Parallel(b *testing.B) {
-	_, raw := analyzeTraceRaw(b)
-	benchAnalyze(b, func(s *analysis.Suite) (int64, error) {
+	_, raw, _ := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		sink, closeSink := s.Sink(4)
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllParallel(sink, 4)
+		closeSink()
+		return n, err
+	})
+}
+
+// BenchmarkAnalyzeV3Parallel is the full -mode analyze -parallel 4 path:
+// indexed segment decode + inflation on 4 workers delivering their blocks
+// straight into the sharded suite's per-group channels (ReadAllSharded) —
+// no re-batch copy, no dispatch goroutine.
+func BenchmarkAnalyzeV3Parallel(b *testing.B) {
+	_, _, raw := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
+		sink, closeSink := s.Sink(4)
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllSharded(sink, 4)
 		closeSink()
 		return n, err
 	})

@@ -6,7 +6,8 @@
 //	cstrace -mode week  -seed 1            full-week reproduction (Tables I-III, Figs 1-13)
 //	cstrace -mode quick -seed 1            30-minute smoke reproduction
 //	cstrace -mode nat   -seed 1            NAT experiment (Table IV, Figs 14-15)
-//	cstrace -mode gen   -out trace.cst     generate a binary trace file (v2; -format 1 for legacy)
+//	cstrace -mode gen   -out trace.cst     generate a binary trace file (v3 compressed; -format 2|1
+//	                                       for the older versions, -compress to tune/disable flate)
 //	cstrace -mode analyze -in trace.cst    analyze a trace (-parallel N: segment decode + sharded suite)
 //	cstrace -mode index -in trace.cst      inspect a trace's segment index without decoding it
 //	cstrace -mode pcap  -out trace.pcap    export a (short) trace as pcap or pcapng
@@ -14,7 +15,7 @@
 //	cstrace -mode aggregate -seed 1        population self-similarity study
 //	cstrace -mode provision                capacity planning from the paper's budget
 //	cstrace -mode scenario -servers 8      multi-server fleet: merged aggregate analysis
-//	                                       (-out fleet.cst persists the merged trace as v2)
+//	                                       (-out fleet.cst persists the merged trace as v3)
 package main
 
 import (
@@ -48,7 +49,8 @@ func main() {
 		duration   = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
 		inFile     = flag.String("in", "", "input trace file (analyze/index)")
 		outFile    = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
-		format     = flag.Int("format", 2, "trace format version to write (gen): 2 = segmented+indexed, 1 = legacy")
+		format     = flag.Int("format", 3, "trace format version to write (gen): 3 = compressed+indexed, 2 = indexed, 1 = legacy")
+		compress   = flag.Int("compress", 0, "v3 segment compression (gen): 0 = default flate level, 1-9 = explicit level, -1 = store uncompressed")
 		players    = flag.Int("players", 100000, "target concurrent players (provision)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
 		genWorkers = flag.Int("genworkers", runtime.GOMAXPROCS(0), "generator fill-stage goroutines (week/quick/gen; 1 = serial, results identical)")
@@ -73,7 +75,7 @@ func main() {
 	case "nat":
 		err = runNAT(*seed)
 	case "gen":
-		err = runGen(*seed, *duration, *outFile, *format, *genWorkers)
+		err = runGen(*seed, *duration, *outFile, *format, *compress, *genWorkers)
 	case "analyze":
 		err = runAnalyze(*inFile, *parallel, *from, *to, *depths)
 	case "index":
@@ -154,16 +156,22 @@ func runNAT(seed uint64) error {
 	return nil
 }
 
-func runGen(seed uint64, d time.Duration, out string, format, genWorkers int) error {
+func runGen(seed uint64, d time.Duration, out string, format, compress, genWorkers int) error {
 	if out == "" {
 		return fmt.Errorf("gen: -out required")
 	}
 	if d == 0 {
 		d = time.Hour
 	}
-	if format != 1 && format != 2 {
+	if format < 1 || format > 3 {
 		// Validate before os.Create truncates an existing trace.
-		return fmt.Errorf("gen: unknown -format %d (want 1 or 2)", format)
+		return fmt.Errorf("gen: unknown -format %d (want 1, 2 or 3)", format)
+	}
+	if compress < -1 || compress > 9 {
+		return fmt.Errorf("gen: invalid -compress %d (want -1, 0 or 1-9)", compress)
+	}
+	if compress != 0 && format != 3 {
+		return fmt.Errorf("gen: -compress needs -format 3 (v1/v2 have no compression)")
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -176,8 +184,12 @@ func runGen(seed uint64, d time.Duration, out string, format, genWorkers int) er
 	cfg.Outages = nil
 	cfg.Workers = genWorkers
 	w := trace.NewWriter(f)
-	if format == 1 {
+	w.CompressLevel = compress
+	switch format {
+	case 1:
 		w = trace.NewWriterV1(f)
+	case 2:
+		w = trace.NewWriterV2(f)
 	}
 	// The generator emits a strictly time-ordered stream — exactly what
 	// the Writer requires — so records encode as they are produced.
@@ -267,12 +279,20 @@ func runIndex(in string) error {
 	segs := ix.Segments
 	fmt.Printf("%s: format v%d, %d records, %d segments, %d bytes (payload %d)\n",
 		in, ix.Version, ix.Records, len(segs), st.Size(), ix.PayloadBytes())
+	if comp := ix.CompressedSegments(); comp > 0 {
+		// On-disk vs decompressed payload: the per-record figures are the
+		// numbers the provisioning storage budget rides on.
+		fmt.Printf("compression: %d/%d segments flate, %d raw payload bytes -> %d on disk (%.1f%%), %.2f B/record on disk\n",
+			comp, len(segs), ix.RawBytes(), ix.PayloadBytes(),
+			100*float64(ix.PayloadBytes())/float64(ix.RawBytes()),
+			float64(st.Size())/float64(ix.Records))
+	}
 	if len(segs) == 0 {
 		return nil
 	}
 	fmt.Printf("time span %v .. %v; mean %.0f records/segment\n\n",
 		segs[0].MinT, segs[len(segs)-1].MaxT, float64(ix.Records)/float64(len(segs)))
-	fmt.Printf("  %4s %12s %10s %9s %14s %14s\n", "seg", "offset", "payload", "records", "minT", "maxT")
+	fmt.Printf("  %4s %12s %10s %10s %9s %5s %14s %14s\n", "seg", "offset", "payload", "raw", "records", "enc", "minT", "maxT")
 	const head, tail = 24, 4
 	for i, si := range segs {
 		if len(segs) > head+tail && i == head {
@@ -281,8 +301,13 @@ func runIndex(in string) error {
 		if len(segs) > head+tail && i >= head && i < len(segs)-tail {
 			continue
 		}
-		fmt.Printf("  %4d %12d %10d %9d %14s %14s\n",
-			i, si.Offset, si.PayloadLen, si.Count, si.MinT.Round(time.Millisecond), si.MaxT.Round(time.Millisecond))
+		enc := "raw"
+		if si.Compressed() {
+			enc = "flate"
+		}
+		fmt.Printf("  %4d %12d %10d %10d %9d %5s %14s %14s\n",
+			i, si.Offset, si.PayloadLen, si.RawLen, si.Count, enc,
+			si.MinT.Round(time.Millisecond), si.MaxT.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -379,7 +404,8 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 	cfg.Parallelism = parallel
 	cfg.PerServer = perMode
 
-	// -out persists the merged fleet stream as an indexed v2 trace. The
+	// -out persists the merged fleet stream as an indexed, compressed v3
+	// trace. The
 	// merge's cross-server disorder is bounded by one tick window
 	// (≤ 100 ms), so a 200 ms SortBuffer restores the strict order the
 	// Writer requires.

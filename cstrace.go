@@ -151,9 +151,9 @@ func (r *Results) PerSlotKbs() float64 {
 type TraceAnalysis struct {
 	// Records is the number of records analyzed.
 	Records int64
-	// Version is the trace format version read (1 or 2).
+	// Version is the trace format version read (1, 2 or 3).
 	Version int
-	// Warning is non-empty when the reader degraded — e.g. a v2 trace whose
+	// Warning is non-empty when the reader degraded — e.g. an indexed trace whose
 	// index was truncated fell back to a serial scan.
 	Warning string
 
@@ -167,15 +167,18 @@ type TraceAnalysis struct {
 	GroupDepths []analysis.GroupDepth
 }
 
-// AnalyzeTrace reads a persisted binary trace (format v1 or v2, detected
-// from the header) and runs the record-stream analyses of the paper suite
-// over it. parallelism ≥ 2 both shards the suite's collector groups across
-// workers and, for a v2 trace on a seekable source (*os.File,
-// *bytes.Reader, …), decodes file segments on parallel goroutines with an
-// order-preserving reassembly stage. The results are byte-identical across
-// every parallelism setting and across v1/v2 encodings of the same stream;
-// degraded inputs (v1, non-seekable, damaged index) are analyzed by the
-// serial scan and noted in TraceAnalysis.Warning.
+// AnalyzeTrace reads a persisted binary trace (format v1, v2 or v3,
+// detected from the header) and runs the record-stream analyses of the
+// paper suite over it. parallelism ≥ 2 both shards the suite's collector
+// groups across workers and, for an indexed (v2/v3) trace on a seekable
+// source (*os.File, *bytes.Reader, …), decodes file segments — inflating
+// v3 compressed payloads — on parallel goroutines that deliver their
+// decoded blocks straight into the sharded suite's per-group channels in
+// file order (trace.Reader.ReadAllSharded), with no re-batching copy and
+// no single dispatch goroutine in between. The results are byte-identical
+// across every parallelism setting and across v1/v2/v3 encodings of the
+// same stream; degraded inputs (v1, non-seekable, damaged index) are
+// analyzed by the serial scan and noted in TraceAnalysis.Warning.
 func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 	// The binary format stores records in non-decreasing time order (the
 	// Writer rejects anything else), so the suite skips its sorting stage.
@@ -185,7 +188,7 @@ func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 	}
 	rd := trace.NewReader(src)
 	sink, closeSink := suite.Sink(parallelism)
-	n, err := rd.ReadAllParallel(sink, parallelism)
+	n, err := rd.ReadAllSharded(sink, parallelism)
 	closeSink()
 	if err != nil {
 		return nil, err
@@ -212,7 +215,7 @@ func (a *TraceAnalysis) WriteReport(w io.Writer) error {
 }
 
 // AnalyzeTraceRange is AnalyzeTrace restricted to the records with
-// from ≤ T < to. For an indexed v2 trace on a seekable source only the
+// from ≤ T < to. For an indexed (v2/v3) trace on a seekable source only the
 // overlapping file segments are read and decoded (trace.Reader.ReadRange),
 // so slicing an hour out of a week costs an hour's I/O. Collectors that bin
 // by absolute time (minute series, interval windows) keep their absolute

@@ -47,10 +47,12 @@ func ExampleRunScenario() {
 	// aggregate traffic analyzed: true
 }
 
-// ExampleAnalyzeTrace persists a generated window as an indexed v2 trace
-// and re-analyzes it with parallel segment decode — the library form of
-// `cstrace -mode gen` + `-mode analyze -parallel 4`. The report is
-// byte-identical to a serial scan of the same bytes.
+// ExampleAnalyzeTrace persists a generated window as an indexed, compressed
+// v3 trace and re-analyzes it with parallel segment decode — the library
+// form of `cstrace -mode gen` + `-mode analyze -parallel 4`, where the
+// decode workers deliver their blocks straight into the sharded suite. The
+// report is byte-identical to a serial scan of the same bytes (and to the
+// v1/v2 encodings of the same stream).
 func ExampleAnalyzeTrace() {
 	cfg := cstrace.Quick(1)
 	cfg.Game.Duration = 5 * time.Minute
@@ -59,7 +61,7 @@ func ExampleAnalyzeTrace() {
 	// The generator's stream has bounded disorder; a SortBuffer restores
 	// the strict time order the trace writer requires.
 	var buf bytes.Buffer
-	w := trace.NewWriter(&buf) // format v2: segmented + indexed
+	w := trace.NewWriter(&buf) // format v3: segmented + indexed + compressed
 	sorter := trace.NewSortBuffer(100*time.Millisecond, w)
 	cfg.Extra = sorter
 	if _, err := cstrace.Reproduce(cfg); err != nil {
@@ -77,6 +79,6 @@ func ExampleAnalyzeTrace() {
 	fmt.Printf("trace format: v%d\n", a.Version)
 	fmt.Printf("round trip complete: %v\n", a.Records == w.Count() && a.Warning == "")
 	// Output:
-	// trace format: v2
+	// trace format: v3
 	// round trip complete: true
 }

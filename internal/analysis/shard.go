@@ -36,11 +36,30 @@ import (
 // Depth statistics (GroupDepth) are reported against this bound.
 const ShardChanDepth = 8
 
-// shardBlock is a refcounted copy of an incoming batch, shared read-only by
-// every receiving group and recycled when the last one finishes with it.
+// shardBlock is a refcounted block shared read-only by every receiving
+// group and recycled when the last one finishes with it. It comes in two
+// lifetimes: a copy of an incoming batch backed by the suite's own pool
+// (the Handle/HandleBatch path), or a zero-copy wrapper around a trace
+// block whose ownership was transferred in via IngestBlock — owned marks
+// the latter, and release routes the storage back to the right pool.
 type shardBlock struct {
-	recs trace.Block
-	refs atomic.Int32
+	recs  trace.Block
+	owned *trace.Block // non-nil when recs aliases a transferred trace block
+	refs  atomic.Int32
+}
+
+// release drops one reference and recycles the block when it was the last.
+func (b *shardBlock) release() {
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	if b.owned != nil {
+		trace.FreeBlock(b.owned)
+		b.owned, b.recs = nil, nil
+		ownedWrapPool.Put(b)
+		return
+	}
+	shardBlockPool.Put(b)
 }
 
 var shardBlockPool = sync.Pool{
@@ -49,13 +68,16 @@ var shardBlockPool = sync.Pool{
 	},
 }
 
+// ownedWrapPool recycles the carrier structs of IngestBlock deliveries; the
+// record storage in that mode belongs to the trace block pool, so these
+// wrappers hold no array of their own.
+var ownedWrapPool = sync.Pool{New: func() any { return new(shardBlock) }}
+
 func getShardBlock() *shardBlock {
 	blk := shardBlockPool.Get().(*shardBlock)
 	blk.recs = blk.recs[:0]
 	return blk
 }
-
-func putShardBlock(blk *shardBlock) { shardBlockPool.Put(blk) }
 
 // GroupDepth is one collector group's channel-depth statistics: how many
 // blocks were enqueued to it and how full its channel was at each enqueue.
@@ -93,8 +115,10 @@ func newShardWorker(name string, sweeps ...func([]trace.Record)) *shardWorker {
 	}
 }
 
-// send enqueues a block, recording the queue depth it found. Must only be
-// called from the group's single enqueuing goroutine.
+// send enqueues a block, recording the queue depth it found. Calls must be
+// serialized: the group has a single logical enqueuer (one goroutine, or —
+// on the IngestBlock path — decode workers whose hand-offs are ordered by
+// the reader's turn chain).
 func (w *shardWorker) send(blk *shardBlock) {
 	d := int64(len(w.ch))
 	w.depth.Blocks++
@@ -111,9 +135,7 @@ func (w *shardWorker) run(wg *sync.WaitGroup) {
 		for _, sweep := range w.sweeps {
 			sweep(blk.recs)
 		}
-		if blk.refs.Add(-1) == 0 {
-			putShardBlock(blk)
-		}
+		blk.release()
 	}
 }
 
@@ -287,6 +309,27 @@ func (sh *ShardedSuite) flush() {
 	}
 }
 
+// IngestBlock implements trace.BlockIngester: a decoded block is fanned out
+// to every ingest group without copying or re-batching. The suite takes
+// ownership of blk and recycles it to the trace block pool when the last
+// group's sweep finishes. Calls must be serialized and ordered relative to
+// Handle/HandleBatch — trace.Reader.ReadAllSharded's in-order delivery
+// chain provides exactly that — because each group's channel has a single
+// logical enqueuer.
+func (sh *ShardedSuite) IngestBlock(blk *trace.Block) {
+	if len(*blk) == 0 {
+		trace.FreeBlock(blk)
+		return
+	}
+	sh.flush() // records re-batched earlier must stay ahead of this block
+	b := ownedWrapPool.Get().(*shardBlock)
+	b.recs, b.owned = *blk, blk
+	b.refs.Store(int32(len(sh.ingest)))
+	for _, w := range sh.ingest {
+		w.send(b)
+	}
+}
+
 // Close flushes pending records, drains and stops the workers, then
 // finalizes the underlying suite. Call once after the last record.
 func (sh *ShardedSuite) Close() {
@@ -338,6 +381,7 @@ func (s *Suite) Sink(parallelism int) (h trace.Handler, close func()) {
 }
 
 var (
-	_ trace.Handler      = (*ShardedSuite)(nil)
-	_ trace.BatchHandler = (*ShardedSuite)(nil)
+	_ trace.Handler       = (*ShardedSuite)(nil)
+	_ trace.BatchHandler  = (*ShardedSuite)(nil)
+	_ trace.BlockIngester = (*ShardedSuite)(nil)
 )

@@ -183,6 +183,61 @@ func TestShardedRecordPath(t *testing.T) {
 	}
 }
 
+// TestShardedIngestBlockMatchesHandleBatch: the zero-copy IngestBlock path
+// (trace.BlockIngester, fed by the parallel reader's direct decode-to-shard
+// delivery) must produce collector state identical to the copying
+// HandleBatch path — including with irregular block sizes like the partial
+// blocks a segment decoder emits, and in both sorted and unsorted suite
+// modes. Run with -race to exercise the fan-out.
+func TestShardedIngestBlockMatchesHandleBatch(t *testing.T) {
+	cfg := shardWorkload(t)
+	var recs trace.Collect
+	if _, err := gamesim.Run(cfg, &recs, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sortedInput := range []bool{false, true} {
+		sc := DefaultSuiteConfig(cfg.Duration)
+		sc.SortedInput = sortedInput
+		ref, err := NewSuite(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSh := Shard(ref, 4)
+		refSh.HandleBatch(recs.Records)
+		refSh.Close()
+		want := suiteFingerprint(ref)
+
+		for _, workers := range []int{2, 4, 5} {
+			s, err := NewSuite(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := Shard(s, workers)
+			// Deliver through owned blocks of irregular sizes (a partial
+			// block every few, like segment tails).
+			for i := 0; i < len(recs.Records); {
+				size := trace.BlockSize
+				if (i/trace.BlockSize)%3 == 2 {
+					size = trace.BlockSize / 5
+				}
+				if i+size > len(recs.Records) {
+					size = len(recs.Records) - i
+				}
+				blk := trace.NewBlock()
+				*blk = append(*blk, recs.Records[i:i+size]...)
+				sh.IngestBlock(blk)
+				i += size
+			}
+			sh.Close()
+			if got := suiteFingerprint(s); !reflect.DeepEqual(want, got) {
+				t.Errorf("sorted=%v workers=%d: IngestBlock suite diverges from HandleBatch suite", sortedInput, workers)
+				diffFingerprint(t, want, got)
+			}
+		}
+	}
+}
+
 // TestShardedCloseIdempotent: Close twice is safe and the suite finalizes
 // once.
 func TestShardedCloseIdempotent(t *testing.T) {

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,23 +22,28 @@ import (
 //	        app    uvarint
 //
 // Version 1 is a single varint stream of records after the header. Version 2
-// (the current default) chunks the identical record encoding into
-// independently-decodable segments ("CSEG" frames carrying payload length,
-// record count and the delta base/min/max timestamps), then appends a
-// segment index ("CSIX") and a fixed-size footer, so a reader can decode
-// segments in parallel and seek by time range. The concatenation of all v2
-// segment payloads is byte-for-byte the v1 record stream.
+// chunks the identical record encoding into independently-decodable segments
+// ("CSEG" frames carrying payload length, record count and the delta
+// base/min/max timestamps), then appends a segment index ("CSIX") and a
+// fixed-size footer, so a reader can decode segments in parallel and seek by
+// time range. Version 3 (the current default) adds a per-segment flags word
+// to the frame and index: flag bit 0 marks a flate-compressed payload, with
+// the decompressed size carried alongside. The concatenation of all segment
+// payloads — decompressed where flagged — is byte-for-byte the v1 record
+// stream.
 //
 // Delta encoding keeps the common case (sub-millisecond gaps, small ids,
-// small payloads) to a handful of bytes per record — a full-week, half
-// billion packet trace fits comfortably on disk.
+// small payloads) to a handful of bytes per record, and v3 compression
+// roughly halves that again — a full-week, half billion packet trace fits
+// comfortably on disk.
 
 const (
 	magic    = "CSTR"
 	version1 = 1
 	version2 = 2
+	version3 = 3
 	// currentVersion is what NewWriter emits.
-	currentVersion = version2
+	currentVersion = version3
 	headerLen      = 8
 )
 
@@ -45,22 +52,39 @@ var (
 	ErrBadMagic   = errors.New("trace: bad magic")
 	ErrBadVersion = errors.New("trace: unsupported version")
 	ErrCorrupt    = errors.New("trace: corrupt record")
-	// ErrNoIndex reports a trace without a segment index (a v1 file, or a
-	// v2 file whose index was lost); such traces can only be scanned
+	// ErrNoIndex reports a trace without a segment index (a v1 file, or an
+	// indexed file whose index was lost); such traces can only be scanned
 	// serially.
 	ErrNoIndex = errors.New("trace: no segment index")
-	// ErrFinished reports a Write after Flush: a v2 Flush seals the file
-	// with its index and footer.
+	// ErrFinished reports a Write after Flush: an indexed-format Flush
+	// seals the file with its index and footer.
 	ErrFinished = errors.New("trace: write after Flush")
+)
+
+// Compression settings for Writer.CompressLevel.
+const (
+	// CompressOff stores every v3 segment uncompressed (flags clear). The
+	// file remains a valid v3 trace; only the payload bytes differ.
+	CompressOff = -1
+	// DefaultCompressLevel is the flate level used when CompressLevel is 0:
+	// level 6 (flate's own default), which delivers the ≥ 25 % on-disk
+	// saving over v2 on the standard reproduction. Decompression cost is
+	// essentially level-independent, so the level only prices the write
+	// side: use 1 (BestSpeed, ~3× faster to write, a few % larger) when the
+	// writer sits on a generation hot path, 9 when the file is written once
+	// and shipped often.
+	DefaultCompressLevel = 6
 )
 
 // Writer streams records to an io.Writer in the binary trace format.
 // Records must be delivered in non-decreasing time order.
 //
-// NewWriter emits format v2: records are chunked into independently
-// decodable segments and the file ends with a segment index + footer, so
-// Reader.ReadAllParallel can fan decode out across goroutines. Flush seals
-// the file and must be called exactly once, after the last Write.
+// NewWriter emits format v3: records are chunked into independently
+// decodable segments, each segment's payload is flate-compressed when that
+// makes it smaller (tunable via CompressLevel), and the file ends with a
+// segment index + footer, so Reader.ReadAllParallel can fan decode out
+// across goroutines. Flush seals the file and must be called exactly once,
+// after the last Write.
 type Writer struct {
 	w       *bufio.Writer
 	version uint8
@@ -71,33 +95,53 @@ type Writer struct {
 	err     error // first encode/IO error; latched for Handle paths
 	off     int64 // file offset of the next frame to be written
 
-	// SegmentPayload is the v2 target payload size per segment in bytes; a
-	// segment is cut once its encoded payload reaches it. Set it before the
-	// first Write; 0 means DefaultSegmentPayload. Smaller segments
-	// parallelize and seek at finer grain, larger ones amortize the 76 B of
-	// per-segment framing+index overhead further.
+	// SegmentPayload is the target (pre-compression) payload size per
+	// segment in bytes; a segment is cut once its encoded payload reaches
+	// it. Set it before the first Write; 0 means DefaultSegmentPayload.
+	// Smaller segments parallelize and seek at finer grain, larger ones
+	// amortize the per-segment framing+index overhead further.
 	SegmentPayload int
 
-	seg      []byte // current segment's encoded records (v2)
+	// CompressLevel tunes v3 per-segment compression: 0 selects
+	// DefaultCompressLevel, 1–9 are explicit flate levels (1 fastest, 9
+	// smallest), and CompressOff (-1) stores all segments uncompressed.
+	// Set it before the first Write; ignored for v1/v2 writers. Whatever
+	// the level, a segment whose compressed form is not smaller than its
+	// raw form is stored uncompressed (the per-segment flag records which).
+	CompressLevel int
+
+	seg      []byte // current segment's encoded records (v2/v3)
 	segBase  time.Duration
 	segMin   time.Duration
 	segMax   time.Duration
 	segCount int
 	index    []SegmentInfo
 
+	fw      *flate.Writer // v3 segment compressor, reused across segments
+	fwLevel int
+	cbuf    bytes.Buffer
+
 	buf [3*binary.MaxVarintLen64 + 1]byte
 }
 
-// DefaultSegmentPayload is the default v2 segment payload target: 256 KiB
+// DefaultSegmentPayload is the default segment payload target: 256 KiB
 // (~50 k records at the workload's ~5 B/record), large enough that framing
 // overhead is ~0.03 %, small enough that a few seconds of trace already
 // spans many parallel decode units.
 const DefaultSegmentPayload = 1 << 18
 
-// NewWriter creates a Writer emitting the current format version (v2,
-// segmented + indexed).
+// NewWriter creates a Writer emitting the current format version (v3,
+// segmented + indexed + per-segment compression).
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: currentVersion}
+}
+
+// NewWriterV2 creates a Writer emitting format v2: segmented and indexed,
+// but without the per-segment flags word or compression. Readers support v2
+// indefinitely (see docs/FORMAT.md for the compatibility policy); new
+// traces should use NewWriter.
+func NewWriterV2(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version2}
 }
 
 // NewWriterV1 creates a Writer emitting the legacy v1 format: one
@@ -108,7 +152,7 @@ func NewWriterV1(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version1}
 }
 
-// Version returns the format version the Writer emits (1 or 2).
+// Version returns the format version the Writer emits (1, 2 or 3).
 func (w *Writer) Version() int { return int(w.version) }
 
 // Handle implements Handler, so a Writer can sit at the end of a pipeline.
@@ -173,7 +217,7 @@ func (w *Writer) Write(r Record) error {
 		return err
 	}
 
-	// v2: records accumulate into the current segment's payload buffer;
+	// v2/v3: records accumulate into the current segment's payload buffer;
 	// the frame header needs the payload length and record count up front,
 	// so the segment is buffered whole and flushed when it reaches target.
 	if w.segCount == 0 {
@@ -198,34 +242,89 @@ func (w *Writer) segmentTarget() int {
 	return DefaultSegmentPayload
 }
 
+// compressSegment runs the buffered segment through flate at the configured
+// level, returning the compressed bytes, or nil when compression is off,
+// misconfigured-level errors aside.
+func (w *Writer) compressSegment() ([]byte, error) {
+	level := w.CompressLevel
+	if level == 0 {
+		level = DefaultCompressLevel
+	}
+	if w.fw == nil || w.fwLevel != level {
+		fw, err := flate.NewWriter(io.Discard, level)
+		if err != nil {
+			return nil, fmt.Errorf("trace: invalid CompressLevel %d: %w", w.CompressLevel, err)
+		}
+		w.fw, w.fwLevel = fw, level
+	}
+	w.cbuf.Reset()
+	w.fw.Reset(&w.cbuf)
+	if _, err := w.fw.Write(w.seg); err != nil {
+		return nil, err
+	}
+	if err := w.fw.Close(); err != nil {
+		return nil, err
+	}
+	return w.cbuf.Bytes(), nil
+}
+
 // flushSegment writes the buffered segment as one "CSEG" frame and records
-// its index entry.
+// its index entry. In v3 the payload is flate-compressed first and stored
+// compressed only when that is strictly smaller (the per-segment flag
+// records the choice, so incompressible segments cost nothing).
 func (w *Writer) flushSegment() error {
 	if w.segCount == 0 {
 		return nil
 	}
-	w.index = append(w.index, SegmentInfo{
+	payload := w.seg
+	rawLen := len(w.seg)
+	var flags uint32
+	if w.version >= version3 && w.CompressLevel != CompressOff {
+		comp, err := w.compressSegment()
+		if err != nil {
+			return err
+		}
+		if len(comp) < rawLen {
+			payload = comp
+			flags = SegCompressed
+		}
+	}
+	si := SegmentInfo{
 		Offset:     w.off,
-		PayloadLen: len(w.seg),
+		PayloadLen: len(payload),
 		Count:      w.segCount,
+		Flags:      flags,
+		RawLen:     rawLen,
 		BaseT:      w.segBase,
 		MinT:       w.segMin,
 		MaxT:       w.segMax,
-	})
-	var hdr [segHeaderLen]byte
+	}
+	w.index = append(w.index, si)
+	var hdr [segHeaderLenV3 + 4]byte
 	copy(hdr[:4], segMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(w.seg)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.segCount))
-	binary.LittleEndian.PutUint64(hdr[12:], uint64(w.segBase))
-	binary.LittleEndian.PutUint64(hdr[20:], uint64(w.segMin))
-	binary.LittleEndian.PutUint64(hdr[28:], uint64(w.segMax))
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	rest := hdr[12:]
+	hl := segHeaderLen
+	if w.version >= version3 {
+		binary.LittleEndian.PutUint32(hdr[12:], flags)
+		rest = hdr[16:]
+		hl = segHeaderLenV3
+	}
+	binary.LittleEndian.PutUint64(rest[0:], uint64(w.segBase))
+	binary.LittleEndian.PutUint64(rest[8:], uint64(w.segMin))
+	binary.LittleEndian.PutUint64(rest[16:], uint64(w.segMax))
+	if flags&SegCompressed != 0 {
+		binary.LittleEndian.PutUint32(hdr[segHeaderLenV3:], uint32(rawLen))
+		hl = segHeaderLenV3 + 4
+	}
+	if _, err := w.w.Write(hdr[:hl]); err != nil {
 		return err
 	}
-	if _, err := w.w.Write(w.seg); err != nil {
+	if _, err := w.w.Write(payload); err != nil {
 		return err
 	}
-	w.off += segHeaderLen + int64(len(w.seg))
+	w.off += int64(hl) + int64(len(payload))
 	w.seg = w.seg[:0]
 	w.segCount = 0
 	return nil
@@ -235,21 +334,22 @@ func (w *Writer) flushSegment() error {
 func (w *Writer) Count() int64 { return w.n }
 
 // Flush seals and flushes the trace, surfacing any error latched by the
-// Handle paths first. For v2 it writes the final partial segment, the
-// segment index and the footer, so it must be called exactly once, after
-// the last Write; further Writes fail with ErrFinished.
+// Handle paths first. For the indexed formats it writes the final partial
+// segment, the segment index and the footer, so it must be called exactly
+// once, after the last Write; further Writes fail with ErrFinished.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
 	if !w.wrote {
-		// An empty trace still gets a header (and, for v2, an empty
-		// index + footer, so the file remains seekable and well-formed).
+		// An empty trace still gets a header (and, for the indexed formats,
+		// an empty index + footer, so the file remains seekable and
+		// well-formed).
 		if err := w.writeHeader(); err != nil {
 			return err
 		}
 	}
-	if w.version == version2 && !w.sealed {
+	if w.version >= version2 && !w.sealed {
 		if err := w.flushSegment(); err != nil {
 			return err
 		}
@@ -261,22 +361,30 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader streams records from the binary trace format, accepting both v1
-// and v2 files transparently: ReadAll / ReadAllPrefetch scan any version
-// serially, and ReadAllParallel additionally decodes v2 segments on worker
-// goroutines when the source is seekable, falling back to the serial scan
-// (with a Warning) when it is not or the index is unreadable.
+// Reader streams records from the binary trace format, accepting v1, v2 and
+// v3 files transparently: ReadAll / ReadAllPrefetch scan any version
+// serially, and ReadAllParallel / ReadAllSharded additionally decode
+// indexed segments on worker goroutines when the source is seekable,
+// falling back to the serial scan (with a Warning) when it is not or the
+// index is unreadable.
 type Reader struct {
 	src     io.Reader // the unbuffered source, for the indexed read path
 	r       *bufio.Reader
 	last    time.Duration
 	init    bool
 	version uint8
-	seg     SegmentInfo // v2: current segment's frame header
+	seg     SegmentInfo // v2/v3: current segment's frame header
 	segLeft int         // v2: records remaining in the current segment
-	done    bool        // v2: index frame reached — clean end of records
+	done    bool        // v2/v3: index frame reached — clean end of records
 	err     error
 	warn    string
+
+	// v3 serial Read path: segments decode whole (they may be compressed),
+	// so decoded records queue here and pop one per Read call.
+	q    []Record
+	qPos int
+	qErr error
+	sc   segScratch
 }
 
 // NewReader creates a Reader.
@@ -284,7 +392,7 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{src: r, r: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Version returns the trace format version (1 or 2), or 0 before the
+// Version returns the trace format version (1, 2 or 3), or 0 before the
 // header has been read.
 func (r *Reader) Version() int { return int(r.version) }
 
@@ -322,7 +430,7 @@ func (r *Reader) readHeader() error {
 		return ErrBadMagic
 	}
 	switch hdr[4] {
-	case version1, version2:
+	case version1, version2, version3:
 		r.version = hdr[4]
 	default:
 		return ErrBadVersion
@@ -337,6 +445,9 @@ func (r *Reader) Read() (Record, error) {
 		if err := r.readHeader(); err != nil {
 			return Record{}, err
 		}
+	}
+	if r.version == version3 {
+		return r.readSegmented()
 	}
 	if r.version == version2 {
 		if r.segLeft == 0 {
@@ -378,6 +489,40 @@ func (r *Reader) Read() (Record, error) {
 		Client: uint32(client),
 		App:    uint16(app),
 	}, nil
+}
+
+// readSegmented is the v3 serial Read path: a v3 segment may be compressed,
+// so it decodes whole into an in-memory queue and Read pops one record at a
+// time. Records decoded before a mid-segment corruption still pop before
+// the error surfaces, preserving records-before-error delivery.
+func (r *Reader) readSegmented() (Record, error) {
+	for r.qPos >= len(r.q) {
+		if r.qErr != nil {
+			return Record{}, r.qErr
+		}
+		r.fillSegmentQueue()
+	}
+	rec := r.q[r.qPos]
+	r.qPos++
+	return rec, nil
+}
+
+// fillSegmentQueue loads, decompresses and decodes the next v3 segment into
+// the Read queue, recording the terminal error (io.EOF at a clean end) for
+// delivery after the queued records drain.
+func (r *Reader) fillSegmentQueue() {
+	r.q = r.q[:0]
+	r.qPos = 0
+	if err := r.nextSegment(); err != nil {
+		r.qErr = err
+		return
+	}
+	blocks, err := r.loadSegment(&r.sc)
+	for _, blk := range blocks {
+		r.q = append(r.q, *blk...)
+		FreeBlock(blk)
+	}
+	r.qErr = err
 }
 
 // ReadAll drains the stream into h in BlockSize batches, returning the

@@ -9,10 +9,12 @@ import (
 	"cstrace/internal/trace"
 )
 
-// ExampleWriter writes a few records in format v2 and inspects the segment
+// ExampleWriter writes a few records in format v3 and inspects the segment
 // index the Flush sealed into the file. SegmentPayload is shrunk so even
 // this tiny stream spans several independently-decodable segments; real
-// traces keep the 256 KiB default.
+// traces keep the 256 KiB default. (Segments this small never shrink under
+// flate, so they are stored raw — see Example_compressedTrace for the
+// compression path.)
 func ExampleWriter() {
 	var buf bytes.Buffer
 	w := trace.NewWriter(&buf)
@@ -43,10 +45,10 @@ func ExampleWriter() {
 	// first segment spans 0s .. 100ms
 }
 
-// ExampleReader decodes a trace with the parallel read path: v2 segments
-// fan out across worker goroutines and reassemble in file order, so the
-// delivered stream is identical to a serial ReadAll. On a v1 trace or a
-// non-seekable source the same call degrades to the serial scan.
+// ExampleReader decodes a trace with the parallel read path: indexed
+// segments fan out across worker goroutines and reassemble in file order,
+// so the delivered stream is identical to a serial ReadAll. On a v1 trace
+// or a non-seekable source the same call degrades to the serial scan.
 func ExampleReader() {
 	var buf bytes.Buffer
 	w := trace.NewWriter(&buf)
@@ -72,6 +74,53 @@ func ExampleReader() {
 	fmt.Printf("decoded %d records from a v%d trace\n", n, rd.Version())
 	fmt.Printf("last: T=%v dir=%v app=%dB\n", last.T, last.Dir, last.App)
 	// Output:
-	// decoded 3 records from a v2 trace
+	// decoded 3 records from a v3 trace
 	// last: T=100ms dir=out app=130B
+}
+
+// Example_compressedTrace writes a v3 trace whose segments are large enough
+// for the default per-segment flate compression to engage, then reads it
+// back and inspects the on-disk savings through the index. Game traffic
+// compresses well: the delta-varint stream repeats the same few kinds,
+// clients and payload sizes over and over.
+func Example_compressedTrace() {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf) // v3: per-segment compression on by default
+	w.SegmentPayload = 1 << 12 // small segments so the example spans several
+	// w.CompressLevel = 9 would trade write CPU for the smallest file;
+	// trace.CompressOff would store every segment raw.
+	for i := 0; i < 20000; i++ {
+		if err := w.Write(trace.Record{
+			T:      time.Duration(i) * 5 * time.Millisecond,
+			Dir:    trace.Direction(i % 2),
+			Kind:   trace.KindGame,
+			Client: uint32(i % 22),
+			App:    [2]uint16{40, 130}[i%2],
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	ix, err := trace.ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all %d segments compressed: %v\n",
+		len(ix.Segments), ix.CompressedSegments() == len(ix.Segments))
+	fmt.Printf("on disk smaller than raw: %v\n", ix.PayloadBytes() < ix.RawBytes()/2)
+
+	var got trace.Collect
+	rd := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	n, err := rd.ReadAllParallel(&got, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back %d records from a v%d trace\n", n, rd.Version())
+	// Output:
+	// all 37 segments compressed: true
+	// on disk smaller than raw: true
+	// read back 20000 records from a v3 trace
 }

@@ -8,17 +8,18 @@ import (
 	"time"
 )
 
-// The v2 segment index and footer, and the parallel read path built on
-// them. The index ("CSIX" frame) duplicates every segment's frame header
-// plus its file offset; the fixed-size footer at the end of the file points
-// back at the index, so an indexed reader needs exactly two reads (footer,
-// then index) before it can fan segment decode out across workers. The
-// index is advisory: a serial scanner never needs it, and an unreadable
-// index degrades to the serial scan (see Reader.ReadAllParallel).
+// The segment index and footer of the indexed formats (v2/v3), and the
+// parallel read path built on them. The index ("CSIX" frame) duplicates
+// every segment's frame header plus its file offset; the fixed-size footer
+// at the end of the file points back at the index, so an indexed reader
+// needs exactly two reads (footer, then index) before it can fan segment
+// decode out across workers. The index is advisory: a serial scanner never
+// needs it, and an unreadable index degrades to the serial scan (see
+// Reader.ReadAllParallel).
 
-// Index is the parsed segment index of a v2 trace.
+// Index is the parsed segment index of an indexed (v2/v3) trace.
 type Index struct {
-	// Version is the trace format version (always 2 for an indexed trace).
+	// Version is the trace format version (2 or 3 for an indexed trace).
 	Version int
 	// Records is the total record count, from the footer.
 	Records int64
@@ -26,11 +27,35 @@ type Index struct {
 	Segments []SegmentInfo
 }
 
-// PayloadBytes sums the record payload bytes across segments.
+// PayloadBytes sums the on-disk record payload bytes across segments
+// (compressed sizes where segments are compressed).
 func (ix *Index) PayloadBytes() int64 {
 	var n int64
 	for _, s := range ix.Segments {
 		n += int64(s.PayloadLen)
+	}
+	return n
+}
+
+// RawBytes sums the decompressed record payload bytes across segments — the
+// length of the equivalent v1 record stream. It equals PayloadBytes when no
+// segment is compressed.
+func (ix *Index) RawBytes() int64 {
+	var n int64
+	for _, s := range ix.Segments {
+		n += int64(s.RawLen)
+	}
+	return n
+}
+
+// CompressedSegments counts the segments stored with a flate-compressed
+// payload.
+func (ix *Index) CompressedSegments() int {
+	var n int
+	for _, s := range ix.Segments {
+		if s.Compressed() {
+			n++
+		}
 	}
 	return n
 }
@@ -46,6 +71,10 @@ func (w *Writer) writeIndexAndFooter() error {
 		b = binary.LittleEndian.AppendUint64(b, uint64(si.Offset))
 		b = binary.LittleEndian.AppendUint32(b, uint32(si.PayloadLen))
 		b = binary.LittleEndian.AppendUint32(b, uint32(si.Count))
+		if w.version >= version3 {
+			b = binary.LittleEndian.AppendUint32(b, si.Flags)
+			b = binary.LittleEndian.AppendUint32(b, uint32(si.RawLen))
+		}
 		b = binary.LittleEndian.AppendUint64(b, uint64(si.BaseT))
 		b = binary.LittleEndian.AppendUint64(b, uint64(si.MinT))
 		b = binary.LittleEndian.AppendUint64(b, uint64(si.MaxT))
@@ -60,9 +89,9 @@ func (w *Writer) writeIndexAndFooter() error {
 	return err
 }
 
-// ReadIndex reads and validates the segment index of a v2 trace from a
-// random-access source of the given total size. It returns ErrNoIndex for a
-// v1 trace, and a descriptive error (wrapping ErrCorrupt where the bytes
+// ReadIndex reads and validates the segment index of an indexed trace from
+// a random-access source of the given total size. It returns ErrNoIndex for
+// a v1 trace, and a descriptive error (wrapping ErrCorrupt where the bytes
 // are implausible) when the index or footer is damaged — callers treat any
 // error as "scan serially instead".
 func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
@@ -79,9 +108,14 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 	switch hdr[4] {
 	case version1:
 		return nil, ErrNoIndex
-	case version2:
+	case version2, version3:
 	default:
 		return nil, ErrBadVersion
+	}
+	ver := int(hdr[4])
+	entryLen := int64(indexEntryLen)
+	if ver >= version3 {
+		entryLen = indexEntryLenV3
 	}
 
 	var foot [footerLen]byte
@@ -94,7 +128,7 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 	records := int64(binary.LittleEndian.Uint64(foot[0:]))
 	indexOff := int64(binary.LittleEndian.Uint64(foot[8:]))
 	segCount := int64(binary.LittleEndian.Uint32(foot[16:]))
-	indexLen := int64(indexHeaderLen) + segCount*indexEntryLen
+	indexLen := int64(indexHeaderLen) + segCount*entryLen
 	if records < 0 || indexOff < headerLen || indexOff+indexLen != size-footerLen {
 		return nil, fmt.Errorf("%w: footer geometry does not match file size", ErrCorrupt)
 	}
@@ -110,7 +144,7 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 		return nil, fmt.Errorf("%w: index and footer disagree on segment count", ErrCorrupt)
 	}
 
-	ix := &Index{Version: version2, Records: records, Segments: make([]SegmentInfo, segCount)}
+	ix := &Index{Version: ver, Records: records, Segments: make([]SegmentInfo, segCount)}
 	var sum int64
 	nextOff := int64(headerLen)
 	b := raw[indexHeaderLen:]
@@ -119,11 +153,31 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 			Offset:     int64(binary.LittleEndian.Uint64(b[0:])),
 			PayloadLen: int(binary.LittleEndian.Uint32(b[8:])),
 			Count:      int(binary.LittleEndian.Uint32(b[12:])),
-			BaseT:      sliceDuration(b[16:]),
-			MinT:       sliceDuration(b[24:]),
-			MaxT:       sliceDuration(b[32:]),
 		}
-		b = b[indexEntryLen:]
+		rest := b[16:]
+		if ver >= version3 {
+			si.Flags = binary.LittleEndian.Uint32(b[16:])
+			rawLen := int(binary.LittleEndian.Uint32(b[20:]))
+			rest = b[24:]
+			if si.Flags&^SegCompressed != 0 {
+				return nil, fmt.Errorf("%w: index entry %d carries unknown flags %#x", ErrCorrupt, i, si.Flags)
+			}
+			if si.Compressed() {
+				if err := si.setRawLen(rawLen); err != nil {
+					return nil, fmt.Errorf("index entry %d: %w", i, err)
+				}
+			} else if rawLen != si.PayloadLen {
+				return nil, fmt.Errorf("%w: index entry %d raw/payload mismatch on uncompressed segment", ErrCorrupt, i)
+			} else {
+				si.RawLen = rawLen
+			}
+		} else {
+			si.RawLen = si.PayloadLen
+		}
+		si.BaseT = sliceDuration(rest[0:])
+		si.MinT = sliceDuration(rest[8:])
+		si.MaxT = sliceDuration(rest[16:])
+		b = b[entryLen:]
 		// Segments tile the byte range [header, index) exactly, counts are
 		// positive, and the delta-base chain links each segment to its
 		// predecessor's last timestamp.
@@ -138,7 +192,7 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 		} else if si.BaseT != ix.Segments[i-1].MaxT {
 			return nil, fmt.Errorf("%w: index entry %d breaks the timestamp chain", ErrCorrupt, i)
 		}
-		nextOff = si.Offset + segHeaderLen + int64(si.PayloadLen)
+		nextOff = si.Offset + int64(si.frameHeaderLen(ver)) + int64(si.PayloadLen)
 		sum += int64(si.Count)
 		ix.Segments[i] = si
 	}
@@ -176,18 +230,43 @@ func sourceSize(s io.Seeker) (int64, error) {
 	return size, err
 }
 
+// resolveIndex locates and validates the segment index of an indexed trace,
+// or explains in Warning why the indexed read paths must degrade to a
+// serial scan (non-seekable source, unknown size, damaged index/footer).
+func (r *Reader) resolveIndex() (*Index, bool) {
+	sa, ok := r.src.(seekerAt)
+	if !ok {
+		r.warn = "parallel decode needs a seekable source; using serial scan"
+		return nil, false
+	}
+	size, err := sourceSize(sa)
+	if err != nil {
+		r.warn = fmt.Sprintf("parallel decode: source size unavailable (%v); using serial scan", err)
+		return nil, false
+	}
+	ix, err := ReadIndex(sa, size)
+	if err != nil {
+		r.warn = fmt.Sprintf("segment index unreadable (%v); using serial scan", err)
+		return nil, false
+	}
+	return ix, true
+}
+
 // ReadAllParallel drains the stream into h exactly as ReadAll does, but for
-// a v2 trace on a seekable source (an *os.File, a *bytes.Reader, …) it
-// decodes file segments on up to workers goroutines: an order-preserving
-// reassembly stage delivers each segment's pooled blocks to h in file
-// order, so the delivered stream — and any report computed from it — is
-// byte-identical to the serial paths.
+// an indexed (v2/v3) trace on a seekable source (an *os.File, a
+// *bytes.Reader, …) it decodes file segments on up to workers goroutines:
+// an order-preserving reassembly stage delivers each segment's pooled
+// blocks to h in file order, so the delivered stream — and any report
+// computed from it — is byte-identical to the serial paths.
 //
 // Degraded cases fall back to the serial ReadAllPrefetch scan, latching an
 // explanation in Warning when the degradation is unexpected: a
 // non-seekable source, or a truncated/corrupt index or footer. A v1 trace
 // (no index can exist) and workers ≤ 1 select the serial scan silently.
 // Call it on a fresh Reader.
+//
+// When h can consume whole decoded blocks in-place, ReadAllSharded removes
+// the reassembly stage's per-record copy as well.
 func (r *Reader) ReadAllParallel(h Handler, workers int) (int64, error) {
 	if !r.init {
 		if err := r.readHeader(); err != nil {
@@ -197,22 +276,11 @@ func (r *Reader) ReadAllParallel(h Handler, workers int) (int64, error) {
 	if r.version == version1 || workers <= 1 {
 		return r.ReadAllPrefetch(h)
 	}
-	sa, ok := r.src.(seekerAt)
+	ix, ok := r.resolveIndex()
 	if !ok {
-		r.warn = "parallel decode needs a seekable source; using serial scan"
 		return r.ReadAllPrefetch(h)
 	}
-	size, err := sourceSize(sa)
-	if err != nil {
-		r.warn = fmt.Sprintf("parallel decode: source size unavailable (%v); using serial scan", err)
-		return r.ReadAllPrefetch(h)
-	}
-	ix, err := ReadIndex(sa, size)
-	if err != nil {
-		r.warn = fmt.Sprintf("segment index unreadable (%v); using serial scan", err)
-		return r.ReadAllPrefetch(h)
-	}
-	n, err := parallelDecode(sa, ix, workers, Batch(h))
+	n, err := parallelDecode(r.src.(seekerAt), ix, workers, Batch(h))
 	if err != nil && r.err == nil {
 		// Same contract as the serial paths: the full wrapped error (which
 		// preserves the I/O cause via %w) is reachable from Err even when
@@ -271,10 +339,10 @@ func parallelDecode(ra io.ReaderAt, ix *Index, workers int, bh BatchHandler) (in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var scratch []byte
+			var sc segScratch
 			for i := range jobs {
 				var res segResult
-				res.blocks, scratch, res.err = readSegmentAt(ra, segs[i], scratch)
+				res.blocks, res.err = readSegmentAt(ra, segs[i], ix.Version, &sc)
 				results[i] <- res
 			}
 		}()

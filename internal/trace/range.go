@@ -7,7 +7,7 @@ import (
 	"time"
 )
 
-// Time-range reads. The v2 segment index stores each segment's MinT/MaxT,
+// Time-range reads. The v2/v3 segment index stores each segment's MinT/MaxT,
 // and the format guarantees records are in non-decreasing time order (the
 // Writer rejects anything else), so both MinT and MaxT are non-decreasing
 // across segments: the segments overlapping a time range form one
@@ -17,8 +17,9 @@ import (
 // ReadRange delivers the records with from ≤ T < to to h, in stream order
 // and BlockSize-bounded batches, returning how many were delivered.
 //
-// For a v2 trace on a seekable source it binary-searches the segment index
-// and decodes only the overlapping segments — reading a one-hour slice of a
+// For an indexed (v2/v3) trace on a seekable source it binary-searches the
+// segment index and decodes (inflating where compressed) only the
+// overlapping segments — reading a one-hour slice of a
 // week-long trace costs I/O and decode proportional to the hour, not the
 // week. Degraded inputs (v1, non-seekable source, damaged index) fall back
 // to a serial scan that decodes from the start and stops at the first
@@ -36,7 +37,7 @@ func (r *Reader) ReadRange(from, to time.Duration, h Handler) (int64, error) {
 			return 0, err
 		}
 	}
-	if r.version == version2 {
+	if r.version >= version2 {
 		if sa, ok := r.src.(seekerAt); ok {
 			size, err := sourceSize(sa)
 			if err != nil {
@@ -85,13 +86,12 @@ func (r *Reader) ReadRange(from, to time.Duration, h Handler) (int64, error) {
 func readRangeIndexed(ra io.ReaderAt, ix *Index, from, to time.Duration, bh BatchHandler) (int64, error) {
 	segs := ix.Segments
 	lo := sort.Search(len(segs), func(i int) bool { return segs[i].MaxT >= from })
-	var scratch []byte
+	var scratch segScratch
 	var filtered Block
 	var n int64
 	for si := lo; si < len(segs) && segs[si].MinT < to; si++ {
 		seg := segs[si]
-		blocks, sc, err := readSegmentAt(ra, seg, scratch)
-		scratch = sc
+		blocks, err := readSegmentAt(ra, seg, ix.Version, &scratch)
 		whole := seg.MinT >= from && seg.MaxT < to
 		for _, blk := range blocks {
 			if whole {

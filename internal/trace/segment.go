@@ -1,15 +1,18 @@
 package trace
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
 )
 
-// Format v2 segment framing. Each segment is an independently decodable
-// chunk of the record stream: its frame header carries everything a decoder
-// needs (payload length, record count, and the delta base timestamp), so
+// Segment framing for the indexed formats. Each segment is an independently
+// decodable chunk of the record stream: its frame header carries everything
+// a decoder needs (payload length, record count, the delta base timestamp
+// and — since v3 — a flags word announcing per-segment compression), so
 // workers can decode segments concurrently from an io.ReaderAt without any
 // shared state, and a serial scanner can walk the frames with a plain
 // io.Reader. See docs/FORMAT.md for the byte-level specification.
@@ -19,12 +22,20 @@ const (
 	indexMagic  = "CSIX"
 	footerMagic = "CSFT"
 
-	// segHeaderLen is the fixed "CSEG" frame header:
+	// segHeaderLen is the fixed v2 "CSEG" frame header:
 	// magic 4 | payloadLen u32 | count u32 | baseT u64 | minT u64 | maxT u64.
 	segHeaderLen = 4 + 4 + 4 + 8 + 8 + 8
-	// indexEntryLen is one index entry:
+	// segHeaderLenV3 is the fixed v3 frame header: the v2 fields plus a
+	// flags u32 between count and baseT. A compressed segment appends one
+	// more rawLen u32 after maxT.
+	segHeaderLenV3 = segHeaderLen + 4
+	// indexEntryLen is one v2 index entry:
 	// offset u64 | payloadLen u32 | count u32 | baseT u64 | minT u64 | maxT u64.
 	indexEntryLen = 8 + 4 + 4 + 8 + 8 + 8
+	// indexEntryLenV3 is one v3 index entry: the v2 fields plus
+	// flags u32 | rawLen u32 between count and baseT (always present in the
+	// index, unlike the frame's conditional rawLen).
+	indexEntryLenV3 = indexEntryLen + 4 + 4
 	// indexHeaderLen is the "CSIX" frame header: magic 4 | segCount u32.
 	indexHeaderLen = 4 + 4
 	// footerLen is the fixed trailer:
@@ -32,17 +43,30 @@ const (
 	footerLen = 8 + 8 + 4 + 4
 )
 
-// SegmentInfo describes one v2 segment, as recorded in the index and
-// duplicated in the segment's own frame header.
+// SegCompressed is the v3 segment flag (bit 0) marking a flate-compressed
+// payload. All other flag bits are reserved and must be zero; readers
+// reject them as corruption (an unknown layout cannot be skipped).
+const SegCompressed uint32 = 1 << 0
+
+// SegmentInfo describes one segment of an indexed trace, as recorded in the
+// index and duplicated in the segment's own frame header.
 type SegmentInfo struct {
 	// Offset is the file offset of the segment frame (its "CSEG" marker).
 	Offset int64
-	// PayloadLen is the record payload size in bytes (frame header
-	// excluded).
+	// PayloadLen is the on-disk payload size in bytes (frame header
+	// excluded). For a compressed v3 segment this is the flate stream
+	// length; RawLen holds the decompressed size.
 	PayloadLen int
 	// Count is the number of records in the segment (always ≥ 1; the
 	// writer never emits empty segments).
 	Count int
+	// Flags holds the v3 per-segment flags (SegCompressed); always zero in
+	// a v2 trace.
+	Flags uint32
+	// RawLen is the record payload size after decompression — the length
+	// of the byte range that concatenates into the v1 stream. It equals
+	// PayloadLen when the segment is stored uncompressed.
+	RawLen int
 	// BaseT is the timestamp of the last record before this segment (0 for
 	// the first segment): the segment's first delta is relative to it, so
 	// decode needs no other context.
@@ -52,22 +76,73 @@ type SegmentInfo struct {
 	MinT, MaxT time.Duration
 }
 
-// parseSegmentHeader decodes a "CSEG" frame header.
-func parseSegmentHeader(hdr []byte) (SegmentInfo, error) {
+// Compressed reports whether the segment's payload is flate-compressed.
+func (si SegmentInfo) Compressed() bool { return si.Flags&SegCompressed != 0 }
+
+// frameHeaderLen returns the "CSEG" frame header size for this segment
+// under the given format version: 36 bytes in v2, 40 in v3, plus the
+// 4-byte rawLen field when the segment is compressed.
+func (si SegmentInfo) frameHeaderLen(version int) int {
+	if version >= version3 {
+		if si.Compressed() {
+			return segHeaderLenV3 + 4
+		}
+		return segHeaderLenV3
+	}
+	return segHeaderLen
+}
+
+// parseSegmentHeader decodes the fixed part of a "CSEG" frame header (36
+// bytes in v2, 40 in v3). For a compressed v3 segment the caller must read
+// the trailing rawLen field separately and store it via setRawLen.
+func parseSegmentHeader(hdr []byte, version int) (SegmentInfo, error) {
 	if string(hdr[:4]) != segMagic {
 		return SegmentInfo{}, fmt.Errorf("%w: bad segment marker %q", ErrCorrupt, hdr[:4])
 	}
 	si := SegmentInfo{
 		PayloadLen: int(binary.LittleEndian.Uint32(hdr[4:])),
 		Count:      int(binary.LittleEndian.Uint32(hdr[8:])),
-		BaseT:      time.Duration(binary.LittleEndian.Uint64(hdr[12:])),
-		MinT:       time.Duration(binary.LittleEndian.Uint64(hdr[20:])),
-		MaxT:       time.Duration(binary.LittleEndian.Uint64(hdr[28:])),
+	}
+	rest := hdr[12:]
+	if version >= version3 {
+		si.Flags = binary.LittleEndian.Uint32(hdr[12:])
+		if si.Flags&^SegCompressed != 0 {
+			return SegmentInfo{}, fmt.Errorf("%w: unknown segment flags %#x", ErrCorrupt, si.Flags)
+		}
+		rest = hdr[16:]
+	}
+	si.BaseT = time.Duration(binary.LittleEndian.Uint64(rest[0:]))
+	si.MinT = time.Duration(binary.LittleEndian.Uint64(rest[8:]))
+	si.MaxT = time.Duration(binary.LittleEndian.Uint64(rest[16:]))
+	if !si.Compressed() {
+		si.RawLen = si.PayloadLen
 	}
 	if si.Count <= 0 || si.PayloadLen <= 0 || si.MinT < si.BaseT || si.MaxT < si.MinT {
 		return SegmentInfo{}, fmt.Errorf("%w: implausible segment header", ErrCorrupt)
 	}
 	return si, nil
+}
+
+// maxFlateExpansion bounds how much a DEFLATE stream can inflate: stored
+// and huffman-coded blocks expand at most ~1032×. A declared RawLen beyond
+// this bound cannot be produced by PayloadLen input bytes, so readers
+// reject it as corruption *before* allocating the output slab — a flipped
+// RawLen must not turn into a multi-gigabyte allocation per decode worker.
+const maxFlateExpansion = 1040
+
+// setRawLen records the decompressed size read from a compressed frame's
+// trailing field (or index entry), validating it against the expansion
+// bound.
+func (si *SegmentInfo) setRawLen(rawLen int) error {
+	if rawLen <= 0 {
+		return fmt.Errorf("%w: compressed segment declares %d raw bytes", ErrCorrupt, rawLen)
+	}
+	if rawLen > si.PayloadLen*maxFlateExpansion {
+		return fmt.Errorf("%w: compressed segment declares %d raw bytes from %d on disk (beyond flate's expansion bound)",
+			ErrCorrupt, rawLen, si.PayloadLen)
+	}
+	si.RawLen = rawLen
+	return nil
 }
 
 // nextSegment advances the serial scanner to the next segment frame. It
@@ -83,7 +158,7 @@ func (r *Reader) nextSegment() error {
 		if err == io.EOF {
 			r.done = true
 			if r.warn == "" {
-				r.warn = "v2 trace ends without an index frame (truncated tail); all segments before it were recovered"
+				r.warn = "indexed trace ends without an index frame (truncated tail); all segments before it were recovered"
 			}
 			return io.EOF
 		}
@@ -96,16 +171,27 @@ func (r *Reader) nextSegment() error {
 		r.done = true
 		return io.EOF
 	case segMagic:
-		var rest [segHeaderLen - 4]byte
-		if _, err := io.ReadFull(r.r, rest[:]); err != nil {
+		hl := segHeaderLen
+		if r.version >= version3 {
+			hl = segHeaderLenV3
+		}
+		var hdr [segHeaderLenV3]byte
+		copy(hdr[:4], mark[:])
+		if _, err := io.ReadFull(r.r, hdr[4:hl]); err != nil {
 			return r.latch(ErrCorrupt, err)
 		}
-		var hdr [segHeaderLen]byte
-		copy(hdr[:4], mark[:])
-		copy(hdr[4:], rest[:])
-		si, err := parseSegmentHeader(hdr[:])
+		si, err := parseSegmentHeader(hdr[:hl], int(r.version))
 		if err != nil {
 			return err
+		}
+		if si.Compressed() {
+			var rl [4]byte
+			if _, err := io.ReadFull(r.r, rl[:]); err != nil {
+				return r.latch(ErrCorrupt, err)
+			}
+			if err := si.setRawLen(int(binary.LittleEndian.Uint32(rl[:]))); err != nil {
+				return err
+			}
 		}
 		r.seg = si
 		r.segLeft = si.Count
@@ -119,10 +205,11 @@ func (r *Reader) nextSegment() error {
 	}
 }
 
-// decodePayload decodes an in-memory segment payload into pooled blocks.
-// This is the v2 fast path: varints decode straight out of the slab with no
-// per-byte reader calls, which is what makes segment decode worth
-// parallelizing (the per-record cost drops well below the v1 bufio path).
+// decodePayload decodes an in-memory (decompressed) segment payload into
+// pooled blocks. This is the indexed fast path: varints decode straight out
+// of the slab with no per-byte reader calls, which is what makes segment
+// decode worth parallelizing (the per-record cost drops well below the v1
+// bufio path).
 //
 // Every decoded record is appended to blocks obtained from the pool and the
 // full set is returned; on a corrupt payload the blocks decoded so far are
@@ -192,28 +279,121 @@ func closePayload(blocks []*Block, blk *Block) []*Block {
 	return blocks
 }
 
-// readSegmentAt reads and decodes one segment from an io.ReaderAt using the
-// caller's scratch buffer (grown as needed and returned for reuse). The
-// frame header re-read from the file is cross-checked against the index
-// entry, so a file whose index and segments disagree surfaces as ErrCorrupt
-// rather than silently mis-decoding.
-func readSegmentAt(ra io.ReaderAt, si SegmentInfo, scratch []byte) ([]*Block, []byte, error) {
-	need := segHeaderLen + si.PayloadLen
-	if cap(scratch) < need {
-		scratch = make([]byte, need)
+// segScratch bundles the reusable buffers of one segment-decoding worker:
+// the on-disk frame bytes, the decompression output slab, and the flate
+// reader (reset per segment instead of reallocating its window).
+type segScratch struct {
+	frame []byte
+	raw   []byte
+	fr    io.ReadCloser
+}
+
+// inflate decompresses a flate-compressed segment payload into the scratch
+// raw slab, returning the decompressed bytes. On a truncated or damaged
+// stream it returns the bytes recovered before the damage alongside an
+// ErrCorrupt-wrapped error, so callers can decode the partial prefix and
+// preserve records-before-error delivery.
+func (sc *segScratch) inflate(p []byte, si SegmentInfo) ([]byte, error) {
+	if cap(sc.raw) < si.RawLen {
+		sc.raw = make([]byte, si.RawLen)
 	}
-	scratch = scratch[:need]
-	if _, err := ra.ReadAt(scratch, si.Offset); err != nil {
-		return nil, scratch, fmt.Errorf("%w: segment at offset %d: %w", ErrCorrupt, si.Offset, err)
+	dst := sc.raw[:si.RawLen]
+	if sc.fr == nil {
+		sc.fr = flate.NewReader(bytes.NewReader(p))
+	} else if err := sc.fr.(flate.Resetter).Reset(bytes.NewReader(p), nil); err != nil {
+		return dst[:0], fmt.Errorf("%w: flate reset: %w", ErrCorrupt, err)
 	}
-	got, err := parseSegmentHeader(scratch[:segHeaderLen])
+	n, err := io.ReadFull(sc.fr, dst)
 	if err != nil {
-		return nil, scratch, err
+		return dst[:n], fmt.Errorf("%w: compressed payload damaged after %d of %d raw bytes: %w", ErrCorrupt, n, si.RawLen, err)
+	}
+	// The stream must end exactly at RawLen: the sizes come from the frame
+	// header, so trailing compressed data is corruption, not slack.
+	var one [1]byte
+	if m, _ := sc.fr.Read(one[:]); m != 0 {
+		return dst, fmt.Errorf("%w: compressed payload inflates past the declared %d bytes", ErrCorrupt, si.RawLen)
+	}
+	return dst, nil
+}
+
+// loadSegment is the serial-scan counterpart of readSegmentAt: it reads
+// the current segment's payload from the buffered reader into the scratch
+// frame slab, inflates it if the segment is flagged compressed, and
+// decodes it into pooled blocks. The decoded blocks are always returned —
+// records before any damage must reach the caller — together with the
+// terminal error under the shared priority (read truncation, then inflate
+// damage, then decode damage); the scanner state advances past the segment
+// either way so both serial paths stay in lockstep on the same bytes.
+func (r *Reader) loadSegment(sc *segScratch) ([]*Block, error) {
+	si := r.seg
+	if cap(sc.frame) < si.PayloadLen {
+		sc.frame = make([]byte, si.PayloadLen)
+	}
+	sc.frame = sc.frame[:si.PayloadLen]
+	got, readErr := io.ReadFull(r.r, sc.frame)
+	payload := sc.frame[:got]
+	var inflateErr error
+	if si.Compressed() {
+		payload, inflateErr = sc.inflate(payload, si)
+	}
+	blocks, decErr := decodePayload(payload, si)
+	// The payload is consumed: advance the scanner state so a subsequent
+	// frame parses from a consistent position.
+	r.segLeft = 0
+	r.last = si.MaxT
+	switch {
+	case readErr != nil:
+		return blocks, r.latch(ErrCorrupt, readErr)
+	case inflateErr != nil:
+		return blocks, inflateErr
+	default:
+		return blocks, decErr
+	}
+}
+
+// readSegmentAt reads and decodes one segment from an io.ReaderAt using the
+// worker's scratch buffers. The frame header re-read from the file is
+// cross-checked against the index entry, so a file whose index and segments
+// disagree surfaces as ErrCorrupt rather than silently mis-decoding. A
+// compressed segment is inflated before decode; damage inside the flate
+// stream still delivers the records recovered before it.
+func readSegmentAt(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) ([]*Block, error) {
+	hl := si.frameHeaderLen(version)
+	need := hl + si.PayloadLen
+	if cap(sc.frame) < need {
+		sc.frame = make([]byte, need)
+	}
+	sc.frame = sc.frame[:need]
+	if _, err := ra.ReadAt(sc.frame, si.Offset); err != nil {
+		return nil, fmt.Errorf("%w: segment at offset %d: %w", ErrCorrupt, si.Offset, err)
+	}
+	fixed := segHeaderLen
+	if version >= version3 {
+		fixed = segHeaderLenV3
+	}
+	got, err := parseSegmentHeader(sc.frame[:fixed], version)
+	if err != nil {
+		return nil, err
+	}
+	if got.Compressed() {
+		if err := got.setRawLen(int(binary.LittleEndian.Uint32(sc.frame[fixed:]))); err != nil {
+			return nil, err
+		}
 	}
 	got.Offset = si.Offset
 	if got != si {
-		return nil, scratch, fmt.Errorf("%w: segment header at offset %d disagrees with index", ErrCorrupt, si.Offset)
+		return nil, fmt.Errorf("%w: segment header at offset %d disagrees with index", ErrCorrupt, si.Offset)
 	}
-	blocks, err := decodePayload(scratch[segHeaderLen:], si)
-	return blocks, scratch, err
+	payload := sc.frame[hl:need]
+	if si.Compressed() {
+		raw, derr := sc.inflate(payload, si)
+		if derr != nil {
+			// Decode whatever inflated cleanly — the prefix of the raw
+			// stream — and report the inflate failure as the cause.
+			blocks, _ := decodePayload(raw, si)
+			return blocks, derr
+		}
+		payload = raw
+	}
+	return decodePayload(payload, si)
 }

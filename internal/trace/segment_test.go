@@ -9,13 +9,22 @@ import (
 	"time"
 )
 
-// v2TestStream builds a deterministic record stream and its v2 encoding
-// with small segments (so even short streams span many of them).
-func v2TestStream(t *testing.T, n, segPayload int) ([]Record, []byte) {
+// versionStream builds a deterministic record stream and its encoding in the
+// given format version with small segments (so even short streams span many
+// of them). Version 3 writes with the default compression.
+func versionStream(t *testing.T, version, n, segPayload int) ([]Record, []byte) {
 	t.Helper()
 	recs := make([]Record, 0, n)
 	var buf bytes.Buffer
-	w := NewWriter(&buf)
+	var w *Writer
+	switch version {
+	case 1:
+		w = NewWriterV1(&buf)
+	case 2:
+		w = NewWriterV2(&buf)
+	default:
+		w = NewWriter(&buf)
+	}
 	w.SegmentPayload = segPayload
 	for i := 0; i < n; i++ {
 		r := Record{
@@ -36,73 +45,276 @@ func v2TestStream(t *testing.T, n, segPayload int) ([]Record, []byte) {
 	return recs, buf.Bytes()
 }
 
+// v2TestStream keeps the v2 coverage of the pre-v3 tests intact.
+func v2TestStream(t *testing.T, n, segPayload int) ([]Record, []byte) {
+	t.Helper()
+	return versionStream(t, 2, n, segPayload)
+}
+
 // TestV2ParallelMatchesSerial: the parallel decode must deliver the exact
 // serial stream for every worker count, across sizes that exercise empty
-// files, single segments and partial tails.
+// files, single segments and partial tails — for both indexed versions.
 func TestV2ParallelMatchesSerial(t *testing.T) {
-	for _, n := range []int{0, 1, 100, 5000, 20000} {
-		recs, raw := v2TestStream(t, n, 1<<10)
-		for _, workers := range []int{1, 2, 3, 8} {
-			var got Collect
-			rd := NewReader(bytes.NewReader(raw))
-			pn, err := rd.ReadAllParallel(&got, workers)
-			if err != nil {
-				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
-			}
-			if rd.Warning() != "" {
-				t.Fatalf("n=%d workers=%d: unexpected fallback: %s", n, workers, rd.Warning())
-			}
-			if pn != int64(n) || len(got.Records) != n {
-				t.Fatalf("n=%d workers=%d: delivered %d/%d records", n, workers, pn, len(got.Records))
-			}
-			for i := range recs {
-				if got.Records[i] != recs[i] {
-					t.Fatalf("n=%d workers=%d: record %d = %+v, want %+v",
-						n, workers, i, got.Records[i], recs[i])
+	for _, version := range []int{2, 3} {
+		for _, n := range []int{0, 1, 100, 5000, 20000} {
+			recs, raw := versionStream(t, version, n, 1<<10)
+			for _, workers := range []int{1, 2, 3, 8} {
+				var got Collect
+				rd := NewReader(bytes.NewReader(raw))
+				pn, err := rd.ReadAllParallel(&got, workers)
+				if err != nil {
+					t.Fatalf("v%d n=%d workers=%d: %v", version, n, workers, err)
+				}
+				if rd.Warning() != "" {
+					t.Fatalf("v%d n=%d workers=%d: unexpected fallback: %s", version, n, workers, rd.Warning())
+				}
+				if pn != int64(n) || len(got.Records) != n {
+					t.Fatalf("v%d n=%d workers=%d: delivered %d/%d records", version, n, workers, pn, len(got.Records))
+				}
+				for i := range recs {
+					if got.Records[i] != recs[i] {
+						t.Fatalf("v%d n=%d workers=%d: record %d = %+v, want %+v",
+							version, n, workers, i, got.Records[i], recs[i])
+					}
 				}
 			}
 		}
 	}
 }
 
+// blockCollect implements BlockIngester: the direct decode-to-shard
+// delivery surface, collected single-threaded for comparison.
+type blockCollect struct {
+	records []Record
+	ingests int
+}
+
+func (b *blockCollect) Handle(r Record)         { b.records = append(b.records, r) }
+func (b *blockCollect) HandleBatch(rs []Record) { b.records = append(b.records, rs...) }
+func (b *blockCollect) IngestBlock(blk *Block) {
+	b.ingests++
+	b.records = append(b.records, *blk...)
+	FreeBlock(blk)
+}
+
+// TestReadAllShardedMatchesSerial: direct block delivery must produce the
+// exact serial stream — same records, same order — at every worker count,
+// and must actually take the ingest path on an indexed trace.
+func TestReadAllShardedMatchesSerial(t *testing.T) {
+	for _, version := range []int{2, 3} {
+		for _, n := range []int{0, 1, 100, 5000, 20000} {
+			recs, raw := versionStream(t, version, n, 1<<10)
+			for _, workers := range []int{2, 3, 8} {
+				got := &blockCollect{}
+				rd := NewReader(bytes.NewReader(raw))
+				pn, err := rd.ReadAllSharded(got, workers)
+				if err != nil {
+					t.Fatalf("v%d n=%d workers=%d: %v", version, n, workers, err)
+				}
+				if rd.Warning() != "" {
+					t.Fatalf("v%d n=%d workers=%d: unexpected fallback: %s", version, n, workers, rd.Warning())
+				}
+				if n > 0 && got.ingests == 0 {
+					t.Fatalf("v%d n=%d workers=%d: sharded read never took the ingest path", version, n, workers)
+				}
+				if pn != int64(n) || len(got.records) != n {
+					t.Fatalf("v%d n=%d workers=%d: delivered %d/%d records", version, n, workers, pn, len(got.records))
+				}
+				for i := range recs {
+					if got.records[i] != recs[i] {
+						t.Fatalf("v%d n=%d workers=%d: record %d = %+v, want %+v",
+							version, n, workers, i, got.records[i], recs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadAllShardedFallbacks: without an ingest-capable sink, with one
+// worker, on a v1 file, or on a non-seekable source, ReadAllSharded behaves
+// exactly like ReadAllParallel's fallback ladder.
+func TestReadAllShardedFallbacks(t *testing.T) {
+	const n = 3000
+	recs, raw := versionStream(t, 3, n, 1<<10)
+
+	// Plain Handler sink: same records via the reassembly path.
+	var plain Collect
+	if pn, err := NewReader(bytes.NewReader(raw)).ReadAllSharded(&plain, 4); err != nil || pn != int64(n) {
+		t.Fatalf("plain sink: %d, %v", pn, err)
+	}
+	// workers=1: serial scan.
+	one := &blockCollect{}
+	if pn, err := NewReader(bytes.NewReader(raw)).ReadAllSharded(one, 1); err != nil || pn != int64(n) {
+		t.Fatalf("one worker: %d, %v", pn, err)
+	}
+	// Non-seekable source: serial scan with a warning.
+	ns := &blockCollect{}
+	rd := NewReader(nonSeeker{bytes.NewReader(raw)})
+	if pn, err := rd.ReadAllSharded(ns, 4); err != nil || pn != int64(n) {
+		t.Fatalf("non-seekable: %d, %v", pn, err)
+	}
+	if rd.Warning() == "" {
+		t.Error("non-seekable sharded read did not warn")
+	}
+	// v1: silent serial scan.
+	_, rawV1 := versionStream(t, 1, n, 0)
+	v1got := &blockCollect{}
+	if pn, err := NewReader(bytes.NewReader(rawV1)).ReadAllSharded(v1got, 4); err != nil || pn != int64(n) {
+		t.Fatalf("v1: %d, %v", pn, err)
+	}
+	for _, got := range [][]Record{plain.Records, one.records, ns.records, v1got.records} {
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("fallback record %d diverges", i)
+			}
+		}
+	}
+}
+
 // TestReadIndexGeometry: the index must tile the file exactly, chain delta
-// bases through segment boundaries, and agree with the footer totals.
+// bases through segment boundaries, and agree with the footer totals — in
+// both indexed versions.
 func TestReadIndexGeometry(t *testing.T) {
 	const n = 12345
-	recs, raw := v2TestStream(t, n, 1<<10)
-	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	for _, version := range []int{2, 3} {
+		recs, raw := versionStream(t, version, n, 1<<10)
+		ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Version != version || ix.Records != n {
+			t.Fatalf("Version=%d Records=%d", ix.Version, ix.Records)
+		}
+		if len(ix.Segments) < 8 {
+			t.Fatalf("only %d segments; SegmentPayload not honored?", len(ix.Segments))
+		}
+		var sum int
+		next := int64(headerLen)
+		for i, si := range ix.Segments {
+			if si.Offset != next {
+				t.Fatalf("v%d: segment %d at %d, want %d", version, i, si.Offset, next)
+			}
+			if i == 0 && si.BaseT != 0 {
+				t.Fatalf("v%d: first BaseT = %v", version, si.BaseT)
+			}
+			if i > 0 && si.BaseT != ix.Segments[i-1].MaxT {
+				t.Fatalf("v%d: segment %d BaseT %v != prev MaxT %v", version, i, si.BaseT, ix.Segments[i-1].MaxT)
+			}
+			if version == 2 && (si.Flags != 0 || si.RawLen != si.PayloadLen) {
+				t.Fatalf("v2 segment %d carries v3 state: %+v", i, si)
+			}
+			sum += si.Count
+			next = si.Offset + int64(si.frameHeaderLen(version)) + int64(si.PayloadLen)
+		}
+		if sum != n {
+			t.Fatalf("v%d: index counts %d records, want %d", version, sum, n)
+		}
+		if first, last := ix.Segments[0].MinT, ix.Segments[len(ix.Segments)-1].MaxT; first != recs[0].T || last != recs[n-1].T {
+			t.Fatalf("v%d: span [%v, %v], want [%v, %v]", version, first, last, recs[0].T, recs[n-1].T)
+		}
+		if ix.PayloadBytes() <= 0 || ix.RawBytes() < ix.PayloadBytes() {
+			t.Fatalf("v%d: payload %d / raw %d bytes implausible", version, ix.PayloadBytes(), ix.RawBytes())
+		}
+		if version == 3 {
+			if ix.CompressedSegments() == 0 {
+				t.Fatal("v3 default stream compressed no segments")
+			}
+			if ix.PayloadBytes() >= ix.RawBytes() {
+				t.Fatalf("v3: on-disk payload %d not smaller than raw %d", ix.PayloadBytes(), ix.RawBytes())
+			}
+		}
+	}
+}
+
+// TestV3PayloadInvariant: the concatenation of all v3 segment payloads,
+// decompressed where flagged, must be byte-for-byte the v1 record stream of
+// the same records — the cross-version invariant of docs/FORMAT.md.
+func TestV3PayloadInvariant(t *testing.T) {
+	const n = 20000
+	_, rawV1 := versionStream(t, 1, n, 0)
+	_, rawV3 := versionStream(t, 3, n, 1<<10)
+	v1stream := rawV1[headerLen:]
+
+	ix, err := ReadIndex(bytes.NewReader(rawV3), int64(len(rawV3)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ix.Version != 2 || ix.Records != n {
-		t.Fatalf("Version=%d Records=%d", ix.Version, ix.Records)
-	}
-	if len(ix.Segments) < 8 {
-		t.Fatalf("only %d segments; SegmentPayload not honored?", len(ix.Segments))
-	}
-	var sum int
-	next := int64(headerLen)
+	var concat []byte
+	var sc segScratch
 	for i, si := range ix.Segments {
-		if si.Offset != next {
-			t.Fatalf("segment %d at %d, want %d", i, si.Offset, next)
+		hl := si.frameHeaderLen(3)
+		frame := rawV3[si.Offset : si.Offset+int64(hl)+int64(si.PayloadLen)]
+		payload := frame[hl:]
+		if si.Compressed() {
+			raw, err := sc.inflate(payload, si)
+			if err != nil {
+				t.Fatalf("segment %d: %v", i, err)
+			}
+			payload = raw
+		} else if si.RawLen != si.PayloadLen {
+			t.Fatalf("segment %d: uncompressed but RawLen %d != PayloadLen %d", i, si.RawLen, si.PayloadLen)
 		}
-		if i == 0 && si.BaseT != 0 {
-			t.Fatalf("first BaseT = %v", si.BaseT)
+		concat = append(concat, payload...)
+	}
+	if !bytes.Equal(concat, v1stream) {
+		t.Fatalf("decompressed v3 payloads (%d bytes) diverge from the v1 stream (%d bytes)",
+			len(concat), len(v1stream))
+	}
+	if int64(len(concat)) != ix.RawBytes() {
+		t.Fatalf("RawBytes() = %d, concatenation = %d", ix.RawBytes(), len(concat))
+	}
+}
+
+// TestV3CompressOff: CompressOff stores every segment uncompressed; the
+// file stays a valid v3 trace with clear flags and reads back identically.
+func TestV3CompressOff(t *testing.T) {
+	const n = 5000
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SegmentPayload = 1 << 10
+	w.CompressLevel = CompressOff
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := Record{T: time.Duration(i) * 100 * time.Microsecond, Client: uint32(i % 7), App: uint16(40 + i%90)}
+		recs = append(recs, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
 		}
-		if i > 0 && si.BaseT != ix.Segments[i-1].MaxT {
-			t.Fatalf("segment %d BaseT %v != prev MaxT %v", i, si.BaseT, ix.Segments[i-1].MaxT)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Version != 3 || ix.CompressedSegments() != 0 || ix.PayloadBytes() != ix.RawBytes() {
+		t.Fatalf("CompressOff trace: version %d, %d compressed segments, payload %d raw %d",
+			ix.Version, ix.CompressedSegments(), ix.PayloadBytes(), ix.RawBytes())
+	}
+	var got Collect
+	if pn, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAllParallel(&got, 4); err != nil || pn != n {
+		t.Fatalf("read back: %d, %v", pn, err)
+	}
+	for i := range recs {
+		if got.Records[i] != recs[i] {
+			t.Fatalf("record %d diverges", i)
 		}
-		sum += si.Count
-		next = si.Offset + segHeaderLen + int64(si.PayloadLen)
 	}
-	if sum != n {
-		t.Fatalf("index counts %d records, want %d", sum, n)
+}
+
+// TestWriterBadCompressLevel: an out-of-range level surfaces as an error
+// from the segment flush instead of writing a damaged file.
+func TestWriterBadCompressLevel(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.CompressLevel = 42
+	if err := w.Write(Record{App: 1}); err != nil {
+		t.Fatal(err)
 	}
-	if first, last := ix.Segments[0].MinT, ix.Segments[len(ix.Segments)-1].MaxT; first != recs[0].T || last != recs[n-1].T {
-		t.Fatalf("span [%v, %v], want [%v, %v]", first, last, recs[0].T, recs[n-1].T)
-	}
-	if ix.PayloadBytes() <= 0 {
-		t.Fatal("PayloadBytes not positive")
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush accepted CompressLevel 42")
 	}
 }
 
@@ -191,6 +403,180 @@ func TestV2CorruptPayload(t *testing.T) {
 	}
 }
 
+// TestV3CorruptCompressed: damage inside a compressed segment's flate
+// stream — truncation, bit flips, wholesale garbage — must surface
+// ErrCorrupt on the serial and parallel paths alike, with the records of
+// the preceding segments still delivered.
+func TestV3CorruptCompressed(t *testing.T) {
+	const n = 9000
+	_, raw := versionStream(t, 3, n, 1<<10)
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Segments) < 4 {
+		t.Fatalf("need several segments, have %d", len(ix.Segments))
+	}
+	// Pick the first compressed segment past the first two, so there are
+	// whole segments before the damage to check delivery of.
+	target := -1
+	for i := 2; i < len(ix.Segments)-1; i++ {
+		if ix.Segments[i].Compressed() {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no compressed segment to damage; compression not engaging?")
+	}
+	seg := ix.Segments[target]
+	payloadOff := seg.Offset + int64(seg.frameHeaderLen(3))
+	minDelivered := int64(0)
+	for _, si := range ix.Segments[:target] {
+		minDelivered += int64(si.Count)
+	}
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte{}, raw...))
+	}
+	cases := map[string][]byte{
+		// The file ends mid-way through the compressed payload: no index
+		// survives, so this exercises the serial truncated-tail scan.
+		"truncated-file": raw[:payloadOff+int64(seg.PayloadLen)/2],
+		// A flipped byte inside the flate stream, index intact: both the
+		// serial scan and the parallel decode see a valid frame whose
+		// payload no longer inflates.
+		"bit-flip": mutate(func(b []byte) []byte {
+			b[payloadOff+int64(seg.PayloadLen)/2] ^= 0xFF
+			return b
+		}),
+		// The whole compressed payload overwritten with garbage.
+		"garbage-payload": mutate(func(b []byte) []byte {
+			for i := int64(0); i < int64(seg.PayloadLen); i++ {
+				b[payloadOff+i] = byte(0xA5 ^ i)
+			}
+			return b
+		}),
+	}
+	for name, bad := range cases {
+		var serial Collect
+		sn, serr := NewReader(bytes.NewReader(bad)).ReadAllPrefetch(&serial)
+		if !errors.Is(serr, ErrCorrupt) {
+			t.Fatalf("%s: serial err = %v, want ErrCorrupt", name, serr)
+		}
+		if sn < minDelivered || int64(len(serial.Records)) != sn {
+			t.Fatalf("%s: serial delivered %d records before error, want ≥ %d", name, sn, minDelivered)
+		}
+
+		if name == "truncated-file" {
+			continue // no index: the parallel path falls back to the same scan
+		}
+		for _, read := range []struct {
+			path string
+			run  func(rd *Reader, h Handler) (int64, error)
+		}{
+			{"parallel", func(rd *Reader, h Handler) (int64, error) { return rd.ReadAllParallel(h, 4) }},
+			{"sharded", func(rd *Reader, h Handler) (int64, error) { return rd.ReadAllSharded(h, 4) }},
+		} {
+			got := &blockCollect{}
+			rd := NewReader(bytes.NewReader(bad))
+			pn, perr := read.run(rd, got)
+			if !errors.Is(perr, ErrCorrupt) {
+				t.Fatalf("%s/%s: err = %v, want ErrCorrupt", name, read.path, perr)
+			}
+			if rd.Err() == nil || !errors.Is(rd.Err(), ErrCorrupt) {
+				t.Fatalf("%s/%s: cause not latched: Err() = %v", name, read.path, rd.Err())
+			}
+			if pn < minDelivered || int64(len(got.records)) != pn {
+				t.Fatalf("%s/%s: delivered %d records before error, want ≥ %d", name, read.path, pn, minDelivered)
+			}
+			for i := range serial.Records[:minDelivered] {
+				if got.records[i] != serial.Records[i] {
+					t.Fatalf("%s/%s: pre-error record %d diverges", name, read.path, i)
+				}
+			}
+		}
+	}
+}
+
+// TestV3RawLenMismatch: a compressed segment whose declared raw size
+// disagrees with what the flate stream inflates to is corruption in both
+// directions (too small and too large).
+func TestV3RawLenMismatch(t *testing.T) {
+	const n = 9000
+	_, raw := versionStream(t, 3, n, 1<<10)
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := -1
+	for i := range ix.Segments {
+		if ix.Segments[i].Compressed() {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no compressed segment")
+	}
+	seg := ix.Segments[target]
+	rawLenOff := seg.Offset + segHeaderLenV3 // the trailing rawLen field
+	for name, delta := range map[string]int{"short": -1, "long": +1} {
+		mut := append([]byte{}, raw...)
+		binary.LittleEndian.PutUint32(mut[rawLenOff:], uint32(seg.RawLen+delta))
+		// The serial scan trusts the frame alone, so it must notice the
+		// inflate-size mismatch itself (the parallel path additionally
+		// rejects the frame/index disagreement).
+		if _, err := NewReader(bytes.NewReader(mut)).ReadAllPrefetch(&Collect{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: serial err = %v, want ErrCorrupt", name, err)
+		}
+		if _, err := NewReader(bytes.NewReader(mut)).ReadAllParallel(&Collect{}, 4); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: parallel err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestV3RawLenExpansionBound: a RawLen beyond flate's maximum expansion of
+// the on-disk payload cannot be legitimate, and must surface ErrCorrupt
+// from both the frame and the index parse *before* any reader allocates a
+// slab for it — a flipped u32 must not become a multi-gigabyte allocation.
+func TestV3RawLenExpansionBound(t *testing.T) {
+	const n = 9000
+	_, raw := versionStream(t, 3, n, 1<<10)
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := -1
+	for i := range ix.Segments {
+		if ix.Segments[i].Compressed() {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no compressed segment")
+	}
+	seg := ix.Segments[target]
+	const huge = 0xFFFFFFF0
+	// Frame path: the serial scan parses the frame's trailing rawLen.
+	mutFrame := append([]byte{}, raw...)
+	binary.LittleEndian.PutUint32(mutFrame[seg.Offset+segHeaderLenV3:], huge)
+	if _, err := NewReader(bytes.NewReader(mutFrame)).ReadAllPrefetch(&Collect{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("frame: err = %v, want ErrCorrupt", err)
+	}
+	// Index path: ReadIndex must reject the entry up front. The rawLen
+	// field sits at +20 of the target's 48-byte entry.
+	footOff := int64(len(raw)) - footerLen
+	indexOff := int64(binary.LittleEndian.Uint64(raw[footOff+8:]))
+	entryOff := indexOff + indexHeaderLen + int64(target)*indexEntryLenV3
+	mutIndex := append([]byte{}, raw...)
+	binary.LittleEndian.PutUint32(mutIndex[entryOff+20:], huge)
+	if _, err := ReadIndex(bytes.NewReader(mutIndex), int64(len(mutIndex))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("index: err = %v, want ErrCorrupt", err)
+	}
+}
+
 // TestV2IndexSegmentDisagreement: an index entry that contradicts the
 // segment's own frame header is corruption, not silent mis-decode.
 func TestV2IndexSegmentDisagreement(t *testing.T) {
@@ -211,31 +597,37 @@ func TestV2IndexSegmentDisagreement(t *testing.T) {
 	}
 }
 
-// TestV2EmptyTrace: an empty v2 file still carries a header, an empty index
-// and a footer, and every read path reports zero records cleanly.
-func TestV2EmptyTrace(t *testing.T) {
-	var buf bytes.Buffer
-	w := NewWriter(&buf)
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	wantSize := headerLen + indexHeaderLen + footerLen
-	if buf.Len() != wantSize {
-		t.Fatalf("empty v2 file is %d bytes, want %d", buf.Len(), wantSize)
-	}
-	ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ix.Records != 0 || len(ix.Segments) != 0 {
-		t.Fatalf("index = %+v", ix)
-	}
-	if _, err := NewReader(bytes.NewReader(buf.Bytes())).Read(); err != io.EOF {
-		t.Fatalf("Read = %v, want io.EOF", err)
-	}
-	pn, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAllParallel(&Collect{}, 4)
-	if err != nil || pn != 0 {
-		t.Fatalf("parallel = %d, %v", pn, err)
+// TestEmptyIndexedTrace: an empty v2 or v3 file still carries a header, an
+// empty index and a footer, and every read path reports zero records
+// cleanly.
+func TestEmptyIndexedTrace(t *testing.T) {
+	for _, version := range []int{2, 3} {
+		var buf bytes.Buffer
+		w := NewWriterV2(&buf)
+		if version == 3 {
+			w = NewWriter(&buf)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		wantSize := headerLen + indexHeaderLen + footerLen
+		if buf.Len() != wantSize {
+			t.Fatalf("empty v%d file is %d bytes, want %d", version, buf.Len(), wantSize)
+		}
+		ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Version != version || ix.Records != 0 || len(ix.Segments) != 0 {
+			t.Fatalf("index = %+v", ix)
+		}
+		if _, err := NewReader(bytes.NewReader(buf.Bytes())).Read(); err != io.EOF {
+			t.Fatalf("v%d Read = %v, want io.EOF", version, err)
+		}
+		pn, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAllParallel(&Collect{}, 4)
+		if err != nil || pn != 0 {
+			t.Fatalf("v%d parallel = %d, %v", version, pn, err)
+		}
 	}
 }
 
@@ -299,7 +691,7 @@ func TestReaderErrLatchesCause(t *testing.T) {
 // TestVersionPolicy: version bytes above the current version must error
 // cleanly everywhere, and ReadIndex must identify v1 as index-less.
 func TestVersionPolicy(t *testing.T) {
-	future := append([]byte("CSTR"), 3, 0, 0, 0)
+	future := append([]byte("CSTR"), 4, 0, 0, 0)
 	if _, err := NewReader(bytes.NewReader(future)).Read(); err != ErrBadVersion {
 		t.Fatalf("Read = %v, want ErrBadVersion", err)
 	}
@@ -338,9 +730,12 @@ func TestVersionPolicy(t *testing.T) {
 }
 
 // goldenV1 is a two-record v1 file written by the original (pre-v2) Writer,
-// byte for byte; goldenV2 is the same stream in v2 form, as specified in
-// docs/FORMAT.md. If either comparison breaks, the on-disk format changed
-// and the compatibility policy was violated.
+// byte for byte; goldenV2 and goldenV3 are the same stream in v2 and v3
+// form, as specified in docs/FORMAT.md. (The 12-byte golden payload does
+// not shrink under flate, so the v3 writer stores it uncompressed with the
+// flag clear — which pins the adaptive store-raw path too.) If any
+// comparison breaks, the on-disk format changed and the compatibility
+// policy was violated.
 var (
 	goldenRecords = []Record{
 		{T: 0, Dir: In, Kind: KindGame, Client: 1, App: 40},
@@ -377,12 +772,42 @@ var (
 		b = binary.LittleEndian.AppendUint32(b, 1)
 		return append(b, 'C', 'S', 'F', 'T')
 	}()
+	goldenV3 = func() []byte {
+		b := []byte{'C', 'S', 'T', 'R', 3, 0, 0, 0}
+		// Segment frame at offset 8: the v2 header plus a flags word
+		// (clear: 12 bytes do not shrink under flate, so the payload is
+		// stored raw and no rawLen field follows).
+		b = append(b, 'C', 'S', 'E', 'G')
+		b = binary.LittleEndian.AppendUint32(b, 12) // payload bytes
+		b = binary.LittleEndian.AppendUint32(b, 2)  // records
+		b = binary.LittleEndian.AppendUint32(b, 0)  // flags: uncompressed
+		b = binary.LittleEndian.AppendUint64(b, 0)  // baseT
+		b = binary.LittleEndian.AppendUint64(b, 0)  // minT
+		b = binary.LittleEndian.AppendUint64(b, 50_000_000)
+		b = append(b, goldenPayload...)
+		// Index frame at offset 60.
+		b = append(b, 'C', 'S', 'I', 'X')
+		b = binary.LittleEndian.AppendUint32(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, 8)
+		b = binary.LittleEndian.AppendUint32(b, 12) // payloadLen
+		b = binary.LittleEndian.AppendUint32(b, 2)  // count
+		b = binary.LittleEndian.AppendUint32(b, 0)  // flags
+		b = binary.LittleEndian.AppendUint32(b, 12) // rawLen == payloadLen
+		b = binary.LittleEndian.AppendUint64(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 50_000_000)
+		// Footer.
+		b = binary.LittleEndian.AppendUint64(b, 2)
+		b = binary.LittleEndian.AppendUint64(b, 60)
+		b = binary.LittleEndian.AppendUint32(b, 1)
+		return append(b, 'C', 'S', 'F', 'T')
+	}()
 )
 
-// TestGoldenFiles: both golden byte strings decode to the golden records,
+// TestGoldenFiles: all golden byte strings decode to the golden records,
 // and today's writers reproduce them exactly.
 func TestGoldenFiles(t *testing.T) {
-	for name, raw := range map[string][]byte{"v1": goldenV1, "v2": goldenV2} {
+	for name, raw := range map[string][]byte{"v1": goldenV1, "v2": goldenV2, "v3": goldenV3} {
 		var got Collect
 		n, err := NewReader(bytes.NewReader(raw)).ReadAll(&got)
 		if err != nil {
@@ -393,26 +818,60 @@ func TestGoldenFiles(t *testing.T) {
 		}
 	}
 
-	var v1, v2 bytes.Buffer
-	w1, w2 := NewWriterV1(&v1), NewWriter(&v2)
+	var v1, v2, v3 bytes.Buffer
+	w1, w2, w3 := NewWriterV1(&v1), NewWriterV2(&v2), NewWriter(&v3)
 	for _, r := range goldenRecords {
-		if err := w1.Write(r); err != nil {
-			t.Fatal(err)
-		}
-		if err := w2.Write(r); err != nil {
-			t.Fatal(err)
+		for _, w := range []*Writer{w1, w2, w3} {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	if err := w1.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if err := w2.Flush(); err != nil {
-		t.Fatal(err)
+	for _, w := range []*Writer{w1, w2, w3} {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if !bytes.Equal(v1.Bytes(), goldenV1) {
 		t.Errorf("v1 writer output diverged from golden:\n got %x\nwant %x", v1.Bytes(), goldenV1)
 	}
 	if !bytes.Equal(v2.Bytes(), goldenV2) {
 		t.Errorf("v2 writer output diverged from golden:\n got %x\nwant %x", v2.Bytes(), goldenV2)
+	}
+	if !bytes.Equal(v3.Bytes(), goldenV3) {
+		t.Errorf("v3 writer output diverged from golden:\n got %x\nwant %x", v3.Bytes(), goldenV3)
+	}
+}
+
+// TestRoundTripEquality: the identical record stream written in all three
+// format versions decodes to the identical records on every read path.
+func TestRoundTripEquality(t *testing.T) {
+	const n = 12000
+	recs, rawV1 := versionStream(t, 1, n, 0)
+	_, rawV2 := versionStream(t, 2, n, 1<<10)
+	_, rawV3 := versionStream(t, 3, n, 1<<10)
+
+	for name, raw := range map[string][]byte{"v1": rawV1, "v2": rawV2, "v3": rawV3} {
+		paths := map[string]func(rd *Reader, h Handler) (int64, error){
+			"readall":  func(rd *Reader, h Handler) (int64, error) { return rd.ReadAll(h) },
+			"prefetch": func(rd *Reader, h Handler) (int64, error) { return rd.ReadAllPrefetch(h) },
+			"parallel": func(rd *Reader, h Handler) (int64, error) { return rd.ReadAllParallel(h, 4) },
+			"sharded":  func(rd *Reader, h Handler) (int64, error) { return rd.ReadAllSharded(h, 4) },
+		}
+		for path, read := range paths {
+			got := &blockCollect{}
+			pn, err := read(NewReader(bytes.NewReader(raw)), got)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, path, err)
+			}
+			if pn != n || len(got.records) != n {
+				t.Fatalf("%s/%s: %d/%d records", name, path, pn, len(got.records))
+			}
+			for i := range recs {
+				if got.records[i] != recs[i] {
+					t.Fatalf("%s/%s: record %d diverges", name, path, i)
+				}
+			}
+		}
 	}
 }

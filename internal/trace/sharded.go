@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Direct decode-to-shard delivery. ReadAllParallel reassembles decoded
+// segments on one dispatch goroutine, whose downstream HandleBatch
+// re-batches every record into the consumer's own blocks — one memmove per
+// record, on a single core. When decode outruns the collector sweep (v3
+// slab decode does, by ~2×), that goroutine is the pipeline's bound.
+// ReadAllSharded removes it: decode workers hand their pooled blocks
+// straight to a BlockIngester (the sharded analysis suite implements it),
+// serialized into file order by a turn chain instead of funneled through a
+// middleman. No copy, no dispatch goroutine — the blocks the decoder filled
+// are the blocks the collector groups sweep.
+
+// BlockIngester is implemented by sinks that can take ownership of decoded
+// blocks in-place — most notably the sharded analysis suite, which fans a
+// block out to its collector-group channels refcounted and recycles it via
+// FreeBlock when the last group finishes.
+//
+// Calls arrive in stream order and are serialized by the caller (the
+// parallel reader's in-order turn chain provides both, with happens-before
+// edges between consecutive calls even though they may run on different
+// goroutines). An implementation must not retain blk past the point it
+// frees it.
+type BlockIngester interface {
+	// IngestBlock consumes one decoded block obtained from NewBlock,
+	// taking ownership: the implementation is responsible for eventually
+	// returning it with FreeBlock.
+	IngestBlock(blk *Block)
+}
+
+// ReadAllSharded drains the stream into h exactly as ReadAllParallel does,
+// but when h also implements BlockIngester (analysis.ShardedSuite does) the
+// decode workers deliver their pooled blocks to it directly — in file
+// order, enforced by a per-segment turn chain — instead of re-batching
+// through the single reassembly-dispatch goroutine. The delivered stream is
+// byte-identical to every other read path; only the copy and the extra
+// goroutine hop disappear.
+//
+// Every degraded case behaves as in ReadAllParallel: a sink without
+// IngestBlock, workers ≤ 1, a v1 trace, a non-seekable source or a damaged
+// index all fall back (the latter two with a Warning), ultimately to the
+// serial ReadAllPrefetch scan. Call it on a fresh Reader.
+func (r *Reader) ReadAllSharded(h Handler, workers int) (int64, error) {
+	ing, ok := h.(BlockIngester)
+	if !ok || workers <= 1 {
+		return r.ReadAllParallel(h, workers)
+	}
+	if !r.init {
+		if err := r.readHeader(); err != nil {
+			return 0, err
+		}
+	}
+	if r.version == version1 {
+		return r.ReadAllPrefetch(h)
+	}
+	ix, ok := r.resolveIndex()
+	if !ok {
+		return r.ReadAllPrefetch(h)
+	}
+	n, err := parallelDecodeSharded(r.src.(seekerAt), ix, workers, ing)
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return n, err
+}
+
+// parallelDecodeSharded decodes segments on workers goroutines and hands
+// each segment's blocks to ing from the decoding worker itself. A turn
+// chain — one buffered channel per segment, threaded worker-to-worker —
+// serializes the hand-offs into exact file order: the worker holding
+// segment i ingests, then passes the turn to segment i+1's worker. Decode
+// (the expensive part) overlaps freely; only the cheap ingest step is
+// serialized. In-flight segments are bounded structurally: the jobs
+// channel is unbuffered and each worker holds one segment at a time, so at
+// most `workers` segments are decoded-but-undelivered (no token budget
+// needed, unlike parallelDecode's buffered result slots).
+//
+// On a decode error the turn chain guarantees the failing segment is the
+// first in file order: its pre-damage blocks are ingested, the turn is
+// never passed on, and later workers drop their blocks back to the pool.
+func parallelDecodeSharded(ra io.ReaderAt, ix *Index, workers int, ing BlockIngester) (int64, error) {
+	segs := ix.Segments
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+
+	turn := make([]chan struct{}, len(segs))
+	for i := range turn {
+		turn[i] = make(chan struct{}, 1)
+	}
+	turn[0] <- struct{}{}
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	go func() {
+		defer close(jobs)
+		for i := range segs {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// n and firstErr are written only while holding a turn, and the turn
+	// chain's channel operations order those writes before the final reads
+	// below (which happen after wg.Wait).
+	var n int64
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc segScratch
+			for i := range jobs {
+				blocks, err := readSegmentAt(ra, segs[i], ix.Version, &sc)
+				select {
+				case <-turn[i]:
+				case <-stop:
+					// An earlier segment failed: this segment's records
+					// must not be delivered.
+					for _, blk := range blocks {
+						FreeBlock(blk)
+					}
+					continue
+				}
+				for _, blk := range blocks {
+					n += int64(len(*blk))
+					ing.IngestBlock(blk)
+				}
+				if err != nil {
+					// This worker holds the turn, so it is the only one
+					// that can reach here: record and halt the chain.
+					firstErr = err
+					close(stop)
+					continue
+				}
+				if i+1 < len(segs) {
+					turn[i+1] <- struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return n, firstErr
+}

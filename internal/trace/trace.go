@@ -18,13 +18,16 @@
 // bounded-disorder streams for order-sensitive consumers.
 //
 // Writer/Reader persist streams in a delta-encoded binary format
-// (docs/FORMAT.md is the byte-level spec). NewWriter emits format v2:
-// records chunk into independently-decodable segments with a segment index
-// and footer, so Reader.ReadAllParallel can fan segment decode out across
-// worker goroutines with order-preserving reassembly — and fall back to
-// the serial Reader.ReadAllPrefetch scan (which decodes ahead on one
-// goroutine, overlapping file I/O with analysis) for v1 files,
-// non-seekable sources and damaged indexes. PCAP{,NG}Writer and
+// (docs/FORMAT.md is the byte-level spec). NewWriter emits format v3:
+// records chunk into independently-decodable segments — each payload
+// flate-compressed when that makes it smaller — with a segment index and
+// footer, so Reader.ReadAllParallel can fan segment decode out across
+// worker goroutines with order-preserving reassembly, and
+// Reader.ReadAllSharded can hand the decoded blocks straight to a
+// BlockIngester (the sharded analysis suite) with no re-batching copy.
+// Both fall back to the serial Reader.ReadAllPrefetch scan (which decodes
+// ahead on one goroutine, overlapping file I/O with analysis) for v1
+// files, non-seekable sources and damaged indexes. PCAP{,NG}Writer and
 // ReadPCAP{,NG} exchange traces with standard capture tooling. See
 // docs/ARCHITECTURE.md for the end-to-end data flow.
 package trace

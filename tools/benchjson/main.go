@@ -4,10 +4,11 @@
 // Usage:
 //
 //	go test -run xxx -bench 'Pipeline|Analyze' -benchtime 1x . | \
-//	    go run ./tools/benchjson -out BENCH.json -baseline BENCH_4.json -tolerance 0.25
+//	    go run ./tools/benchjson -out BENCH.json -baseline BENCH_5.json -tolerance 0.25
 //
-// Parsing keeps the two numbers provisioning decisions ride on: ns/op and
-// the repo's Mrec/s custom metric. The regression gate compares only
+// Parsing keeps the numbers provisioning decisions ride on: ns/op, the
+// repo's Mrec/s custom metric, and — where a bench reports it — the on-disk
+// B/rec of the trace encoding under test. The regression gate compares only
 // Mrec/s — wall-clock ns/op varies with iteration counts and host load,
 // while records-per-second of the fixed workloads is the contract — and
 // fails (exit 1) when any benchmark present in both files lost more than
@@ -32,6 +33,10 @@ type Entry struct {
 	Name     string  `json:"name"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	MrecPerS float64 `json:"mrec_per_s,omitempty"`
+	// BPerRec is the on-disk bytes/record of the trace format the bench
+	// reads (reported by the Analyze benches; storage-side counterpart to
+	// the Mrec/s throughput figure).
+	BPerRec float64 `json:"b_per_rec,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
@@ -59,6 +64,8 @@ func parse(r io.Reader) ([]Entry, error) {
 				e.NsPerOp = v
 			case "Mrec/s":
 				e.MrecPerS = v
+			case "B/rec":
+				e.BPerRec = v
 			}
 		}
 		if e.NsPerOp > 0 {
