@@ -440,36 +440,40 @@ func BenchmarkPipelineSharded(b *testing.B) {
 	})
 }
 
-// --- analyze benches: the -mode analyze read path, v1 vs v2 vs v3 ---
+// --- analyze benches: the -mode analyze read path, v1 through v4 ---
 //
 // The BenchmarkAnalyze* functions re-analyze the identical Quick(1) stream
-// persisted in all three trace formats. V1 is the legacy serial baseline
+// persisted in all four trace formats. V1 is the legacy serial baseline
 // (per-record bufio decode + single-threaded suite); V2 decodes
 // segment-at-a-time out of in-memory slabs; V3 additionally inflates the
-// per-segment flate compression. The Parallel variants fan segment decode
-// across worker goroutines and shard the collector groups — V2Parallel
-// through the single order-preserving reassembly-dispatch goroutine,
-// V3Parallel through the direct decode-to-shard delivery
-// (Reader.ReadAllSharded), which is the path -mode analyze -parallel runs.
-// On a single-core host the parallel variants measure the coordination
-// floor; the fan-out adds its speedup only with real cores. Every bench
-// also reports the on-disk bytes/record of its input — the storage half of
-// the provisioning budget.
+// per-segment flate compression; V4 stores field-striped column runs,
+// inflated one segment ahead of the decode on the serial path. The
+// Parallel variants fan segment decode across worker goroutines and shard
+// the collector groups — V2Parallel through the single order-preserving
+// reassembly-dispatch goroutine, V3Parallel and V4Parallel through the
+// direct decode-to-shard delivery (Reader.ReadAllSharded), which is the
+// path -mode analyze -parallel runs; on v4 the decoded columns ride along
+// and single-column collectors sweep them flat. On a single-core host the
+// parallel variants measure the coordination floor; the fan-out adds its
+// speedup only with real cores. Every bench also reports the on-disk
+// bytes/record of its input — the storage half of the provisioning budget.
 
 var (
 	analyzeOnce  sync.Once
 	analyzeRawV1 []byte
 	analyzeRawV2 []byte
 	analyzeRawV3 []byte
+	analyzeRawV4 []byte
 )
 
-func analyzeTraceRaw(b *testing.B) (v1, v2, v3 []byte) {
+func analyzeTraceRaw(b *testing.B) (v1, v2, v3, v4 []byte) {
 	b.Helper()
 	analyzeOnce.Do(func() {
 		recs := pipelineRecords(b)
-		var v1buf, v2buf, v3buf bytes.Buffer
-		w1, w2, w3 := trace.NewWriterV1(&v1buf), trace.NewWriterV2(&v2buf), trace.NewWriter(&v3buf)
-		sorter := trace.NewSortBuffer(2*Quick(1).Game.TickInterval, trace.Tee(w1, w2, w3))
+		var v1buf, v2buf, v3buf, v4buf bytes.Buffer
+		w1, w2 := trace.NewWriterV1(&v1buf), trace.NewWriterV2(&v2buf)
+		w3, w4 := trace.NewWriterV3(&v3buf), trace.NewWriter(&v4buf)
+		sorter := trace.NewSortBuffer(2*Quick(1).Game.TickInterval, trace.Tee(w1, w2, w3, w4))
 		for i := 0; i < len(recs); i += trace.BlockSize {
 			end := i + trace.BlockSize
 			if end > len(recs) {
@@ -478,14 +482,15 @@ func analyzeTraceRaw(b *testing.B) (v1, v2, v3 []byte) {
 			sorter.HandleBatch(recs[i:end])
 		}
 		sorter.Flush()
-		for _, w := range []*trace.Writer{w1, w2, w3} {
+		for _, w := range []*trace.Writer{w1, w2, w3, w4} {
 			if err := w.Flush(); err != nil {
 				panic(err)
 			}
 		}
-		analyzeRawV1, analyzeRawV2, analyzeRawV3 = v1buf.Bytes(), v2buf.Bytes(), v3buf.Bytes()
+		analyzeRawV1, analyzeRawV2 = v1buf.Bytes(), v2buf.Bytes()
+		analyzeRawV3, analyzeRawV4 = v3buf.Bytes(), v4buf.Bytes()
 	})
-	return analyzeRawV1, analyzeRawV2, analyzeRawV3
+	return analyzeRawV1, analyzeRawV2, analyzeRawV3, analyzeRawV4
 }
 
 func benchAnalyze(b *testing.B, rawLen int, run func(*analysis.Suite) (int64, error)) {
@@ -509,7 +514,7 @@ func benchAnalyze(b *testing.B, rawLen int, run func(*analysis.Suite) (int64, er
 
 // BenchmarkAnalyzeV1 is the serial ReadAll baseline over the legacy format.
 func BenchmarkAnalyzeV1(b *testing.B) {
-	raw, _, _ := analyzeTraceRaw(b)
+	raw, _, _, _ := analyzeTraceRaw(b)
 	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAll(s)
 		s.Close()
@@ -520,7 +525,7 @@ func BenchmarkAnalyzeV1(b *testing.B) {
 // BenchmarkAnalyzeV2 is the serial v2 scan: slab decode, one goroutine
 // ahead, single-threaded suite.
 func BenchmarkAnalyzeV2(b *testing.B) {
-	_, raw, _ := analyzeTraceRaw(b)
+	_, raw, _, _ := analyzeTraceRaw(b)
 	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllPrefetch(s)
 		s.Close()
@@ -531,7 +536,7 @@ func BenchmarkAnalyzeV2(b *testing.B) {
 // BenchmarkAnalyzeV3 is the serial v3 scan: slab decode plus per-segment
 // flate inflation, one goroutine ahead, single-threaded suite.
 func BenchmarkAnalyzeV3(b *testing.B) {
-	_, _, raw := analyzeTraceRaw(b)
+	_, _, raw, _ := analyzeTraceRaw(b)
 	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllPrefetch(s)
 		s.Close()
@@ -543,7 +548,7 @@ func BenchmarkAnalyzeV3(b *testing.B) {
 // decode on 4 workers funneled through the single order-preserving
 // reassembly-dispatch goroutine into sharded collector groups.
 func BenchmarkAnalyzeV2Parallel(b *testing.B) {
-	_, raw, _ := analyzeTraceRaw(b)
+	_, raw, _, _ := analyzeTraceRaw(b)
 	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		sink, closeSink := s.Sink(4)
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllParallel(sink, 4)
@@ -557,7 +562,7 @@ func BenchmarkAnalyzeV2Parallel(b *testing.B) {
 // straight into the sharded suite's per-group channels (ReadAllSharded) —
 // no re-batch copy, no dispatch goroutine.
 func BenchmarkAnalyzeV3Parallel(b *testing.B) {
-	_, _, raw := analyzeTraceRaw(b)
+	_, _, raw, _ := analyzeTraceRaw(b)
 	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
 		sink, closeSink := s.Sink(4)
 		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllSharded(sink, 4)
@@ -565,6 +570,66 @@ func BenchmarkAnalyzeV3Parallel(b *testing.B) {
 		return n, err
 	})
 }
+
+// BenchmarkAnalyzeV4 is the serial v4 scan: a prefetch goroutine inflates
+// column runs one segment ahead while the decode stripes them into blocks,
+// single-threaded suite.
+func BenchmarkAnalyzeV4(b *testing.B) {
+	_, _, _, raw := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllPrefetch(s)
+		s.Close()
+		return n, err
+	})
+}
+
+// BenchmarkAnalyzeV4Parallel is -mode analyze -parallel 4 over a columnar
+// trace: segment inflate + column decode on 4 workers, decoded columns
+// delivered to the sharded suite alongside the record blocks so the
+// single-column collectors sweep flat arrays.
+func BenchmarkAnalyzeV4Parallel(b *testing.B) {
+	_, _, _, raw := analyzeTraceRaw(b)
+	benchAnalyze(b, len(raw), func(s *analysis.Suite) (int64, error) {
+		sink, closeSink := s.Sink(4)
+		n, err := trace.NewReader(bytes.NewReader(raw)).ReadAllSharded(sink, 4)
+		closeSink()
+		return n, err
+	})
+}
+
+// benchWrite measures Writer throughput at default compression: the same
+// pre-generated stream encoded to a v4 file, serial or with the deflate
+// worker pool (byte-identical output either way).
+func benchWrite(b *testing.B, workers int) {
+	b.Helper()
+	recs := pipelineRecords(b)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		w.Workers = workers
+		for j := 0; j < len(recs); j += trace.BlockSize {
+			end := j + trace.BlockSize
+			if end > len(recs) {
+				end = len(recs)
+			}
+			w.HandleBatch(recs[j:end])
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		total = buf.Len()
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+	b.ReportMetric(float64(total)/float64(len(recs)), "B/rec")
+}
+
+// BenchmarkWriteV4 is the synchronous encode+deflate path;
+// BenchmarkWriteV4Workers moves deflate onto a 4-worker pool, leaving only
+// column appends and segment sealing on the caller's goroutine.
+func BenchmarkWriteV4(b *testing.B)        { benchWrite(b, 1) }
+func BenchmarkWriteV4Workers(b *testing.B) { benchWrite(b, 4) }
 
 // BenchmarkScenario measures fleet-scale throughput: 4 servers generated
 // concurrently, k-way merged, and analyzed by a sharded aggregate suite —

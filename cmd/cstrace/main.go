@@ -6,8 +6,9 @@
 //	cstrace -mode week  -seed 1            full-week reproduction (Tables I-III, Figs 1-13)
 //	cstrace -mode quick -seed 1            30-minute smoke reproduction
 //	cstrace -mode nat   -seed 1            NAT experiment (Table IV, Figs 14-15)
-//	cstrace -mode gen   -out trace.cst     generate a binary trace file (v3 compressed; -format 2|1
-//	                                       for the older versions, -compress to tune/disable flate)
+//	cstrace -mode gen   -out trace.cst     generate a binary trace file (v4 columnar compressed;
+//	                                       -format 3|2|1 for the older versions, -compress to
+//	                                       tune/disable flate)
 //	cstrace -mode analyze -in trace.cst    analyze a trace (-parallel N: segment decode + sharded suite)
 //	cstrace -mode index -in trace.cst      inspect a trace's segment index without decoding it
 //	cstrace -mode pcap  -out trace.pcap    export a (short) trace as pcap or pcapng
@@ -15,7 +16,7 @@
 //	cstrace -mode aggregate -seed 1        population self-similarity study
 //	cstrace -mode provision                capacity planning from the paper's budget
 //	cstrace -mode scenario -servers 8      multi-server fleet: merged aggregate analysis
-//	                                       (-out fleet.cst persists the merged trace as v3)
+//	                                       (-out fleet.cst persists the merged trace as v4)
 package main
 
 import (
@@ -49,8 +50,8 @@ func main() {
 		duration   = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
 		inFile     = flag.String("in", "", "input trace file (analyze/index)")
 		outFile    = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
-		format     = flag.Int("format", 3, "trace format version to write (gen): 3 = compressed+indexed, 2 = indexed, 1 = legacy")
-		compress   = flag.Int("compress", 0, "v3 segment compression (gen): 0 = default flate level, 1-9 = explicit level, -1 = store uncompressed")
+		format     = flag.Int("format", 4, "trace format version to write (gen): 4 = columnar compressed, 3 = compressed+indexed, 2 = indexed, 1 = legacy")
+		compress   = flag.Int("compress", 0, "v3/v4 segment compression (gen): 0 = default flate level, 1-9 = explicit level, -1 = store uncompressed")
 		players    = flag.Int("players", 100000, "target concurrent players (provision)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
 		genWorkers = flag.Int("genworkers", runtime.GOMAXPROCS(0), "generator fill-stage goroutines (week/quick/gen; 1 = serial, results identical)")
@@ -163,15 +164,15 @@ func runGen(seed uint64, d time.Duration, out string, format, compress, genWorke
 	if d == 0 {
 		d = time.Hour
 	}
-	if format < 1 || format > 3 {
+	if format < 1 || format > 4 {
 		// Validate before os.Create truncates an existing trace.
-		return fmt.Errorf("gen: unknown -format %d (want 1, 2 or 3)", format)
+		return fmt.Errorf("gen: unknown -format %d (want 1, 2, 3 or 4)", format)
 	}
 	if compress < -1 || compress > 9 {
 		return fmt.Errorf("gen: invalid -compress %d (want -1, 0 or 1-9)", compress)
 	}
-	if compress != 0 && format != 3 {
-		return fmt.Errorf("gen: -compress needs -format 3 (v1/v2 have no compression)")
+	if compress != 0 && format < 3 {
+		return fmt.Errorf("gen: -compress needs -format 3 or 4 (v1/v2 have no compression)")
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -184,13 +185,18 @@ func runGen(seed uint64, d time.Duration, out string, format, compress, genWorke
 	cfg.Outages = nil
 	cfg.Workers = genWorkers
 	w := trace.NewWriter(f)
-	w.CompressLevel = compress
 	switch format {
 	case 1:
 		w = trace.NewWriterV1(f)
 	case 2:
 		w = trace.NewWriterV2(f)
+	case 3:
+		w = trace.NewWriterV3(f)
 	}
+	w.CompressLevel = compress
+	// Deflate sealed segments on a worker pool so compression stays off
+	// the generator's write path; the bytes are identical either way.
+	w.Workers = genWorkers
 	// The generator emits a strictly time-ordered stream — exactly what
 	// the Writer requires — so records encode as they are produced.
 	st, err := gamesim.Run(cfg, w, nil)
@@ -217,9 +223,9 @@ func runAnalyze(in string, parallel int, from, to time.Duration, depths bool) er
 
 	// Duration is discovered from the stream, so a single pass with the
 	// default week-scale suite is correct: collectors size themselves from
-	// record timestamps. With -parallel N the trace's v2 segments decode
-	// on worker goroutines and the suite's collector groups shard across
-	// another set; results are byte-identical at every setting.
+	// record timestamps. With -parallel N the trace's indexed segments
+	// decode on worker goroutines and the suite's collector groups shard
+	// across another set; results are byte-identical at every setting.
 	var a *cstrace.TraceAnalysis
 	if from > 0 || to > 0 {
 		// Time slice: binary-search the segment index, decode only the
@@ -286,6 +292,18 @@ func runIndex(in string) error {
 			comp, len(segs), ix.RawBytes(), ix.PayloadBytes(),
 			100*float64(ix.PayloadBytes())/float64(ix.RawBytes()),
 			float64(st.Size())/float64(ix.Records))
+	}
+	if cs, err := trace.ReadColumnStats(f, ix); err != nil {
+		return fmt.Errorf("index: column stats: %w", err)
+	} else if cs.Segments > 0 {
+		// Per-column compression, read from the payload headers alone: which
+		// field stripe the on-disk bytes actually go to.
+		fmt.Printf("columns (%d columnar segments, %d compressed):", cs.Segments, cs.Compressed)
+		for c, name := range cs.ColumnNames() {
+			fmt.Printf(" %s %d->%d (%.1f%%)", name, cs.Raw[c], cs.Stored[c],
+				100*float64(cs.Stored[c])/float64(cs.Raw[c]))
+		}
+		fmt.Println()
 	}
 	if len(segs) == 0 {
 		return nil
@@ -404,13 +422,12 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 	cfg.Parallelism = parallel
 	cfg.PerServer = perMode
 
-	// -out persists the merged fleet stream as an indexed, compressed v3
-	// trace. The
-	// merge's cross-server disorder is bounded by one tick window
-	// (≤ 100 ms), so a 200 ms SortBuffer restores the strict order the
-	// Writer requires.
+	// -out persists the merged fleet stream as an indexed, compressed v4
+	// trace. The merge's cross-server disorder is bounded by one tick
+	// window (≤ 100 ms), so the Writer's own 200 ms SortWindow restores the
+	// strict order the format requires — no separate SortBuffer stage, and
+	// compression rides the worker pool instead of the merge path.
 	var w *trace.Writer
-	var sorter *trace.SortBuffer
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -418,8 +435,9 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 		}
 		defer f.Close()
 		w = trace.NewWriter(f)
-		sorter = trace.NewSortBuffer(200*time.Millisecond, w)
-		cfg.Extra = sorter
+		w.SortWindow = 200 * time.Millisecond
+		w.Workers = parallel
+		cfg.Extra = w
 	}
 
 	res, err := cstrace.RunScenario(cfg)
@@ -427,7 +445,6 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 		return err
 	}
 	if w != nil {
-		sorter.Flush()
 		if err := w.Flush(); err != nil {
 			return err
 		}

@@ -151,7 +151,7 @@ func (r *Results) PerSlotKbs() float64 {
 type TraceAnalysis struct {
 	// Records is the number of records analyzed.
 	Records int64
-	// Version is the trace format version read (1, 2 or 3).
+	// Version is the trace format version read (1 through 4).
 	Version int
 	// Warning is non-empty when the reader degraded — e.g. an indexed trace whose
 	// index was truncated fell back to a serial scan.
@@ -167,18 +167,22 @@ type TraceAnalysis struct {
 	GroupDepths []analysis.GroupDepth
 }
 
-// AnalyzeTrace reads a persisted binary trace (format v1, v2 or v3,
+// AnalyzeTrace reads a persisted binary trace (format v1 through v4,
 // detected from the header) and runs the record-stream analyses of the
 // paper suite over it. parallelism ≥ 2 both shards the suite's collector
-// groups across workers and, for an indexed (v2/v3) trace on a seekable
+// groups across workers and, for an indexed (v2+) trace on a seekable
 // source (*os.File, *bytes.Reader, …), decodes file segments — inflating
-// v3 compressed payloads — on parallel goroutines that deliver their
-// decoded blocks straight into the sharded suite's per-group channels in
-// file order (trace.Reader.ReadAllSharded), with no re-batching copy and
-// no single dispatch goroutine in between. The results are byte-identical
-// across every parallelism setting and across v1/v2/v3 encodings of the
-// same stream; degraded inputs (v1, non-seekable, damaged index) are
-// analyzed by the serial scan and noted in TraceAnalysis.Warning.
+// compressed payloads — on parallel goroutines that deliver their decoded
+// blocks straight into the sharded suite's per-group channels in file
+// order (trace.Reader.ReadAllSharded), with no re-batching copy and no
+// single dispatch goroutine in between. Columnar (v4) segments hand their
+// decoded field columns to the suite alongside the records, so
+// single-column collectors (size distributions, interarrivals) sweep a
+// flat array instead of striding through interleaved records. The results
+// are byte-identical across every parallelism setting and across v1-v4
+// encodings of the same stream; degraded inputs (v1, non-seekable,
+// damaged index) are analyzed by the serial scan and noted in
+// TraceAnalysis.Warning.
 func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 	// The binary format stores records in non-decreasing time order (the
 	// Writer rejects anything else), so the suite skips its sorting stage.
@@ -215,9 +219,10 @@ func (a *TraceAnalysis) WriteReport(w io.Writer) error {
 }
 
 // AnalyzeTraceRange is AnalyzeTrace restricted to the records with
-// from ≤ T < to. For an indexed (v2/v3) trace on a seekable source only the
+// from ≤ T < to. For an indexed (v2+) trace on a seekable source only the
 // overlapping file segments are read and decoded (trace.Reader.ReadRange),
-// so slicing an hour out of a week costs an hour's I/O. Collectors that bin
+// so slicing an hour out of a week costs an hour's I/O — and on a columnar
+// (v4) trace the closing boundary segment inflates only up to the cut. Collectors that bin
 // by absolute time (minute series, interval windows) keep their absolute
 // positions; Table II/III rates are computed over the observed span of the
 // slice. parallelism shards the collector groups as in AnalyzeTrace.

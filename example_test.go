@@ -48,7 +48,7 @@ func ExampleRunScenario() {
 }
 
 // ExampleAnalyzeTrace persists a generated window as an indexed, compressed
-// v3 trace and re-analyzes it with parallel segment decode — the library
+// v4 trace and re-analyzes it with parallel segment decode — the library
 // form of `cstrace -mode gen` + `-mode analyze -parallel 4`, where the
 // decode workers deliver their blocks straight into the sharded suite. The
 // report is byte-identical to a serial scan of the same bytes (and to the
@@ -61,7 +61,7 @@ func ExampleAnalyzeTrace() {
 	// The generator's stream has bounded disorder; a SortBuffer restores
 	// the strict time order the trace writer requires.
 	var buf bytes.Buffer
-	w := trace.NewWriter(&buf) // format v3: segmented + indexed + compressed
+	w := trace.NewWriter(&buf) // format v4: columnar + indexed + compressed
 	sorter := trace.NewSortBuffer(100*time.Millisecond, w)
 	cfg.Extra = sorter
 	if _, err := cstrace.Reproduce(cfg); err != nil {
@@ -79,6 +79,6 @@ func ExampleAnalyzeTrace() {
 	fmt.Printf("trace format: v%d\n", a.Version)
 	fmt.Printf("round trip complete: %v\n", a.Records == w.Count() && a.Warning == "")
 	// Output:
-	// trace format: v3
+	// trace format: v4
 	// round trip complete: true
 }

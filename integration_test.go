@@ -189,10 +189,11 @@ func TestSeedIndependenceOfShape(t *testing.T) {
 
 // TestAnalyzeTraceFormatsByteIdentical is the cross-version compatibility
 // golden: the same generated stream persisted by the legacy v1 writer, the
-// segmented v2 writer and the compressed v3 writer must render
-// byte-identical analysis reports, at every parallelism setting of the
-// indexed read paths (the parallel v3 variant takes the direct
-// decode-to-shard delivery).
+// segmented v2 writer, the compressed v3 writer and the columnar v4 writer
+// must render byte-identical analysis reports, at every parallelism
+// setting of the indexed read paths (the parallel v3/v4 variants take the
+// direct decode-to-shard delivery; v4 additionally hands decoded columns
+// to the suite's column-aware collectors).
 func TestAnalyzeTraceFormatsByteIdentical(t *testing.T) {
 	cfg := gamesim.PaperConfig(5)
 	cfg.Duration = 4 * time.Minute
@@ -201,19 +202,23 @@ func TestAnalyzeTraceFormatsByteIdentical(t *testing.T) {
 	cfg.AttemptRate = 0.3
 	cfg.DiurnalAmp = 0
 
-	var v1buf, v2buf, v3buf bytes.Buffer
+	var v1buf, v2buf, v3buf, v4buf bytes.Buffer
 	w1 := trace.NewWriterV1(&v1buf)
 	w2 := trace.NewWriterV2(&v2buf)
-	w3 := trace.NewWriter(&v3buf)
+	w3 := trace.NewWriterV3(&v3buf)
+	w4 := trace.NewWriter(&v4buf)
+	// Exercise the asynchronous compression pipeline on the v4 writer; the
+	// bytes are pinned identical to a synchronous write elsewhere.
+	w4.Workers = 4
 	// The default 256 KiB segment target already yields multi-segment files
-	// at this scale, and the v3 size headline below is measured at the
+	// at this scale, and the v3/v4 size headlines below are measured at the
 	// defaults the standard reproduction uses.
-	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.Tee(w1, w2, w3))
+	sorter := trace.NewSortBuffer(2*cfg.TickInterval, trace.Tee(w1, w2, w3, w4))
 	if _, err := gamesim.Run(cfg, sorter, nil); err != nil {
 		t.Fatal(err)
 	}
 	sorter.Flush()
-	for _, w := range []*trace.Writer{w1, w2, w3} {
+	for _, w := range []*trace.Writer{w1, w2, w3, w4} {
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)
 		}
@@ -233,6 +238,10 @@ func TestAnalyzeTraceFormatsByteIdentical(t *testing.T) {
 		{"v3-serial", v3buf.Bytes(), 1, 3},
 		{"v3-parallel", v3buf.Bytes(), 4, 3}, // decode workers feed the shard groups directly
 		{"v3-parallel-8", v3buf.Bytes(), 8, 3},
+		{"v4-serial", v4buf.Bytes(), 1, 4},
+		{"v4-parallel-2", v4buf.Bytes(), 2, 4},
+		{"v4-parallel", v4buf.Bytes(), 4, 4}, // columns flow to the shard groups alongside records
+		{"v4-parallel-8", v4buf.Bytes(), 8, 4},
 	}
 	var reference []byte
 	for _, v := range variants {
@@ -263,9 +272,9 @@ func TestAnalyzeTraceFormatsByteIdentical(t *testing.T) {
 	}
 
 	// The indexes must agree with what the writers say they wrote, and the
-	// default v3 encoding must deliver its headline: ≥ 25 % smaller on disk
-	// than v2 for the same stream.
-	for name, buf := range map[string]*bytes.Buffer{"v2": &v2buf, "v3": &v3buf} {
+	// compressed encodings must deliver their headlines: v3 ≥ 25 % smaller
+	// on disk than v2 for the same stream, and columnar v4 smaller still.
+	for name, buf := range map[string]*bytes.Buffer{"v2": &v2buf, "v3": &v3buf, "v4": &v4buf} {
 		ix, err := trace.ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
 		if err != nil {
 			t.Fatal(err)
@@ -278,5 +287,9 @@ func TestAnalyzeTraceFormatsByteIdentical(t *testing.T) {
 	if ratio := float64(v3buf.Len()) / float64(v2buf.Len()); ratio > 0.75 {
 		t.Errorf("v3 trace is %d bytes vs v2's %d (%.0f%%); want ≥ 25%% smaller",
 			v3buf.Len(), v2buf.Len(), ratio*100)
+	}
+	if v4buf.Len() >= v3buf.Len() {
+		t.Errorf("v4 trace is %d bytes vs v3's %d; field striping should compress better",
+			v4buf.Len(), v3buf.Len())
 	}
 }

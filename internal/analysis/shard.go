@@ -37,14 +37,17 @@ import (
 const ShardChanDepth = 8
 
 // shardBlock is a refcounted block shared read-only by every receiving
-// group and recycled when the last one finishes with it. It comes in two
+// group and recycled when the last one finishes with it. It comes in three
 // lifetimes: a copy of an incoming batch backed by the suite's own pool
-// (the Handle/HandleBatch path), or a zero-copy wrapper around a trace
-// block whose ownership was transferred in via IngestBlock — owned marks
-// the latter, and release routes the storage back to the right pool.
+// (the Handle/HandleBatch path), a zero-copy wrapper around a trace block
+// whose ownership was transferred in via IngestBlock — owned marks that
+// one — or an interleaved copy of a column-decoded segment chunk whose
+// columns ride along (IngestColumns): cols lets column-aware collectors
+// sweep the dense field arrays while everything else uses recs.
 type shardBlock struct {
 	recs  trace.Block
-	owned *trace.Block // non-nil when recs aliases a transferred trace block
+	owned *trace.Block       // non-nil when recs aliases a transferred trace block
+	cols  *trace.ColumnBlock // non-nil when the columns of recs are also held
 	refs  atomic.Int32
 }
 
@@ -52,6 +55,10 @@ type shardBlock struct {
 func (b *shardBlock) release() {
 	if b.refs.Add(-1) != 0 {
 		return
+	}
+	if b.cols != nil {
+		trace.FreeColumnBlock(b.cols)
+		b.cols = nil
 	}
 	if b.owned != nil {
 		trace.FreeBlock(b.owned)
@@ -104,10 +111,10 @@ func (g GroupDepth) MeanDepth() float64 {
 type shardWorker struct {
 	depth  GroupDepth
 	ch     chan *shardBlock
-	sweeps []func([]trace.Record)
+	sweeps []func(*shardBlock)
 }
 
-func newShardWorker(name string, sweeps ...func([]trace.Record)) *shardWorker {
+func newShardWorker(name string, sweeps ...func(*shardBlock)) *shardWorker {
 	return &shardWorker{
 		depth:  GroupDepth{Name: name},
 		ch:     make(chan *shardBlock, ShardChanDepth),
@@ -133,7 +140,7 @@ func (w *shardWorker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for blk := range w.ch {
 		for _, sweep := range w.sweeps {
-			sweep(blk.recs)
+			sweep(blk)
 		}
 		blk.release()
 	}
@@ -180,21 +187,36 @@ func (f *sortedFan) HandleBatch(rs []trace.Record) {
 // still shard with 2 workers — use the plain Suite for single-threaded
 // runs). The caller must not feed the inner Suite directly afterwards.
 func Shard(s *Suite, workers int) *ShardedSuite {
-	counts := func(rs []trace.Record) {
-		s.Count.HandleBatch(rs)
-		s.Sizes.HandleBatch(rs)
-		s.Flows.HandleBatch(rs)
-		s.Kinds.HandleBatch(rs)
+	// Column-aware sweeps: when a block carries its columns (v4 column
+	// delivery), collectors that consume a single field — SizeDist reads
+	// direction+size, Interarrival direction+timestamp — sweep the dense
+	// column arrays instead of striding through the interleaved records.
+	// Results are identical either way; only the memory traffic shrinks.
+	counts := func(b *shardBlock) {
+		s.Count.HandleBatch(b.recs)
+		if b.cols != nil {
+			s.Sizes.HandleColumns(b.cols)
+		} else {
+			s.Sizes.HandleBatch(b.recs)
+		}
+		s.Flows.HandleBatch(b.recs)
+		s.Kinds.HandleBatch(b.recs)
 	}
-	series := func(rs []trace.Record) {
-		s.Minutes.HandleBatch(rs)
-		s.VT.HandleBatch(rs)
+	series := func(b *shardBlock) {
+		s.Minutes.HandleBatch(b.recs)
+		s.VT.HandleBatch(b.recs)
 		for _, w := range s.Windows {
-			w.HandleBatch(rs)
+			w.HandleBatch(b.recs)
 		}
 	}
-	gaps := s.Gaps.HandleBatch
-	tick := s.Tick.HandleBatch
+	gaps := func(b *shardBlock) {
+		if b.cols != nil {
+			s.Gaps.HandleColumns(b.cols)
+		} else {
+			s.Gaps.HandleBatch(b.recs)
+		}
+	}
+	tick := func(b *shardBlock) { s.Tick.HandleBatch(b.recs) }
 
 	sh := &ShardedSuite{Suite: s, pending: getShardBlock()}
 	if s.sorted == nil {
@@ -221,7 +243,7 @@ func Shard(s *Suite, workers int) *ShardedSuite {
 			}
 		}
 	} else {
-		order := s.sorted.HandleBatch
+		order := func(b *shardBlock) { s.sorted.HandleBatch(b.recs) }
 		switch {
 		case workers <= 2:
 			sh.ingest = []*shardWorker{
@@ -330,6 +352,27 @@ func (sh *ShardedSuite) IngestBlock(blk *trace.Block) {
 	}
 }
 
+// IngestColumns implements trace.ColumnIngester: a column-decoded segment
+// chunk is interleaved once into a pooled block — the order-sensitive and
+// multi-field collectors need full records — while the columns ride along
+// so single-field collectors sweep them directly. Ownership of cb transfers
+// to the suite; it is recycled when the last group's sweep finishes. The
+// same serialization contract as IngestBlock applies.
+func (sh *ShardedSuite) IngestColumns(cb *trace.ColumnBlock) {
+	if cb.Len() == 0 {
+		trace.FreeColumnBlock(cb)
+		return
+	}
+	sh.flush() // records re-batched earlier must stay ahead of this block
+	b := getShardBlock()
+	b.recs = cb.AppendRecords(b.recs)
+	b.cols = cb
+	b.refs.Store(int32(len(sh.ingest)))
+	for _, w := range sh.ingest {
+		w.send(b)
+	}
+}
+
 // Close flushes pending records, drains and stops the workers, then
 // finalizes the underlying suite. Call once after the last record.
 func (sh *ShardedSuite) Close() {
@@ -381,7 +424,8 @@ func (s *Suite) Sink(parallelism int) (h trace.Handler, close func()) {
 }
 
 var (
-	_ trace.Handler       = (*ShardedSuite)(nil)
-	_ trace.BatchHandler  = (*ShardedSuite)(nil)
-	_ trace.BlockIngester = (*ShardedSuite)(nil)
+	_ trace.Handler        = (*ShardedSuite)(nil)
+	_ trace.BatchHandler   = (*ShardedSuite)(nil)
+	_ trace.BlockIngester  = (*ShardedSuite)(nil)
+	_ trace.ColumnIngester = (*ShardedSuite)(nil)
 )

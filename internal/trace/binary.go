@@ -2,12 +2,11 @@ package trace
 
 import (
 	"bufio"
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"time"
 )
 
@@ -26,24 +25,28 @@ import (
 // ("CSEG" frames carrying payload length, record count and the delta
 // base/min/max timestamps), then appends a segment index ("CSIX") and a
 // fixed-size footer, so a reader can decode segments in parallel and seek by
-// time range. Version 3 (the current default) adds a per-segment flags word
-// to the frame and index: flag bit 0 marks a flate-compressed payload, with
-// the decompressed size carried alongside. The concatenation of all segment
+// time range. Version 3 adds a per-segment flags word to the frame and
+// index: flag bit 0 marks a flate-compressed payload, with the decompressed
+// size carried alongside; for v2/v3 the concatenation of all segment
 // payloads — decompressed where flagged — is byte-for-byte the v1 record
-// stream.
+// stream. Version 4 (the current default) defines flag bit 1: the segment
+// payload is field-striped, storing the record fields as four separate runs
+// (timestamp deltas | flags | client ids | app sizes) that compress better
+// and decode in tight per-column loops; see columnar.go for the layout.
 //
 // Delta encoding keeps the common case (sub-millisecond gaps, small ids,
-// small payloads) to a handful of bytes per record, and v3 compression
-// roughly halves that again — a full-week, half billion packet trace fits
-// comfortably on disk.
+// small payloads) to a handful of bytes per record, and per-segment
+// compression roughly halves that again — a full-week, half billion packet
+// trace fits comfortably on disk.
 
 const (
 	magic    = "CSTR"
 	version1 = 1
 	version2 = 2
 	version3 = 3
+	version4 = 4
 	// currentVersion is what NewWriter emits.
-	currentVersion = version3
+	currentVersion = version4
 	headerLen      = 8
 )
 
@@ -63,28 +66,39 @@ var (
 
 // Compression settings for Writer.CompressLevel.
 const (
-	// CompressOff stores every v3 segment uncompressed (flags clear). The
-	// file remains a valid v3 trace; only the payload bytes differ.
+	// CompressOff stores every v3/v4 segment uncompressed (the compressed
+	// flag clear). The file remains a valid trace of its version; only the
+	// payload bytes differ.
 	CompressOff = -1
-	// DefaultCompressLevel is the flate level used when CompressLevel is 0:
-	// level 6 (flate's own default), which delivers the ≥ 25 % on-disk
-	// saving over v2 on the standard reproduction. Decompression cost is
-	// essentially level-independent, so the level only prices the write
-	// side: use 1 (BestSpeed, ~3× faster to write, a few % larger) when the
-	// writer sits on a generation hot path, 9 when the file is written once
-	// and shipped often.
+	// DefaultCompressLevel is the flate level a v3 writer uses when
+	// CompressLevel is 0: level 6 (flate's own default), which delivers the
+	// ≥ 25 % on-disk saving over v2 on the standard reproduction. v3
+	// decompression cost is essentially level-independent, so the level only
+	// prices the write side: use 1 (BestSpeed, ~3× faster to write, a few %
+	// larger) when the writer sits on a generation hot path, 9 when the file
+	// is written once and shipped often.
 	DefaultCompressLevel = 6
+	// ColumnarCompressLevel is the flate level a v4 writer uses when
+	// CompressLevel is 0. Field-striped runs are far more self-similar than
+	// v3's interleaved payload, so flate's higher levels buy almost nothing:
+	// on the calibrated workload level 2 stores within ~1 % of level 6 while
+	// deflating ~3× faster and — the greedy matcher emits slightly longer,
+	// more regular matches — inflating marginally faster too. Explicit
+	// CompressLevel settings still pass through untouched.
+	ColumnarCompressLevel = 2
 )
 
 // Writer streams records to an io.Writer in the binary trace format.
-// Records must be delivered in non-decreasing time order.
+// Records must be delivered in non-decreasing time order (or within
+// SortWindow of it, when set).
 //
-// NewWriter emits format v3: records are chunked into independently
-// decodable segments, each segment's payload is flate-compressed when that
-// makes it smaller (tunable via CompressLevel), and the file ends with a
-// segment index + footer, so Reader.ReadAllParallel can fan decode out
-// across goroutines. Flush seals the file and must be called exactly once,
-// after the last Write.
+// NewWriter emits format v4: records are chunked into independently
+// decodable segments, each segment's payload is field-striped and
+// compressed per column when that makes it smaller (tunable via
+// CompressLevel), and the file ends with a segment index + footer, so
+// Reader.ReadAllParallel can fan decode out across goroutines. Setting
+// Workers moves compression off the Write path onto a worker pool. Flush
+// seals the file and must be called exactly once, after the last Write.
 type Writer struct {
 	w       *bufio.Writer
 	version uint8
@@ -102,7 +116,7 @@ type Writer struct {
 	// amortize the per-segment framing+index overhead further.
 	SegmentPayload int
 
-	// CompressLevel tunes v3 per-segment compression: 0 selects
+	// CompressLevel tunes v3/v4 per-segment compression: 0 selects
 	// DefaultCompressLevel, 1–9 are explicit flate levels (1 fastest, 9
 	// smallest), and CompressOff (-1) stores all segments uncompressed.
 	// Set it before the first Write; ignored for v1/v2 writers. Whatever
@@ -110,16 +124,42 @@ type Writer struct {
 	// raw form is stored uncompressed (the per-segment flag records which).
 	CompressLevel int
 
-	seg      []byte // current segment's encoded records (v2/v3)
+	// Workers > 1 deflates sealed segments on that many worker goroutines
+	// while Write keeps cutting the next segment — compression leaves the
+	// caller's critical path entirely. File order and the output bytes are
+	// preserved exactly: for a given (version, level) the file is
+	// byte-identical whatever Workers is set to. Worker failures latch and
+	// surface from Err, Write and Flush. Set it before the first Write;
+	// ignored when ≤ 1, for v1/v2 writers, and with CompressOff (there is
+	// no compression to offload).
+	Workers int
+
+	// SortWindow, when > 0, lets records arrive up to that far out of time
+	// order: Write buffers them and releases in sorted order (ties keep
+	// arrival order) once the high-water timestamp has moved past the
+	// window, exactly reproducing what a SortBuffer stage in front of the
+	// Writer would feed it. A record arriving more than SortWindow before
+	// the high-water mark is an error, like a time-regressing record on a
+	// strict writer. Set it before the first Write.
+	SortWindow time.Duration
+
+	seg      []byte // current segment's interleaved records (v2/v3)
+	colD     []byte // current segment's column runs (v4)
+	colF     []byte
+	colC     []byte
+	colA     []byte
 	segBase  time.Duration
 	segMin   time.Duration
 	segMax   time.Duration
 	segCount int
 	index    []SegmentInfo
 
-	fw      *flate.Writer // v3 segment compressor, reused across segments
-	fwLevel int
-	cbuf    bytes.Buffer
+	cs   compScratch   // segment compressor state (sync path)
+	pipe *compPipeline // async compression pipeline, nil until started
+
+	pend    []Record // SortWindow reorder buffer
+	elig    []Record // scratch for the release sort
+	pendMax time.Duration
 
 	buf [3*binary.MaxVarintLen64 + 1]byte
 }
@@ -130,10 +170,19 @@ type Writer struct {
 // spans many parallel decode units.
 const DefaultSegmentPayload = 1 << 18
 
-// NewWriter creates a Writer emitting the current format version (v3,
-// segmented + indexed + per-segment compression).
+// NewWriter creates a Writer emitting the current format version (v4,
+// segmented + indexed + field-striped per-segment compression).
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: currentVersion}
+}
+
+// NewWriterV3 creates a Writer emitting format v3: segmented, indexed and
+// per-segment compressed, but with the interleaved record payload instead
+// of v4's field-striped one. Readers support v3 indefinitely (see
+// docs/FORMAT.md for the compatibility policy); new traces should use
+// NewWriter.
+func NewWriterV3(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version3}
 }
 
 // NewWriterV2 creates a Writer emitting format v2: segmented and indexed,
@@ -152,7 +201,7 @@ func NewWriterV1(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version1}
 }
 
-// Version returns the format version the Writer emits (1, 2 or 3).
+// Version returns the format version the Writer emits (1–4).
 func (w *Writer) Version() int { return int(w.version) }
 
 // Handle implements Handler, so a Writer can sit at the end of a pipeline.
@@ -173,8 +222,17 @@ func (w *Writer) HandleBatch(rs []Record) {
 	}
 }
 
-// Err returns the first error latched by Handle or HandleBatch.
-func (w *Writer) Err() error { return w.err }
+// Err returns the first error latched by Handle or HandleBatch, or — when
+// compression runs on workers — the first failure latched by the pipeline.
+func (w *Writer) Err() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.pipe != nil {
+		return w.pipe.getErr()
+	}
+	return nil
+}
 
 func (w *Writer) writeHeader() error {
 	w.wrote = true
@@ -191,7 +249,8 @@ func (w *Writer) writeHeader() error {
 	return nil
 }
 
-// Write encodes one record.
+// Write encodes one record. With SortWindow set it may instead buffer the
+// record for ordered release; see the field docs.
 func (w *Writer) Write(r Record) error {
 	if w.sealed {
 		return ErrFinished
@@ -201,8 +260,102 @@ func (w *Writer) Write(r Record) error {
 			return err
 		}
 	}
+	if w.SortWindow > 0 {
+		return w.bufferSorted(r)
+	}
+	return w.encode(r)
+}
+
+// sortPendFlush is how many buffered out-of-order records accumulate before
+// a SortWindow release pass runs.
+const sortPendFlush = 2 * BlockSize
+
+// bufferSorted holds r in the SortWindow reorder buffer, periodically
+// releasing the records the advancing high-water mark has made safe — the
+// same slack-watermark rule SortBuffer applies, so the encoded stream is
+// byte-identical to feeding the Writer through one.
+func (w *Writer) bufferSorted(r Record) error {
+	if r.T < w.pendMax-w.SortWindow {
+		return fmt.Errorf("trace: record at %v arrives more than the %v sort window behind the high-water mark %v",
+			r.T, w.SortWindow, w.pendMax)
+	}
+	if r.T > w.pendMax {
+		w.pendMax = r.T
+	}
+	w.pend = append(w.pend, r)
+	if len(w.pend) >= sortPendFlush {
+		return w.releasePending(w.pendMax - w.SortWindow)
+	}
+	return nil
+}
+
+// releasePending encodes every buffered record with T ≤ watermark in total
+// (T, arrival) order: arrival order is maintained by the buffer and the
+// sort is stable, so ties keep it.
+func (w *Writer) releasePending(watermark time.Duration) error {
+	if len(w.pend) == 0 {
+		return nil
+	}
+	elig := w.elig[:0]
+	keep := w.pend[:0]
+	for _, r := range w.pend {
+		if r.T <= watermark {
+			elig = append(elig, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	w.pend = keep
+	slices.SortStableFunc(elig, func(a, b Record) int {
+		switch {
+		case a.T < b.T:
+			return -1
+		case a.T > b.T:
+			return 1
+		default:
+			return 0
+		}
+	})
+	w.elig = elig[:0]
+	for _, r := range elig {
+		if err := w.encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encode appends one record to the output stream; records must arrive here
+// in non-decreasing time order.
+func (w *Writer) encode(r Record) error {
 	if r.T < w.last {
 		return fmt.Errorf("trace: record at %v precedes previous record at %v", r.T, w.last)
+	}
+	if w.version >= version4 {
+		// v4: the fields stripe into per-column runs, sealed into one
+		// columnar payload at segment-cut time.
+		if w.segCount == 0 {
+			w.segBase = w.last
+			w.segMin = r.T
+		}
+		w.colD = binary.AppendUvarint(w.colD, uint64(r.T-w.last))
+		w.colF = append(w.colF, byte(r.Dir)&1|byte(r.Kind)<<1)
+		w.colC = binary.AppendUvarint(w.colC, uint64(r.Client))
+		w.colA = binary.AppendUvarint(w.colA, uint64(r.App))
+		w.segCount++
+		w.segMax = r.T
+		w.last = r.T
+		w.n++
+		// Cut on accumulated record bytes, like the interleaved formats:
+		// the four field encodings sum to exactly the interleaved record
+		// size, so v4 segments break at the same record boundaries as v3
+		// for a given SegmentPayload (the 16-byte column header is framing
+		// overhead, not counted against the target).
+		size := len(w.colD) + len(w.colF) + len(w.colC) + len(w.colA)
+		if size >= w.segmentTarget() {
+			return w.flushSegment()
+		}
+		return nil
 	}
 	b := w.buf[:0]
 	b = binary.AppendUvarint(b, uint64(r.T-w.last))
@@ -242,68 +395,109 @@ func (w *Writer) segmentTarget() int {
 	return DefaultSegmentPayload
 }
 
-// compressSegment runs the buffered segment through flate at the configured
-// level, returning the compressed bytes, or nil when compression is off,
-// misconfigured-level errors aside.
-func (w *Writer) compressSegment() ([]byte, error) {
-	level := w.CompressLevel
-	if level == 0 {
-		level = DefaultCompressLevel
-	}
-	if w.fw == nil || w.fwLevel != level {
-		fw, err := flate.NewWriter(io.Discard, level)
-		if err != nil {
-			return nil, fmt.Errorf("trace: invalid CompressLevel %d: %w", w.CompressLevel, err)
+// level resolves the effective compression level (0 → the version's
+// default; explicit levels and CompressOff pass through).
+func (w *Writer) level() int {
+	if w.CompressLevel == 0 {
+		if w.version >= version4 {
+			return ColumnarCompressLevel
 		}
-		w.fw, w.fwLevel = fw, level
+		return DefaultCompressLevel
 	}
-	w.cbuf.Reset()
-	w.fw.Reset(&w.cbuf)
-	if _, err := w.fw.Write(w.seg); err != nil {
-		return nil, err
-	}
-	if err := w.fw.Close(); err != nil {
-		return nil, err
-	}
-	return w.cbuf.Bytes(), nil
+	return w.CompressLevel
 }
 
-// flushSegment writes the buffered segment as one "CSEG" frame and records
-// its index entry. In v3 the payload is flate-compressed first and stored
-// compressed only when that is strictly smaller (the per-segment flag
-// records the choice, so incompressible segments cost nothing).
+// useAsync reports whether sealed segments should compress on the worker
+// pipeline.
+func (w *Writer) useAsync() bool {
+	return w.Workers > 1 && w.version >= version3 && w.CompressLevel != CompressOff
+}
+
+// assembleColumnar seals the column runs into one raw columnar payload
+// (column header + four runs) appended to dst.
+func (w *Writer) assembleColumnar(dst []byte) []byte {
+	var hdr [colHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(w.colD)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(w.colF)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(w.colC)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(w.colA)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, w.colD...)
+	dst = append(dst, w.colF...)
+	dst = append(dst, w.colC...)
+	dst = append(dst, w.colA...)
+	return dst
+}
+
+// flushSegment seals the buffered segment: its raw payload is assembled
+// (columnar for v4, the interleaved buffer otherwise) and either
+// compressed+written inline, or handed to the worker pipeline when Workers
+// is set — the pipeline's emitter writes frames in submission order, so the
+// file is identical either way. A segment is stored compressed only when
+// that is strictly smaller (the per-segment flag records the choice, so
+// incompressible segments cost nothing).
 func (w *Writer) flushSegment() error {
 	if w.segCount == 0 {
 		return nil
 	}
-	payload := w.seg
-	rawLen := len(w.seg)
+	meta := segMeta{count: w.segCount, base: w.segBase, min: w.segMin, max: w.segMax}
+	async := w.useAsync()
+	if async && w.pipe == nil {
+		w.pipe = newCompPipeline(w)
+	}
+	var raw []byte
+	switch {
+	case w.version >= version4 && async:
+		raw = w.assembleColumnar(w.pipe.getSlab()[:0])
+		w.colD, w.colF, w.colC, w.colA = w.colD[:0], w.colF[:0], w.colC[:0], w.colA[:0]
+	case w.version >= version4:
+		// The interleaved buffer is unused in v4; reuse it as the assembly
+		// slab.
+		raw = w.assembleColumnar(w.seg[:0])
+		w.seg = raw
+		w.colD, w.colF, w.colC, w.colA = w.colD[:0], w.colF[:0], w.colC[:0], w.colA[:0]
+	case async:
+		raw = append(w.pipe.getSlab()[:0], w.seg...)
+		w.seg = w.seg[:0]
+	default:
+		raw = w.seg
+	}
+	w.segCount = 0
+	if async {
+		return w.pipe.submit(raw, meta)
+	}
+	payload := raw
 	var flags uint32
-	if w.version >= version3 && w.CompressLevel != CompressOff {
-		comp, err := w.compressSegment()
-		if err != nil {
+	if w.version >= version3 {
+		var err error
+		if payload, flags, err = w.cs.encode(int(w.version), raw, w.level()); err != nil {
 			return err
 		}
-		if len(comp) < rawLen {
-			payload = comp
-			flags = SegCompressed
-		}
 	}
+	err := w.writeFrame(payload, flags, len(raw), meta)
+	w.seg = w.seg[:0]
+	return err
+}
+
+// writeFrame emits one "CSEG" frame (header + stored payload) and records
+// its index entry. With the pipeline running, only its emitter calls this,
+// so the output stream, offset and index stay single-writer.
+func (w *Writer) writeFrame(payload []byte, flags uint32, rawLen int, meta segMeta) error {
 	si := SegmentInfo{
 		Offset:     w.off,
 		PayloadLen: len(payload),
-		Count:      w.segCount,
+		Count:      meta.count,
 		Flags:      flags,
 		RawLen:     rawLen,
-		BaseT:      w.segBase,
-		MinT:       w.segMin,
-		MaxT:       w.segMax,
+		BaseT:      meta.base,
+		MinT:       meta.min,
+		MaxT:       meta.max,
 	}
 	w.index = append(w.index, si)
 	var hdr [segHeaderLenV3 + 4]byte
 	copy(hdr[:4], segMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.segCount))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(meta.count))
 	rest := hdr[12:]
 	hl := segHeaderLen
 	if w.version >= version3 {
@@ -311,9 +505,9 @@ func (w *Writer) flushSegment() error {
 		rest = hdr[16:]
 		hl = segHeaderLenV3
 	}
-	binary.LittleEndian.PutUint64(rest[0:], uint64(w.segBase))
-	binary.LittleEndian.PutUint64(rest[8:], uint64(w.segMin))
-	binary.LittleEndian.PutUint64(rest[16:], uint64(w.segMax))
+	binary.LittleEndian.PutUint64(rest[0:], uint64(meta.base))
+	binary.LittleEndian.PutUint64(rest[8:], uint64(meta.min))
+	binary.LittleEndian.PutUint64(rest[16:], uint64(meta.max))
 	if flags&SegCompressed != 0 {
 		binary.LittleEndian.PutUint32(hdr[segHeaderLenV3:], uint32(rawLen))
 		hl = segHeaderLenV3 + 4
@@ -325,8 +519,6 @@ func (w *Writer) flushSegment() error {
 		return err
 	}
 	w.off += int64(hl) + int64(len(payload))
-	w.seg = w.seg[:0]
-	w.segCount = 0
 	return nil
 }
 
@@ -334,12 +526,14 @@ func (w *Writer) flushSegment() error {
 func (w *Writer) Count() int64 { return w.n }
 
 // Flush seals and flushes the trace, surfacing any error latched by the
-// Handle paths first. For the indexed formats it writes the final partial
-// segment, the segment index and the footer, so it must be called exactly
-// once, after the last Write; further Writes fail with ErrFinished.
+// Handle paths or the compression pipeline first. For the indexed formats
+// it releases any SortWindow-buffered records, writes the final partial
+// segment, drains the pipeline, then writes the segment index and the
+// footer — so it must be called exactly once, after the last Write;
+// further Writes fail with ErrFinished.
 func (w *Writer) Flush() error {
-	if w.err != nil {
-		return w.err
+	if err := w.Err(); err != nil {
+		return err
 	}
 	if !w.wrote {
 		// An empty trace still gets a header (and, for the indexed formats,
@@ -349,9 +543,22 @@ func (w *Writer) Flush() error {
 			return err
 		}
 	}
+	if w.SortWindow > 0 && len(w.pend) > 0 && !w.sealed {
+		if err := w.releasePending(1<<63 - 1); err != nil {
+			return err
+		}
+	}
 	if w.version >= version2 && !w.sealed {
 		if err := w.flushSegment(); err != nil {
 			return err
+		}
+		if w.pipe != nil {
+			if err := w.pipe.drain(); err != nil {
+				if w.err == nil {
+					w.err = err
+				}
+				return err
+			}
 		}
 		if err := w.writeIndexAndFooter(); err != nil {
 			return err
@@ -361,8 +568,8 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader streams records from the binary trace format, accepting v1, v2 and
-// v3 files transparently: ReadAll / ReadAllPrefetch scan any version
+// Reader streams records from the binary trace format, accepting every
+// version (v1–v4) transparently: ReadAll / ReadAllPrefetch scan any version
 // serially, and ReadAllParallel / ReadAllSharded additionally decode
 // indexed segments on worker goroutines when the source is seekable,
 // falling back to the serial scan (with a Warning) when it is not or the
@@ -373,14 +580,15 @@ type Reader struct {
 	last    time.Duration
 	init    bool
 	version uint8
-	seg     SegmentInfo // v2/v3: current segment's frame header
+	seg     SegmentInfo // v2+: current segment's frame header
 	segLeft int         // v2: records remaining in the current segment
-	done    bool        // v2/v3: index frame reached — clean end of records
+	done    bool        // v2+: index frame reached — clean end of records
 	err     error
 	warn    string
 
-	// v3 serial Read path: segments decode whole (they may be compressed),
-	// so decoded records queue here and pop one per Read call.
+	// v3/v4 serial Read path: segments decode whole (they may be
+	// compressed or columnar), so decoded records queue here and pop one
+	// per Read call.
 	q    []Record
 	qPos int
 	qErr error
@@ -392,8 +600,8 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{src: r, r: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Version returns the trace format version (1, 2 or 3), or 0 before the
-// header has been read.
+// Version returns the trace format version (1–4), or 0 before the header
+// has been read.
 func (r *Reader) Version() int { return int(r.version) }
 
 // Err returns the cause latched behind the last error the Reader surfaced,
@@ -430,7 +638,7 @@ func (r *Reader) readHeader() error {
 		return ErrBadMagic
 	}
 	switch hdr[4] {
-	case version1, version2, version3:
+	case version1, version2, version3, version4:
 		r.version = hdr[4]
 	default:
 		return ErrBadVersion
@@ -446,7 +654,7 @@ func (r *Reader) Read() (Record, error) {
 			return Record{}, err
 		}
 	}
-	if r.version == version3 {
+	if r.version >= version3 {
 		return r.readSegmented()
 	}
 	if r.version == version2 {
@@ -491,10 +699,11 @@ func (r *Reader) Read() (Record, error) {
 	}, nil
 }
 
-// readSegmented is the v3 serial Read path: a v3 segment may be compressed,
-// so it decodes whole into an in-memory queue and Read pops one record at a
-// time. Records decoded before a mid-segment corruption still pop before
-// the error surfaces, preserving records-before-error delivery.
+// readSegmented is the v3/v4 serial Read path: these segments may be
+// compressed or columnar, so each decodes whole into an in-memory queue
+// and Read pops one record at a time. Records decoded before a mid-segment
+// corruption still pop before the error surfaces, preserving
+// records-before-error delivery.
 func (r *Reader) readSegmented() (Record, error) {
 	for r.qPos >= len(r.q) {
 		if r.qErr != nil {
@@ -507,7 +716,7 @@ func (r *Reader) readSegmented() (Record, error) {
 	return rec, nil
 }
 
-// fillSegmentQueue loads, decompresses and decodes the next v3 segment into
+// fillSegmentQueue loads, decompresses and decodes the next segment into
 // the Read queue, recording the terminal error (io.EOF at a clean end) for
 // delivery after the queued records drain.
 func (r *Reader) fillSegmentQueue() {

@@ -1,0 +1,631 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field-striped (columnar) segment payloads — format v4. A v4 segment
+// stores its record fields as four separate runs instead of interleaving
+// them per record:
+//
+//	column header: dLen u32 | fLen u32 | cLen u32 | aLen u32  (raw run sizes)
+//	delta run:     timestamp deltas, uvarint each
+//	flags run:     one byte per record (bit0 direction, bits1-3 kind)
+//	client run:    client ids, uvarint each
+//	app run:       app sizes, uvarint each
+//
+// fLen always equals the segment's record count (one flag byte per record);
+// readers reject any disagreement as corruption. Striping pays twice: each
+// run is self-similar so flate compresses it markedly better than the
+// interleaved stream, and a collector that only consumes one field can sweep
+// that run without reconstructing the others.
+//
+// A compressed columnar segment (flags SegColumnar|SegCompressed) deflates
+// each run independently and prepends a second header with the stored run
+// sizes:
+//
+//	raw header    (16 bytes, as above)
+//	stored header: dSto u32 | fSto u32 | cSto u32 | aSto u32
+//	four stored runs
+//
+// A run whose stored size equals its raw size is a literal copy; a smaller
+// stored size is a flate stream inflating to exactly the raw size; a larger
+// one is corruption. The segment is stored compressed only when the whole
+// stored form is strictly smaller than the raw columnar payload, so the
+// choice — like v3's — is deterministic and incompressible segments cost
+// nothing. See docs/FORMAT.md for the byte-level specification.
+
+// colHeaderLen is the fixed columnar payload header: four u32 run lengths
+// (timestamp deltas, flags, client ids, app sizes).
+const colHeaderLen = 4 * 4
+
+// colNames names the four field columns, in payload order.
+var colNames = [4]string{"deltas", "flags", "clients", "apps"}
+
+// parseColHeader decodes four u32 run lengths.
+func parseColHeader(b []byte) (l [4]int, sum int) {
+	for c := range l {
+		l[c] = int(binary.LittleEndian.Uint32(b[4*c:]))
+		sum += l[c]
+	}
+	return l, sum
+}
+
+// checkColHeader parses and validates the raw column header of a columnar
+// payload prefix against the segment's index entry.
+func checkColHeader(p []byte, si SegmentInfo) ([4]int, error) {
+	if len(p) < colHeaderLen {
+		return [4]int{}, fmt.Errorf("%w: columnar payload truncated inside its %d-byte header", ErrCorrupt, colHeaderLen)
+	}
+	lens, sum := parseColHeader(p)
+	if lens[1] != si.Count {
+		return lens, fmt.Errorf("%w: flags column holds %d bytes for %d records", ErrCorrupt, lens[1], si.Count)
+	}
+	if colHeaderLen+sum != si.RawLen {
+		return lens, fmt.Errorf("%w: column runs sum to %d bytes, segment declares %d raw", ErrCorrupt, colHeaderLen+sum, si.RawLen)
+	}
+	return lens, nil
+}
+
+// clampRun slices run c out of a possibly-truncated payload: the run's
+// declared byte range, cut short at the end of the available bytes.
+func clampRun(p []byte, off, length int) []byte {
+	if off >= len(p) {
+		return nil
+	}
+	end := off + length
+	if end > len(p) {
+		end = len(p)
+	}
+	return p[off:end]
+}
+
+// newBlocksFor returns pooled blocks pre-sized to hold count records.
+func newBlocksFor(count int) []*Block {
+	blocks := make([]*Block, 0, (count+BlockSize-1)/BlockSize)
+	for count > 0 {
+		c := count
+		if c > BlockSize {
+			c = BlockSize
+		}
+		blk := NewBlock()
+		*blk = (*blk)[:c]
+		blocks = append(blocks, blk)
+		count -= c
+	}
+	return blocks
+}
+
+// truncateBlocks trims a pre-sized block list down to its first keep
+// records, recycling what falls off.
+func truncateBlocks(blocks []*Block, keep int) []*Block {
+	out := blocks[:0]
+	for _, blk := range blocks {
+		if keep == 0 {
+			FreeBlock(blk)
+			continue
+		}
+		if len(*blk) > keep {
+			*blk = (*blk)[:keep]
+		}
+		keep -= len(*blk)
+		out = append(out, blk)
+	}
+	return out
+}
+
+func errColTruncated(col string, i int) error {
+	return fmt.Errorf("%w: truncated %s column at record %d", ErrCorrupt, col, i)
+}
+
+func errColTrailing(col string, n int) error {
+	return fmt.Errorf("%w: %d trailing bytes in %s column", ErrCorrupt, n, col)
+}
+
+// decodeColumnarBlocks decodes a (possibly truncated) raw columnar payload
+// into pooled blocks — four tight per-column passes writing straight into
+// the Record slabs, no intermediate interleaved buffer. On damage it
+// returns the records complete in every column before the first error,
+// preserving records-before-error delivery; header-level damage (truncated
+// header, column-length mismatch, run sizes disagreeing with the segment)
+// fails closed with no records, like an implausible frame header.
+func decodeColumnarBlocks(p []byte, si SegmentInfo) ([]*Block, error) {
+	lens, err := checkColHeader(p, si)
+	if err != nil {
+		return nil, err
+	}
+	blocks := newBlocksFor(si.Count)
+	off := colHeaderLen
+	nT, errT := decodeDeltaRun(clampRun(p, off, lens[0]), si, blocks)
+	off += lens[0]
+	nF, errF := decodeFlagsRun(clampRun(p, off, lens[1]), blocks)
+	off += lens[1]
+	nC, errC := decodeClientRun(clampRun(p, off, lens[2]), blocks)
+	off += lens[2]
+	nA, errA := decodeAppRun(clampRun(p, off, lens[3]), blocks)
+
+	complete := nT
+	for _, n := range [...]int{nF, nC, nA} {
+		if n < complete {
+			complete = n
+		}
+	}
+	blocks = truncateBlocks(blocks, complete)
+	for _, e := range [...]error{errT, errF, errC, errA} {
+		if e != nil {
+			return blocks, e
+		}
+	}
+	return blocks, nil
+}
+
+// decodeDeltaRun decodes the timestamp column into the pre-sized blocks,
+// returning how many records got a timestamp. A fully decoded column is
+// cross-checked against the segment's MinT/MaxT, exactly as the interleaved
+// decoder does.
+func decodeDeltaRun(run []byte, si SegmentInfo, blocks []*Block) (int, error) {
+	last := si.BaseT
+	i := 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			// One-byte varints dominate every column on a busy server;
+			// peeling that case off the generic decode loop is worth a few
+			// ns/record on the serial sweep.
+			var delta uint64
+			if len(run) != 0 && run[0] < 0x80 {
+				delta, run = uint64(run[0]), run[1:]
+			} else if d, n := binary.Uvarint(run); n > 0 {
+				delta, run = d, run[n:]
+			} else {
+				return i, errColTruncated("delta", i)
+			}
+			last += time.Duration(delta)
+			recs[j].T = last
+			i++
+		}
+	}
+	if len(run) != 0 {
+		return i, errColTrailing("delta", len(run))
+	}
+	if len(blocks) > 0 {
+		if first := (*blocks[0])[0].T; first != si.MinT {
+			return i, fmt.Errorf("%w: first record at %v, header says %v", ErrCorrupt, first, si.MinT)
+		}
+		if last != si.MaxT {
+			return i, fmt.Errorf("%w: last record at %v, header says %v", ErrCorrupt, last, si.MaxT)
+		}
+	}
+	return i, nil
+}
+
+// decodeFlagsRun decodes the flags column (one byte per record).
+func decodeFlagsRun(run []byte, blocks []*Block) (int, error) {
+	i := 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			if i >= len(run) {
+				return i, errColTruncated("flags", i)
+			}
+			f := run[i]
+			recs[j].Dir = Direction(f & 1)
+			recs[j].Kind = Kind(f >> 1 & 0x7)
+			i++
+		}
+	}
+	return i, nil
+}
+
+// decodeClientRun decodes the client-id column.
+func decodeClientRun(run []byte, blocks []*Block) (int, error) {
+	i := 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			var client uint64
+			if len(run) != 0 && run[0] < 0x80 {
+				client, run = uint64(run[0]), run[1:]
+			} else if v, n := binary.Uvarint(run); n > 0 {
+				client, run = v, run[n:]
+			} else {
+				return i, errColTruncated("client", i)
+			}
+			if client > 1<<32-1 {
+				return i, fmt.Errorf("%w: out-of-range client at record %d", ErrCorrupt, i)
+			}
+			recs[j].Client = uint32(client)
+			i++
+		}
+	}
+	if len(run) != 0 {
+		return i, errColTrailing("client", len(run))
+	}
+	return i, nil
+}
+
+// decodeAppRun decodes the app-size column.
+func decodeAppRun(run []byte, blocks []*Block) (int, error) {
+	i := 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			var app uint64
+			if len(run) > 1 && run[0] >= 0x80 && run[1] < 0x80 {
+				// App sizes cluster in the two-byte band (128–16383).
+				app, run = uint64(run[0]&0x7f)|uint64(run[1])<<7, run[2:]
+			} else if len(run) != 0 && run[0] < 0x80 {
+				app, run = uint64(run[0]), run[1:]
+			} else if v, n := binary.Uvarint(run); n > 0 {
+				app, run = v, run[n:]
+			} else {
+				return i, errColTruncated("app", i)
+			}
+			if app > 1<<16-1 {
+				return i, fmt.Errorf("%w: out-of-range app at record %d", ErrCorrupt, i)
+			}
+			recs[j].App = uint16(app)
+			i++
+		}
+	}
+	if len(run) != 0 {
+		return i, errColTrailing("app", len(run))
+	}
+	return i, nil
+}
+
+// decodeSegmentPayload decodes a raw in-memory segment payload on the
+// layout the segment's flags announce: field-striped columns (v4) or the
+// interleaved record stream (v1–v3).
+func decodeSegmentPayload(p []byte, si SegmentInfo) ([]*Block, error) {
+	if si.Columnar() {
+		return decodeColumnarBlocks(p, si)
+	}
+	return decodePayload(p, si)
+}
+
+// ColumnBlock is the struct-of-arrays counterpart of Block: one decoded
+// columnar segment chunk with the fields still separated, so a collector
+// that consumes a single field sweeps a dense array instead of striding
+// through Records. All four slices share a length (Len).
+type ColumnBlock struct {
+	T      []time.Duration
+	Flags  []uint8 // on-disk encoding: bit0 direction, bits1-3 kind
+	Client []uint32
+	App    []uint16
+}
+
+// Len returns the number of records in the block.
+func (cb *ColumnBlock) Len() int { return len(cb.T) }
+
+// AppendRecords interleaves the columns into dst as full Records.
+func (cb *ColumnBlock) AppendRecords(dst []Record) []Record {
+	for i, t := range cb.T {
+		f := cb.Flags[i]
+		dst = append(dst, Record{
+			T:      t,
+			Dir:    Direction(f & 1),
+			Kind:   Kind(f >> 1 & 0x7),
+			Client: cb.Client[i],
+			App:    cb.App[i],
+		})
+	}
+	return dst
+}
+
+var columnBlockPool = sync.Pool{
+	New: func() any {
+		return &ColumnBlock{
+			T:      make([]time.Duration, 0, BlockSize),
+			Flags:  make([]uint8, 0, BlockSize),
+			Client: make([]uint32, 0, BlockSize),
+			App:    make([]uint16, 0, BlockSize),
+		}
+	},
+}
+
+// NewColumnBlock returns an empty column block with capacity BlockSize from
+// the pool.
+func NewColumnBlock() *ColumnBlock {
+	cb := columnBlockPool.Get().(*ColumnBlock)
+	cb.truncate(0)
+	return cb
+}
+
+// FreeColumnBlock recycles a block obtained from NewColumnBlock.
+func FreeColumnBlock(cb *ColumnBlock) {
+	if cb == nil || cap(cb.T) == 0 {
+		return
+	}
+	columnBlockPool.Put(cb)
+}
+
+func (cb *ColumnBlock) truncate(n int) {
+	cb.T = cb.T[:n]
+	cb.Flags = cb.Flags[:n]
+	cb.Client = cb.Client[:n]
+	cb.App = cb.App[:n]
+}
+
+// newColumnBlocksFor returns pooled column blocks pre-sized for count
+// records.
+func newColumnBlocksFor(count int) []*ColumnBlock {
+	cbs := make([]*ColumnBlock, 0, (count+BlockSize-1)/BlockSize)
+	for count > 0 {
+		c := count
+		if c > BlockSize {
+			c = BlockSize
+		}
+		cb := NewColumnBlock()
+		cb.truncate(c)
+		cbs = append(cbs, cb)
+		count -= c
+	}
+	return cbs
+}
+
+// truncateColumnBlocks trims a pre-sized column-block list to keep records.
+func truncateColumnBlocks(cbs []*ColumnBlock, keep int) []*ColumnBlock {
+	out := cbs[:0]
+	for _, cb := range cbs {
+		if keep == 0 {
+			FreeColumnBlock(cb)
+			continue
+		}
+		if cb.Len() > keep {
+			cb.truncate(keep)
+		}
+		keep -= cb.Len()
+		out = append(out, cb)
+	}
+	return out
+}
+
+// decodeColumnarColumns decodes a raw columnar payload into pooled
+// ColumnBlocks, preserving the on-disk field separation for column-aware
+// sinks. Same validation and records-before-error semantics as
+// decodeColumnarBlocks.
+func decodeColumnarColumns(p []byte, si SegmentInfo) ([]*ColumnBlock, error) {
+	lens, err := checkColHeader(p, si)
+	if err != nil {
+		return nil, err
+	}
+	cbs := newColumnBlocksFor(si.Count)
+	off := colHeaderLen
+	nT, errT := decodeDeltaCols(clampRun(p, off, lens[0]), si, cbs)
+	off += lens[0]
+	nF, errF := decodeFlagsCols(clampRun(p, off, lens[1]), cbs)
+	off += lens[1]
+	nC, errC := decodeClientCols(clampRun(p, off, lens[2]), cbs)
+	off += lens[2]
+	nA, errA := decodeAppCols(clampRun(p, off, lens[3]), cbs)
+
+	complete := nT
+	for _, n := range [...]int{nF, nC, nA} {
+		if n < complete {
+			complete = n
+		}
+	}
+	cbs = truncateColumnBlocks(cbs, complete)
+	for _, e := range [...]error{errT, errF, errC, errA} {
+		if e != nil {
+			return cbs, e
+		}
+	}
+	return cbs, nil
+}
+
+func decodeDeltaCols(run []byte, si SegmentInfo, cbs []*ColumnBlock) (int, error) {
+	last := si.BaseT
+	i := 0
+	for _, cb := range cbs {
+		ts := cb.T
+		for j := range ts {
+			var delta uint64
+			if len(run) != 0 && run[0] < 0x80 {
+				delta, run = uint64(run[0]), run[1:]
+			} else if d, n := binary.Uvarint(run); n > 0 {
+				delta, run = d, run[n:]
+			} else {
+				return i, errColTruncated("delta", i)
+			}
+			last += time.Duration(delta)
+			ts[j] = last
+			i++
+		}
+	}
+	if len(run) != 0 {
+		return i, errColTrailing("delta", len(run))
+	}
+	if len(cbs) > 0 {
+		if first := cbs[0].T[0]; first != si.MinT {
+			return i, fmt.Errorf("%w: first record at %v, header says %v", ErrCorrupt, first, si.MinT)
+		}
+		if last != si.MaxT {
+			return i, fmt.Errorf("%w: last record at %v, header says %v", ErrCorrupt, last, si.MaxT)
+		}
+	}
+	return i, nil
+}
+
+func decodeFlagsCols(run []byte, cbs []*ColumnBlock) (int, error) {
+	i := 0
+	for _, cb := range cbs {
+		n := copy(cb.Flags, run[i:])
+		i += n
+		if n < len(cb.Flags) {
+			return i, errColTruncated("flags", i)
+		}
+	}
+	return i, nil
+}
+
+func decodeClientCols(run []byte, cbs []*ColumnBlock) (int, error) {
+	i := 0
+	for _, cb := range cbs {
+		cs := cb.Client
+		for j := range cs {
+			var client uint64
+			if len(run) != 0 && run[0] < 0x80 {
+				client, run = uint64(run[0]), run[1:]
+			} else if v, n := binary.Uvarint(run); n > 0 {
+				client, run = v, run[n:]
+			} else {
+				return i, errColTruncated("client", i)
+			}
+			if client > 1<<32-1 {
+				return i, fmt.Errorf("%w: out-of-range client at record %d", ErrCorrupt, i)
+			}
+			cs[j] = uint32(client)
+			i++
+		}
+	}
+	if len(run) != 0 {
+		return i, errColTrailing("client", len(run))
+	}
+	return i, nil
+}
+
+func decodeAppCols(run []byte, cbs []*ColumnBlock) (int, error) {
+	i := 0
+	for _, cb := range cbs {
+		as := cb.App
+		for j := range as {
+			var app uint64
+			if len(run) > 1 && run[0] >= 0x80 && run[1] < 0x80 {
+				app, run = uint64(run[0]&0x7f)|uint64(run[1])<<7, run[2:]
+			} else if len(run) != 0 && run[0] < 0x80 {
+				app, run = uint64(run[0]), run[1:]
+			} else if v, n := binary.Uvarint(run); n > 0 {
+				app, run = v, run[n:]
+			} else {
+				return i, errColTruncated("app", i)
+			}
+			if app > 1<<16-1 {
+				return i, fmt.Errorf("%w: out-of-range app at record %d", ErrCorrupt, i)
+			}
+			as[j] = uint16(app)
+			i++
+		}
+	}
+	if len(run) != 0 {
+		return i, errColTrailing("app", len(run))
+	}
+	return i, nil
+}
+
+// inflateColumnarInto reconstructs the raw columnar payload of a compressed
+// columnar segment into dst (len si.RawLen): the raw header followed by the
+// four runs, each either copied (stored literally) or inflated through the
+// scratch flate reader. On damage it returns the contiguous raw prefix
+// recovered before the error, so the column decoders can deliver the
+// records complete in every column up to the damage.
+func (sc *segScratch) inflateColumnarInto(dst, p []byte, si SegmentInfo) ([]byte, error) {
+	if len(p) < 2*colHeaderLen {
+		return dst[:0], fmt.Errorf("%w: compressed columnar payload truncated inside its headers", ErrCorrupt)
+	}
+	rawL, rawSum := parseColHeader(p)
+	stoL, stoSum := parseColHeader(p[colHeaderLen:])
+	if colHeaderLen+rawSum != si.RawLen {
+		return dst[:0], fmt.Errorf("%w: column runs sum to %d raw bytes, segment declares %d", ErrCorrupt, colHeaderLen+rawSum, si.RawLen)
+	}
+	if 2*colHeaderLen+stoSum != si.PayloadLen {
+		return dst[:0], fmt.Errorf("%w: stored runs sum to %d bytes, segment payload is %d", ErrCorrupt, 2*colHeaderLen+stoSum, si.PayloadLen)
+	}
+	copy(dst[:colHeaderLen], p[:colHeaderLen])
+	off := colHeaderLen
+	poff := 2 * colHeaderLen
+	for c := range rawL {
+		raw, sto := rawL[c], stoL[c]
+		if sto > raw {
+			return dst[:off], fmt.Errorf("%w: %s column stores %d bytes for %d raw", ErrCorrupt, colNames[c], sto, raw)
+		}
+		stored := clampRun(p, poff, sto)
+		if sto == raw {
+			n := copy(dst[off:off+raw], stored)
+			if n < raw {
+				return dst[:off+n], fmt.Errorf("%w: %s column truncated after %d of %d bytes", ErrCorrupt, colNames[c], n, raw)
+			}
+		} else {
+			n, err := sc.inflateRun(dst[off:off+raw], stored)
+			if err != nil {
+				return dst[:off+n], fmt.Errorf("%w: %s column damaged after %d of %d raw bytes: %w", ErrCorrupt, colNames[c], n, raw, err)
+			}
+		}
+		off += raw
+		poff += sto
+	}
+	return dst[:off], nil
+}
+
+// inflateRun inflates one stored column run into dst, requiring the stream
+// to end exactly at len(dst).
+func (sc *segScratch) inflateRun(dst, stored []byte) (int, error) {
+	if sc.fr == nil {
+		sc.fr = flate.NewReader(bytes.NewReader(stored))
+	} else if err := sc.fr.(flate.Resetter).Reset(bytes.NewReader(stored), nil); err != nil {
+		return 0, fmt.Errorf("flate reset: %w", err)
+	}
+	n, err := io.ReadFull(sc.fr, dst)
+	if err != nil {
+		return n, err
+	}
+	var one [1]byte
+	if m, _ := sc.fr.Read(one[:]); m != 0 {
+		return n, fmt.Errorf("run inflates past its declared %d bytes", len(dst))
+	}
+	return n, nil
+}
+
+// ColumnStats aggregates the per-column footprint of a trace's columnar
+// segments: raw and on-disk (stored) bytes per field run, read from the
+// payload headers alone — no run is inflated or decoded.
+type ColumnStats struct {
+	// Segments counts the columnar segments; Compressed those among them
+	// stored with per-run compression.
+	Segments, Compressed int
+	// Raw and Stored are per-column byte totals in payload order:
+	// timestamp deltas, flags, client ids, app sizes. Stored equals Raw
+	// for columns of uncompressed segments.
+	Raw, Stored [4]int64
+}
+
+// ColumnNames names the four ColumnStats columns, in order.
+func (ColumnStats) ColumnNames() [4]string { return colNames }
+
+// ReadColumnStats sums per-column sizes across the columnar segments of an
+// indexed trace.
+func ReadColumnStats(ra io.ReaderAt, ix *Index) (ColumnStats, error) {
+	var cs ColumnStats
+	for i, si := range ix.Segments {
+		if !si.Columnar() {
+			continue
+		}
+		cs.Segments++
+		n := colHeaderLen
+		if si.Compressed() {
+			cs.Compressed++
+			n = 2 * colHeaderLen
+		}
+		var hdr [2 * colHeaderLen]byte
+		if _, err := ra.ReadAt(hdr[:n], si.Offset+int64(si.frameHeaderLen(ix.Version))); err != nil {
+			return cs, fmt.Errorf("%w: segment %d column header: %w", ErrCorrupt, i, err)
+		}
+		rawL, _ := parseColHeader(hdr[:])
+		stoL := rawL
+		if si.Compressed() {
+			stoL, _ = parseColHeader(hdr[colHeaderLen:])
+		}
+		for c := range rawL {
+			cs.Raw[c] += int64(rawL[c])
+			cs.Stored[c] += int64(stoL[c])
+		}
+	}
+	return cs, nil
+}

@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Write-side segment compression. compScratch is the deterministic
+// payload encoder both paths share; compPipeline runs it on a bounded
+// worker pool so deflate leaves the Write critical path: sealed segments
+// are self-contained, so they compress in any order, and an order queue
+// of per-job result channels lets a single emitter goroutine write the
+// frames back in submission order. For a given (version, level) the file
+// bytes are identical whatever the worker count — per-run and per-segment
+// stored-vs-raw choices depend only on sizes, never on scheduling.
+
+// compScratch bundles one compressor's reusable state: the flate writer
+// (reset per stream instead of reallocated) and output buffers.
+type compScratch struct {
+	fw      *flate.Writer
+	fwLevel int
+	cbuf    bytes.Buffer // flate output for one stream
+	out     []byte       // assembled stored payload (v4)
+}
+
+// deflate runs p through flate at level, returning the compressed bytes
+// (valid until the next call).
+func (cs *compScratch) deflate(p []byte, level int) ([]byte, error) {
+	if cs.fw == nil || cs.fwLevel != level {
+		fw, err := flate.NewWriter(io.Discard, level)
+		if err != nil {
+			return nil, fmt.Errorf("trace: invalid CompressLevel %d: %w", level, err)
+		}
+		cs.fw, cs.fwLevel = fw, level
+	}
+	cs.cbuf.Reset()
+	cs.fw.Reset(&cs.cbuf)
+	if _, err := cs.fw.Write(p); err != nil {
+		return nil, err
+	}
+	if err := cs.fw.Close(); err != nil {
+		return nil, err
+	}
+	return cs.cbuf.Bytes(), nil
+}
+
+// encode compresses one sealed raw segment payload per the format's
+// policy, returning the stored payload and segment flags. The returned
+// slice aliases raw when the segment is stored uncompressed and scratch
+// memory otherwise — valid until the next call.
+func (cs *compScratch) encode(version int, raw []byte, level int) ([]byte, uint32, error) {
+	if version >= version4 {
+		return cs.encodeColumnar(raw, level)
+	}
+	if level == CompressOff {
+		return raw, 0, nil
+	}
+	comp, err := cs.deflate(raw, level)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(comp) < len(raw) {
+		return comp, SegCompressed, nil
+	}
+	return raw, 0, nil
+}
+
+// encodeColumnar deflates each column run of an assembled v4 payload
+// independently, keeping a run stored literally when flate does not shrink
+// it, and stores the segment compressed only when the whole stored form is
+// strictly smaller than the raw columnar payload.
+func (cs *compScratch) encodeColumnar(raw []byte, level int) ([]byte, uint32, error) {
+	if level == CompressOff {
+		return raw, SegColumnar, nil
+	}
+	rawL, _ := parseColHeader(raw)
+	var storedHdr [colHeaderLen]byte
+	out := append(cs.out[:0], raw[:colHeaderLen]...)
+	out = append(out, storedHdr[:]...) // patched once the sizes are known
+	off := colHeaderLen
+	var stored [4]int
+	for c, l := range rawL {
+		run := raw[off : off+l]
+		off += l
+		if c == 0 {
+			// The delta run is the decode path's hot column: half the raw
+			// payload, swept for every record, and barely compressible
+			// (flate leaves it ~70% of raw on the calibrated workload).
+			// Storing it literal keeps inflate off the dominant column —
+			// the serial scan stays near interleaved-decode speed — for
+			// well under a byte per record of disk.
+			out = append(out, run...)
+			stored[c] = len(run)
+			continue
+		}
+		comp, err := cs.deflate(run, level)
+		if err != nil {
+			cs.out = out
+			return nil, 0, err
+		}
+		if len(comp) < len(run) {
+			out = append(out, comp...)
+			stored[c] = len(comp)
+		} else {
+			out = append(out, run...)
+			stored[c] = len(run)
+		}
+	}
+	for c, s := range stored {
+		binary.LittleEndian.PutUint32(out[colHeaderLen+4*c:], uint32(s))
+	}
+	cs.out = out
+	if len(out) < len(raw) {
+		return out, SegColumnar | SegCompressed, nil
+	}
+	return raw, SegColumnar, nil
+}
+
+// segMeta carries a sealed segment's bookkeeping from the producer to the
+// frame emitter.
+type segMeta struct {
+	count          int
+	base, min, max time.Duration
+}
+
+// compJob is one sealed raw payload awaiting compression. Ownership of raw
+// transfers to the pipeline.
+type compJob struct {
+	raw  []byte
+	meta segMeta
+	done chan compResult
+}
+
+// compResult is one worker's output for one segment.
+type compResult struct {
+	payload []byte // stored payload: raw itself, or an owned compressed slab
+	raw     []byte
+	meta    segMeta
+	flags   uint32
+	err     error
+}
+
+// compPipeline is the Writer's asynchronous compression pool; see the file
+// comment for the ordering story. The order queue's capacity bounds
+// in-flight segments, applying backpressure to Write when compression or
+// the sink falls behind.
+type compPipeline struct {
+	w     *Writer
+	level int
+
+	jobs   chan compJob
+	order  chan chan compResult
+	slabs  chan []byte // recycled payload slabs
+	wg     sync.WaitGroup
+	emDone chan struct{}
+
+	mu  sync.Mutex
+	err error // first worker/emitter failure; surfaces via Writer.Err
+}
+
+func newCompPipeline(w *Writer) *compPipeline {
+	workers := w.Workers
+	depth := 2 * workers
+	p := &compPipeline{
+		w:      w,
+		level:  w.level(),
+		jobs:   make(chan compJob, workers),
+		order:  make(chan chan compResult, depth),
+		slabs:  make(chan []byte, 2*depth+2),
+		emDone: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go p.emitter()
+	return p
+}
+
+func (p *compPipeline) getErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *compPipeline) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// getSlab returns a recycled slab (or nil; callers append into it).
+func (p *compPipeline) getSlab() []byte {
+	select {
+	case s := <-p.slabs:
+		return s
+	default:
+		return nil
+	}
+}
+
+func (p *compPipeline) putSlab(s []byte) {
+	if s == nil {
+		return
+	}
+	select {
+	case p.slabs <- s:
+	default:
+	}
+}
+
+// submit hands one sealed raw payload to the pool, blocking when the
+// in-flight bound is reached.
+func (p *compPipeline) submit(raw []byte, meta segMeta) error {
+	if err := p.getErr(); err != nil {
+		return err
+	}
+	done := make(chan compResult, 1)
+	p.order <- done
+	p.jobs <- compJob{raw: raw, meta: meta, done: done}
+	return nil
+}
+
+func (p *compPipeline) worker() {
+	defer p.wg.Done()
+	var cs compScratch
+	for job := range p.jobs {
+		res := compResult{raw: job.raw, meta: job.meta}
+		payload, flags, err := cs.encode(int(p.w.version), job.raw, p.level)
+		res.flags = flags
+		if err != nil {
+			res.err = err
+		} else if flags&SegCompressed != 0 {
+			// The compressed bytes live in worker scratch reused by the
+			// next job; move them to an owned slab for the emitter.
+			res.payload = append(p.getSlab()[:0], payload...)
+		} else {
+			res.payload = job.raw
+		}
+		job.done <- res
+	}
+}
+
+// emitter writes the compressed segments out as frames, in submission
+// order. It is the only goroutine touching the Writer's output stream
+// between the header and Flush's drain.
+func (p *compPipeline) emitter() {
+	defer close(p.emDone)
+	for done := range p.order {
+		res := <-done
+		switch {
+		case res.err != nil:
+			p.setErr(res.err)
+		case p.getErr() != nil:
+			// An earlier segment already failed; drop the rest so the
+			// failure stays first in file order.
+		default:
+			if err := p.w.writeFrame(res.payload, res.flags, len(res.raw), res.meta); err != nil {
+				p.setErr(err)
+			}
+		}
+		if res.err == nil && res.flags&SegCompressed != 0 {
+			p.putSlab(res.payload)
+		}
+		p.putSlab(res.raw)
+	}
+}
+
+// drain seals the pipeline: every submitted segment compresses and emits,
+// the goroutines exit, and the first latched failure (if any) returns.
+// Called by Flush after the final segment.
+func (p *compPipeline) drain() error {
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.order)
+	<-p.emDone
+	return p.getErr()
+}

@@ -9,7 +9,7 @@ import (
 	"cstrace/internal/trace"
 )
 
-// ExampleWriter writes a few records in format v3 and inspects the segment
+// ExampleWriter writes a few records in format v4 and inspects the segment
 // index the Flush sealed into the file. SegmentPayload is shrunk so even
 // this tiny stream spans several independently-decodable segments; real
 // traces keep the 256 KiB default. (Segments this small never shrink under
@@ -74,18 +74,19 @@ func ExampleReader() {
 	fmt.Printf("decoded %d records from a v%d trace\n", n, rd.Version())
 	fmt.Printf("last: T=%v dir=%v app=%dB\n", last.T, last.Dir, last.App)
 	// Output:
-	// decoded 3 records from a v3 trace
+	// decoded 3 records from a v4 trace
 	// last: T=100ms dir=out app=130B
 }
 
-// Example_compressedTrace writes a v3 trace whose segments are large enough
+// Example_compressedTrace writes a v4 trace whose segments are large enough
 // for the default per-segment flate compression to engage, then reads it
 // back and inspects the on-disk savings through the index. Game traffic
-// compresses well: the delta-varint stream repeats the same few kinds,
-// clients and payload sizes over and over.
+// compresses well: the flags, client and size columns repeat the same few
+// values over and over (the timestamp-delta column stays literal — the
+// writer keeps the decode path's hot column inflate-free).
 func Example_compressedTrace() {
 	var buf bytes.Buffer
-	w := trace.NewWriter(&buf) // v3: per-segment compression on by default
+	w := trace.NewWriter(&buf) // v4: per-segment compression on by default
 	w.SegmentPayload = 1 << 12 // small segments so the example spans several
 	// w.CompressLevel = 9 would trade write CPU for the smallest file;
 	// trace.CompressOff would store every segment raw.
@@ -110,7 +111,7 @@ func Example_compressedTrace() {
 	}
 	fmt.Printf("all %d segments compressed: %v\n",
 		len(ix.Segments), ix.CompressedSegments() == len(ix.Segments))
-	fmt.Printf("on disk smaller than raw: %v\n", ix.PayloadBytes() < ix.RawBytes()/2)
+	fmt.Printf("on disk smaller than raw: %v\n", ix.PayloadBytes() < ix.RawBytes())
 
 	var got trace.Collect
 	rd := trace.NewReader(bytes.NewReader(buf.Bytes()))
@@ -122,5 +123,5 @@ func Example_compressedTrace() {
 	// Output:
 	// all 37 segments compressed: true
 	// on disk smaller than raw: true
-	// read back 20000 records from a v3 trace
+	// read back 20000 records from a v4 trace
 }

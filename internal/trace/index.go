@@ -8,7 +8,7 @@ import (
 	"time"
 )
 
-// The segment index and footer of the indexed formats (v2/v3), and the
+// The segment index and footer of the indexed formats (v2+), and the
 // parallel read path built on them. The index ("CSIX" frame) duplicates
 // every segment's frame header plus its file offset; the fixed-size footer
 // at the end of the file points back at the index, so an indexed reader
@@ -17,9 +17,9 @@ import (
 // needs it, and an unreadable index degrades to the serial scan (see
 // Reader.ReadAllParallel).
 
-// Index is the parsed segment index of an indexed (v2/v3) trace.
+// Index is the parsed segment index of an indexed (v2+) trace.
 type Index struct {
-	// Version is the trace format version (2 or 3 for an indexed trace).
+	// Version is the trace format version (2, 3 or 4 for an indexed trace).
 	Version int
 	// Records is the total record count, from the footer.
 	Records int64
@@ -108,7 +108,7 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 	switch hdr[4] {
 	case version1:
 		return nil, ErrNoIndex
-	case version2, version3:
+	case version2, version3, version4:
 	default:
 		return nil, ErrBadVersion
 	}
@@ -159,7 +159,7 @@ func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
 			si.Flags = binary.LittleEndian.Uint32(b[16:])
 			rawLen := int(binary.LittleEndian.Uint32(b[20:]))
 			rest = b[24:]
-			if si.Flags&^SegCompressed != 0 {
+			if si.Flags&^segFlagMask(ver) != 0 {
 				return nil, fmt.Errorf("%w: index entry %d carries unknown flags %#x", ErrCorrupt, i, si.Flags)
 			}
 			if si.Compressed() {

@@ -81,23 +81,128 @@ func (r *Reader) prefetchLoop(ch chan<- prefetchMsg) error {
 	}
 }
 
-// prefetchSegments is the indexed-format serial decode loop: read each
-// segment's payload into a reused slab, decompress it if the segment is
-// flagged compressed (v3), decode it in one in-memory pass, ship the
-// blocks. Identical stream and records-before-error semantics as the
-// per-record loop, at a fraction of the per-record cost.
+// inflateAhead bounds how many segments the inflate stage of the serial
+// pipeline runs ahead of the decode stage.
+const inflateAhead = 2
+
+// inflatedSeg carries one segment's raw payload from the inflate stage to
+// the decode stage. raw may be the recovered prefix when err is non-nil
+// (read truncation or flate damage — priority over any decode error); slab
+// is raw's backing buffer, returned to the free list after decode.
+type inflatedSeg struct {
+	raw  []byte
+	slab []byte
+	si   SegmentInfo
+	err  error
+}
+
+// prefetchSegments is the indexed-format serial decode pipeline, split in
+// two so decompression overlaps decoding: an inflate goroutine scans
+// frames, reads each payload and inflates it into a pooled slab up to
+// inflateAhead segments ahead, while this goroutine decodes the raw slabs
+// into blocks and ships them. Identical stream and records-before-error
+// semantics as a fused loop, with flate off the decode critical path.
 func (r *Reader) prefetchSegments(ch chan<- prefetchMsg) error {
-	var sc segScratch
-	for {
-		if err := r.nextSegment(); err != nil {
-			return err
+	infl := make(chan inflatedSeg, inflateAhead)
+	free := make(chan []byte, 2*(inflateAhead+2))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer close(infl)
+		r.inflateLoop(infl, free, stop)
+	}()
+	// The inflate goroutine owns the Reader's scanner state (and error
+	// latch); wait for it to exit before returning so the caller observes
+	// a quiescent Reader.
+	defer func() { close(stop); <-done }()
+
+	for msg := range infl {
+		var decErr error
+		if len(msg.raw) > 0 {
+			blocks, err := decodeSegmentPayload(msg.raw, msg.si)
+			decErr = err
+			for _, blk := range blocks {
+				ch <- prefetchMsg{blk: blk}
+			}
 		}
-		blocks, err := r.loadSegment(&sc)
-		for _, blk := range blocks {
-			ch <- prefetchMsg{blk: blk}
+		if msg.slab != nil {
+			select {
+			case free <- msg.slab:
+			default:
+			}
 		}
-		if err != nil {
-			return err
+		if msg.err != nil {
+			return msg.err
+		}
+		if decErr != nil {
+			return decErr
 		}
 	}
+	return io.EOF
+}
+
+// inflateLoop is the pipeline's first stage: frame scan, payload read,
+// decompression. Each segment's raw payload lands in a slab owned by the
+// message (recycled through free), so the decode stage never races the
+// next segment's read. A terminal error (scan damage, short payload read,
+// flate damage) is attached to the message carrying any recovered prefix,
+// and the loop stops — matching the fused loadSegment error priority.
+func (r *Reader) inflateLoop(infl chan<- inflatedSeg, free chan []byte, stop <-chan struct{}) {
+	var sc segScratch // flate reader state; payload slabs come from free
+	send := func(msg inflatedSeg) bool {
+		select {
+		case infl <- msg:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+	for {
+		if err := r.nextSegment(); err != nil {
+			if err != io.EOF {
+				send(inflatedSeg{err: err})
+			}
+			return
+		}
+		si := r.seg
+		slab := slabFor(free, si.PayloadLen)
+		got, readErr := io.ReadFull(r.r, slab[:si.PayloadLen])
+		payload := slab[:got]
+		// Advance the scanner past the segment, as loadSegment does, so
+		// the next frame parses from a consistent position.
+		r.segLeft = 0
+		r.last = si.MaxT
+		msg := inflatedSeg{raw: payload, slab: slab, si: si}
+		if si.Compressed() {
+			raw := slabFor(free, si.RawLen)
+			msg.raw, msg.err = sc.decompressInto(raw[:si.RawLen], payload, si)
+			msg.slab = raw
+			select {
+			case free <- slab:
+			default:
+			}
+		}
+		if readErr != nil {
+			// Read truncation outranks whatever the partial inflate said.
+			msg.err = r.latch(ErrCorrupt, readErr)
+		}
+		if !send(msg) || msg.err != nil {
+			return
+		}
+	}
+}
+
+// slabFor returns a recycled slab of at least n bytes, growing or
+// allocating as needed.
+func slabFor(free chan []byte, n int) []byte {
+	var s []byte
+	select {
+	case s = <-free:
+	default:
+	}
+	if cap(s) < n {
+		s = make([]byte, n)
+	}
+	return s[:cap(s)]
 }

@@ -64,9 +64,15 @@ func TestReadAllPrefetchMatchesReadAll(t *testing.T) {
 // every record it reported.
 func TestReadAllPrefetchErrorParity(t *testing.T) {
 	raw := prefetchTestTrace(t, 1000)
-	// Cut inside the first segment's payload: past the 8-byte file header
-	// and 36-byte frame header, well before the segment ends.
-	truncated := raw[:200]
+	// Cut a few bytes short of the first segment's frame end: every column
+	// run is present but the last one is damaged, so both paths recover a
+	// non-empty prefix whatever the payload layout.
+	ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := ix.Segments[0]
+	truncated := raw[:seg.Offset+int64(seg.frameHeaderLen(ix.Version))+int64(seg.PayloadLen)-3]
 
 	var sync Collect
 	sn, syncErr := NewReader(bytes.NewReader(truncated)).ReadAll(&sync)

@@ -1,9 +1,14 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,11 +22,13 @@ import (
 // ReadRange delivers the records with from ≤ T < to to h, in stream order
 // and BlockSize-bounded batches, returning how many were delivered.
 //
-// For an indexed (v2/v3) trace on a seekable source it binary-searches the
+// For an indexed (v2+) trace on a seekable source it binary-searches the
 // segment index and decodes (inflating where compressed) only the
 // overlapping segments — reading a one-hour slice of a
 // week-long trace costs I/O and decode proportional to the hour, not the
-// week. Degraded inputs (v1, non-seekable source, damaged index) fall back
+// week. On a columnar (v4) trace the closing boundary segment is inflated
+// only up to the cut. Degraded inputs (v1, non-seekable source, damaged
+// index) fall back
 // to a serial scan that decodes from the start and stops at the first
 // record past the range, latching an explanation in Warning when the
 // degradation is unexpected. Call it on a fresh Reader.
@@ -80,9 +87,20 @@ func (r *Reader) ReadRange(from, to time.Duration, h Handler) (int64, error) {
 	}
 }
 
+// rangeRawBytes counts raw payload bytes materialized (inflated, or read
+// out of an uncompressed run) by indexed range reads. It is a test hook:
+// the partial inflate-to-cut on the closing boundary segment is observable
+// only through how few bytes it touches.
+var rangeRawBytes atomic.Int64
+
 // readRangeIndexed decodes exactly the segments overlapping [from, to),
 // filtering only the (at most two) boundary segments that straddle a range
-// edge; interior segments deliver whole.
+// edge; interior segments deliver whole. A columnar (v4) closing boundary
+// segment is not decoded wholesale: readColumnarCut inflates each column
+// run only up to the first record at or past to, so a tight range pays
+// decode cost for the records it returns, not the full segment. (v3
+// boundary segments still inflate whole — their single interleaved flate
+// stream has no per-column structure to cut.)
 func readRangeIndexed(ra io.ReaderAt, ix *Index, from, to time.Duration, bh BatchHandler) (int64, error) {
 	segs := ix.Segments
 	lo := sort.Search(len(segs), func(i int) bool { return segs[i].MaxT >= from })
@@ -91,8 +109,16 @@ func readRangeIndexed(ra io.ReaderAt, ix *Index, from, to time.Duration, bh Batc
 	var n int64
 	for si := lo; si < len(segs) && segs[si].MinT < to; si++ {
 		seg := segs[si]
-		blocks, err := readSegmentAt(ra, seg, ix.Version, &scratch)
-		whole := seg.MinT >= from && seg.MaxT < to
+		var blocks []*Block
+		var err error
+		cut := seg.Columnar() && seg.MaxT >= to
+		if cut {
+			blocks, err = readColumnarCut(ra, seg, ix.Version, &scratch, to)
+		} else {
+			blocks, err = readSegmentAt(ra, seg, ix.Version, &scratch)
+			rangeRawBytes.Add(int64(seg.RawLen))
+		}
+		whole := seg.MinT >= from && (cut || seg.MaxT < to)
 		for _, blk := range blocks {
 			if whole {
 				bh.HandleBatch(*blk)
@@ -116,4 +142,184 @@ func readRangeIndexed(ra io.ReaderAt, ix *Index, from, to time.Duration, bh Batc
 		}
 	}
 	return n, nil
+}
+
+// countingReader feeds rangeRawBytes as raw column bytes come out of a
+// run's literal bytes or flate stream.
+type countingReader struct{ r io.Reader }
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	rangeRawBytes.Add(int64(n))
+	return n, err
+}
+
+// readColumnarCut decodes a columnar segment that straddles the range's
+// closing edge, materializing each column run only up to the first record
+// at or past to: the delta run is scanned (inflating incrementally when
+// compressed) until the cut, fixing the record count k, and the flags,
+// client, and app runs are then decoded only through their first k values.
+// The tail of every run — usually the bulk of the segment on a tight
+// range — is never inflated. Unlike the full decoders, damage fails closed
+// here: a range read that cannot trust the cut delivers nothing from the
+// segment.
+func readColumnarCut(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch, to time.Duration) ([]*Block, error) {
+	payload, err := fetchSegmentFrame(ra, si, version, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Locate the four stored runs and their raw sizes, mirroring the
+	// validation the wholesale decoders perform on the payload headers.
+	var rawL, stoL [4]int
+	runsOff := colHeaderLen
+	if si.Compressed() {
+		if len(payload) < 2*colHeaderLen {
+			return nil, fmt.Errorf("%w: compressed columnar payload truncated inside its headers", ErrCorrupt)
+		}
+		var rawSum, stoSum int
+		rawL, rawSum = parseColHeader(payload)
+		stoL, stoSum = parseColHeader(payload[colHeaderLen:])
+		if colHeaderLen+rawSum != si.RawLen {
+			return nil, fmt.Errorf("%w: column runs sum to %d bytes, segment declares %d raw", ErrCorrupt, colHeaderLen+rawSum, si.RawLen)
+		}
+		if 2*colHeaderLen+stoSum != si.PayloadLen {
+			return nil, fmt.Errorf("%w: stored column runs sum to %d bytes, segment declares %d", ErrCorrupt, 2*colHeaderLen+stoSum, si.PayloadLen)
+		}
+		if rawL[1] != si.Count {
+			return nil, fmt.Errorf("%w: flags column holds %d bytes for %d records", ErrCorrupt, rawL[1], si.Count)
+		}
+		runsOff = 2 * colHeaderLen
+	} else {
+		lens, err := checkColHeader(payload, si)
+		if err != nil {
+			return nil, err
+		}
+		rawL, stoL = lens, lens
+	}
+
+	// openRun points br at column c's value stream: the stored bytes
+	// directly when the run is literal, or a flate reader over them when
+	// deflated. Runs are consumed strictly in payload order, one at a time,
+	// so one buffered reader and one flate reader serve all four.
+	br := bufio.NewReaderSize(nil, 512)
+	openRun := func(c int) error {
+		if stoL[c] > rawL[c] {
+			return fmt.Errorf("%w: %s column stored in %d bytes, larger than its %d raw", ErrCorrupt, colNames[c], stoL[c], rawL[c])
+		}
+		stored := payload[runsOff : runsOff+stoL[c]]
+		runsOff += stoL[c]
+		if stoL[c] == rawL[c] {
+			br.Reset(countingReader{bytes.NewReader(stored)})
+			return nil
+		}
+		if sc.fr == nil {
+			sc.fr = flate.NewReader(bytes.NewReader(stored))
+		} else if err := sc.fr.(flate.Resetter).Reset(bytes.NewReader(stored), nil); err != nil {
+			return fmt.Errorf("%w: %s column: %v", ErrCorrupt, colNames[c], err)
+		}
+		br.Reset(countingReader{sc.fr})
+		return nil
+	}
+
+	// Delta pass: scan timestamps until the cut, fixing k.
+	if err := openRun(0); err != nil {
+		return nil, err
+	}
+	last := si.BaseT
+	times := make([]time.Duration, 0, 1024)
+	for len(times) < si.Count {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, errColTruncated("delta", len(times))
+		}
+		last += time.Duration(delta)
+		if len(times) == 0 && last != si.MinT {
+			return nil, fmt.Errorf("%w: first record at %v, header says %v", ErrCorrupt, last, si.MinT)
+		}
+		if last >= to {
+			break
+		}
+		times = append(times, last)
+	}
+	k := len(times)
+	if k == si.Count {
+		// Every delta decoded without reaching to, yet the caller cut this
+		// segment because its indexed MaxT is at or past to.
+		return nil, fmt.Errorf("%w: segment ends at %v, index says %v", ErrCorrupt, last, si.MaxT)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+
+	blocks := newBlocksFor(k)
+	i := 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			recs[j].T = times[i]
+			i++
+		}
+	}
+	fail := func(err error) ([]*Block, error) {
+		for _, blk := range blocks {
+			FreeBlock(blk)
+		}
+		return nil, err
+	}
+
+	// Flags, client, and app passes: first k values of each run.
+	if err := openRun(1); err != nil {
+		return fail(err)
+	}
+	i = 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			f, err := br.ReadByte()
+			if err != nil {
+				return fail(errColTruncated("flags", i))
+			}
+			recs[j].Dir = Direction(f & 1)
+			recs[j].Kind = Kind(f >> 1 & 0x7)
+			i++
+		}
+	}
+	if err := openRun(2); err != nil {
+		return fail(err)
+	}
+	i = 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			client, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fail(errColTruncated("client", i))
+			}
+			if client > 1<<32-1 {
+				return fail(fmt.Errorf("%w: out-of-range client at record %d", ErrCorrupt, i))
+			}
+			recs[j].Client = uint32(client)
+			i++
+		}
+	}
+	if err := openRun(3); err != nil {
+		return fail(err)
+	}
+	i = 0
+	for _, blk := range blocks {
+		recs := *blk
+		for j := range recs {
+			app, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fail(errColTruncated("app", i))
+			}
+			if app > 1<<16-1 {
+				return fail(fmt.Errorf("%w: out-of-range app at record %d", ErrCorrupt, i))
+			}
+			recs[j].App = uint16(app)
+			i++
+		}
+	}
+	return blocks, nil
 }

@@ -124,6 +124,61 @@ func TestReadRangeFallbacks(t *testing.T) {
 	}
 }
 
+// TestReadRangePartialInflate: a tight range on a columnar trace must
+// materialize far fewer raw payload bytes than a wide one — the closing
+// boundary segment decodes (and inflates) its column runs only up to the
+// cut instead of wholesale.
+func TestReadRangePartialInflate(t *testing.T) {
+	const count = 50000
+	gap := time.Millisecond
+	for _, level := range []int{DefaultCompressLevel, CompressOff} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.SegmentPayload = 1 << 14
+		w.CompressLevel = level
+		for i := 0; i < count; i++ {
+			if err := w.Write(Record{
+				T:      time.Duration(i) * gap,
+				Kind:   KindGame,
+				Client: uint32(i%50 + 1),
+				App:    uint16(40 + i%100),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+
+		measure := func(from, to time.Duration) (int64, int64) {
+			rangeRawBytes.Store(0)
+			rd := NewReader(bytes.NewReader(raw))
+			var got Collect
+			n, err := rd.ReadRange(from, to, &got)
+			if err != nil {
+				t.Fatalf("level %d: ReadRange: %v", level, err)
+			}
+			if rd.Warning() != "" {
+				t.Fatalf("level %d: unexpected degradation: %s", level, rd.Warning())
+			}
+			return n, rangeRawBytes.Load()
+		}
+
+		nFull, full := measure(0, time.Hour)
+		if nFull != count {
+			t.Fatalf("level %d: full range read %d records, want %d", level, nFull, count)
+		}
+		nTight, tight := measure(2*time.Second, 2*time.Second+10*gap)
+		if nTight != 10 {
+			t.Fatalf("level %d: tight range read %d records, want 10", level, nTight)
+		}
+		if tight*10 > full {
+			t.Errorf("level %d: tight range materialized %d raw bytes of %d total — boundary segment not cut", level, tight, full)
+		}
+	}
+}
+
 // onlyReader hides Seek/ReadAt from the reader.
 type onlyReader struct{ r *bytes.Reader }
 

@@ -43,10 +43,27 @@ const (
 	footerLen = 8 + 8 + 4 + 4
 )
 
-// SegCompressed is the v3 segment flag (bit 0) marking a flate-compressed
-// payload. All other flag bits are reserved and must be zero; readers
-// reject them as corruption (an unknown layout cannot be skipped).
-const SegCompressed uint32 = 1 << 0
+// Per-segment flag bits. All bits not defined for the file's format version
+// are reserved and must be zero; readers reject them as corruption (an
+// unknown layout cannot be skipped).
+const (
+	// SegCompressed (bit 0, since v3) marks a flate-compressed payload.
+	SegCompressed uint32 = 1 << 0
+	// SegColumnar (bit 1, since v4) marks a field-striped payload: the
+	// record fields are stored as four separate runs — timestamp deltas,
+	// flags, client ids, app sizes — instead of interleaved per record.
+	// See docs/FORMAT.md §v4 for the run layout.
+	SegColumnar uint32 = 1 << 1
+)
+
+// segFlagMask returns the flag bits a reader of the given format version
+// accepts; anything outside the mask fails closed as corruption.
+func segFlagMask(version int) uint32 {
+	if version >= version4 {
+		return SegCompressed | SegColumnar
+	}
+	return SegCompressed
+}
 
 // SegmentInfo describes one segment of an indexed trace, as recorded in the
 // index and duplicated in the segment's own frame header.
@@ -79,6 +96,9 @@ type SegmentInfo struct {
 // Compressed reports whether the segment's payload is flate-compressed.
 func (si SegmentInfo) Compressed() bool { return si.Flags&SegCompressed != 0 }
 
+// Columnar reports whether the segment's payload is field-striped (v4).
+func (si SegmentInfo) Columnar() bool { return si.Flags&SegColumnar != 0 }
+
 // frameHeaderLen returns the "CSEG" frame header size for this segment
 // under the given format version: 36 bytes in v2, 40 in v3, plus the
 // 4-byte rawLen field when the segment is compressed.
@@ -106,7 +126,7 @@ func parseSegmentHeader(hdr []byte, version int) (SegmentInfo, error) {
 	rest := hdr[12:]
 	if version >= version3 {
 		si.Flags = binary.LittleEndian.Uint32(hdr[12:])
-		if si.Flags&^SegCompressed != 0 {
+		if si.Flags&^segFlagMask(version) != 0 {
 			return SegmentInfo{}, fmt.Errorf("%w: unknown segment flags %#x", ErrCorrupt, si.Flags)
 		}
 		rest = hdr[16:]
@@ -288,16 +308,12 @@ type segScratch struct {
 	fr    io.ReadCloser
 }
 
-// inflate decompresses a flate-compressed segment payload into the scratch
-// raw slab, returning the decompressed bytes. On a truncated or damaged
-// stream it returns the bytes recovered before the damage alongside an
-// ErrCorrupt-wrapped error, so callers can decode the partial prefix and
+// inflateInto decompresses a whole-payload flate stream (v3 layout) into
+// dst (len si.RawLen), returning the decompressed bytes. On a truncated or
+// damaged stream it returns the bytes recovered before the damage alongside
+// an ErrCorrupt-wrapped error, so callers can decode the partial prefix and
 // preserve records-before-error delivery.
-func (sc *segScratch) inflate(p []byte, si SegmentInfo) ([]byte, error) {
-	if cap(sc.raw) < si.RawLen {
-		sc.raw = make([]byte, si.RawLen)
-	}
-	dst := sc.raw[:si.RawLen]
+func (sc *segScratch) inflateInto(dst, p []byte, si SegmentInfo) ([]byte, error) {
 	if sc.fr == nil {
 		sc.fr = flate.NewReader(bytes.NewReader(p))
 	} else if err := sc.fr.(flate.Resetter).Reset(bytes.NewReader(p), nil); err != nil {
@@ -314,6 +330,24 @@ func (sc *segScratch) inflate(p []byte, si SegmentInfo) ([]byte, error) {
 		return dst, fmt.Errorf("%w: compressed payload inflates past the declared %d bytes", ErrCorrupt, si.RawLen)
 	}
 	return dst, nil
+}
+
+// decompressInto reconstructs a compressed segment's raw payload into dst
+// (len si.RawLen) on the layout its flags announce: per-run columnar
+// streams (v4) or one whole-payload flate stream (v3).
+func (sc *segScratch) decompressInto(dst, p []byte, si SegmentInfo) ([]byte, error) {
+	if si.Columnar() {
+		return sc.inflateColumnarInto(dst, p, si)
+	}
+	return sc.inflateInto(dst, p, si)
+}
+
+// decompress is decompressInto over the scratch raw slab.
+func (sc *segScratch) decompress(p []byte, si SegmentInfo) ([]byte, error) {
+	if cap(sc.raw) < si.RawLen {
+		sc.raw = make([]byte, si.RawLen)
+	}
+	return sc.decompressInto(sc.raw[:si.RawLen], p, si)
 }
 
 // loadSegment is the serial-scan counterpart of readSegmentAt: it reads
@@ -334,9 +368,9 @@ func (r *Reader) loadSegment(sc *segScratch) ([]*Block, error) {
 	payload := sc.frame[:got]
 	var inflateErr error
 	if si.Compressed() {
-		payload, inflateErr = sc.inflate(payload, si)
+		payload, inflateErr = sc.decompress(payload, si)
 	}
-	blocks, decErr := decodePayload(payload, si)
+	blocks, decErr := decodeSegmentPayload(payload, si)
 	// The payload is consumed: advance the scanner state so a subsequent
 	// frame parses from a consistent position.
 	r.segLeft = 0
@@ -351,13 +385,30 @@ func (r *Reader) loadSegment(sc *segScratch) ([]*Block, error) {
 	}
 }
 
-// readSegmentAt reads and decodes one segment from an io.ReaderAt using the
-// worker's scratch buffers. The frame header re-read from the file is
-// cross-checked against the index entry, so a file whose index and segments
-// disagree surfaces as ErrCorrupt rather than silently mis-decoding. A
-// compressed segment is inflated before decode; damage inside the flate
-// stream still delivers the records recovered before it.
-func readSegmentAt(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) ([]*Block, error) {
+// fetchSegmentPayload reads one segment's frame from an io.ReaderAt into
+// the worker's scratch buffers and returns its raw (decompressed) payload.
+// The frame header re-read from the file is cross-checked against the index
+// entry, so a file whose index and segments disagree surfaces as ErrCorrupt
+// rather than silently mis-decoding. Header-level failures return a nil
+// payload; damage inside a compressed payload returns the recovered raw
+// prefix alongside the error, so callers can decode it and preserve
+// records-before-error delivery.
+func fetchSegmentPayload(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) ([]byte, error) {
+	payload, err := fetchSegmentFrame(ra, si, version, sc)
+	if err != nil {
+		return nil, err
+	}
+	if si.Compressed() {
+		return sc.decompress(payload, si)
+	}
+	return payload, nil
+}
+
+// fetchSegmentFrame reads and cross-checks one segment's frame like
+// fetchSegmentPayload but returns the payload exactly as stored on disk —
+// still compressed when the segment is flagged so. Range reads use it to
+// inflate a boundary segment only up to the cut instead of wholesale.
+func fetchSegmentFrame(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) ([]byte, error) {
 	hl := si.frameHeaderLen(version)
 	need := hl + si.PayloadLen
 	if cap(sc.frame) < need {
@@ -384,16 +435,37 @@ func readSegmentAt(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) 
 	if got != si {
 		return nil, fmt.Errorf("%w: segment header at offset %d disagrees with index", ErrCorrupt, si.Offset)
 	}
-	payload := sc.frame[hl:need]
-	if si.Compressed() {
-		raw, derr := sc.inflate(payload, si)
-		if derr != nil {
-			// Decode whatever inflated cleanly — the prefix of the raw
-			// stream — and report the inflate failure as the cause.
-			blocks, _ := decodePayload(raw, si)
-			return blocks, derr
-		}
-		payload = raw
+	return sc.frame[hl:need], nil
+}
+
+// readSegmentAt reads and decodes one segment from an io.ReaderAt using the
+// worker's scratch buffers; see fetchSegmentPayload for the validation and
+// partial-delivery story.
+func readSegmentAt(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) ([]*Block, error) {
+	payload, ferr := fetchSegmentPayload(ra, si, version, sc)
+	if payload == nil {
+		return nil, ferr
 	}
-	return decodePayload(payload, si)
+	blocks, derr := decodeSegmentPayload(payload, si)
+	if ferr != nil {
+		// Report the read/inflate failure as the cause; the decode of the
+		// recovered prefix necessarily hit its truncation point too.
+		return blocks, ferr
+	}
+	return blocks, derr
+}
+
+// readSegmentColumnsAt reads one columnar segment and decodes it into
+// ColumnBlocks, keeping the on-disk field separation for column-aware
+// sinks. Same validation and partial-delivery semantics as readSegmentAt.
+func readSegmentColumnsAt(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch) ([]*ColumnBlock, error) {
+	payload, ferr := fetchSegmentPayload(ra, si, version, sc)
+	if payload == nil {
+		return nil, ferr
+	}
+	cbs, derr := decodeColumnarColumns(payload, si)
+	if ferr != nil {
+		return cbs, ferr
+	}
+	return cbs, derr
 }

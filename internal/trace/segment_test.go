@@ -11,7 +11,7 @@ import (
 
 // versionStream builds a deterministic record stream and its encoding in the
 // given format version with small segments (so even short streams span many
-// of them). Version 3 writes with the default compression.
+// of them). Versions 3 and 4 write with the default compression.
 func versionStream(t *testing.T, version, n, segPayload int) ([]Record, []byte) {
 	t.Helper()
 	recs := make([]Record, 0, n)
@@ -22,6 +22,8 @@ func versionStream(t *testing.T, version, n, segPayload int) ([]Record, []byte) 
 		w = NewWriterV1(&buf)
 	case 2:
 		w = NewWriterV2(&buf)
+	case 3:
+		w = NewWriterV3(&buf)
 	default:
 		w = NewWriter(&buf)
 	}
@@ -55,7 +57,7 @@ func v2TestStream(t *testing.T, n, segPayload int) ([]Record, []byte) {
 // serial stream for every worker count, across sizes that exercise empty
 // files, single segments and partial tails — for both indexed versions.
 func TestV2ParallelMatchesSerial(t *testing.T) {
-	for _, version := range []int{2, 3} {
+	for _, version := range []int{2, 3, 4} {
 		for _, n := range []int{0, 1, 100, 5000, 20000} {
 			recs, raw := versionStream(t, version, n, 1<<10)
 			for _, workers := range []int{1, 2, 3, 8} {
@@ -101,7 +103,7 @@ func (b *blockCollect) IngestBlock(blk *Block) {
 // exact serial stream — same records, same order — at every worker count,
 // and must actually take the ingest path on an indexed trace.
 func TestReadAllShardedMatchesSerial(t *testing.T) {
-	for _, version := range []int{2, 3} {
+	for _, version := range []int{2, 3, 4} {
 		for _, n := range []int{0, 1, 100, 5000, 20000} {
 			recs, raw := versionStream(t, version, n, 1<<10)
 			for _, workers := range []int{2, 3, 8} {
@@ -177,7 +179,7 @@ func TestReadAllShardedFallbacks(t *testing.T) {
 // both indexed versions.
 func TestReadIndexGeometry(t *testing.T) {
 	const n = 12345
-	for _, version := range []int{2, 3} {
+	for _, version := range []int{2, 3, 4} {
 		recs, raw := versionStream(t, version, n, 1<<10)
 		ix, err := ReadIndex(bytes.NewReader(raw), int64(len(raw)))
 		if err != nil {
@@ -216,12 +218,19 @@ func TestReadIndexGeometry(t *testing.T) {
 		if ix.PayloadBytes() <= 0 || ix.RawBytes() < ix.PayloadBytes() {
 			t.Fatalf("v%d: payload %d / raw %d bytes implausible", version, ix.PayloadBytes(), ix.RawBytes())
 		}
-		if version == 3 {
+		if version >= 3 {
 			if ix.CompressedSegments() == 0 {
-				t.Fatal("v3 default stream compressed no segments")
+				t.Fatalf("v%d default stream compressed no segments", version)
 			}
 			if ix.PayloadBytes() >= ix.RawBytes() {
-				t.Fatalf("v3: on-disk payload %d not smaller than raw %d", ix.PayloadBytes(), ix.RawBytes())
+				t.Fatalf("v%d: on-disk payload %d not smaller than raw %d", version, ix.PayloadBytes(), ix.RawBytes())
+			}
+		}
+		if version == 4 {
+			for i, si := range ix.Segments {
+				if !si.Columnar() {
+					t.Fatalf("v4 segment %d not flagged columnar: %+v", i, si)
+				}
 			}
 		}
 	}
@@ -247,7 +256,7 @@ func TestV3PayloadInvariant(t *testing.T) {
 		frame := rawV3[si.Offset : si.Offset+int64(hl)+int64(si.PayloadLen)]
 		payload := frame[hl:]
 		if si.Compressed() {
-			raw, err := sc.inflate(payload, si)
+			raw, err := sc.decompress(payload, si)
 			if err != nil {
 				t.Fatalf("segment %d: %v", i, err)
 			}
@@ -267,39 +276,47 @@ func TestV3PayloadInvariant(t *testing.T) {
 }
 
 // TestV3CompressOff: CompressOff stores every segment uncompressed; the
-// file stays a valid v3 trace with clear flags and reads back identically.
+// file stays a valid v3/v4 trace with the compression flag clear and reads
+// back identically.
 func TestV3CompressOff(t *testing.T) {
 	const n = 5000
-	var buf bytes.Buffer
-	w := NewWriter(&buf)
-	w.SegmentPayload = 1 << 10
-	w.CompressLevel = CompressOff
-	recs := make([]Record, 0, n)
-	for i := 0; i < n; i++ {
-		r := Record{T: time.Duration(i) * 100 * time.Microsecond, Client: uint32(i % 7), App: uint16(40 + i%90)}
-		recs = append(recs, r)
-		if err := w.Write(r); err != nil {
+	for _, version := range []int{3, 4} {
+		var buf bytes.Buffer
+		var w *Writer
+		if version == 3 {
+			w = NewWriterV3(&buf)
+		} else {
+			w = NewWriter(&buf)
+		}
+		w.SegmentPayload = 1 << 10
+		w.CompressLevel = CompressOff
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			r := Record{T: time.Duration(i) * 100 * time.Microsecond, Client: uint32(i % 7), App: uint16(40 + i%90)}
+			recs = append(recs, r)
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
 			t.Fatal(err)
 		}
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ix.Version != 3 || ix.CompressedSegments() != 0 || ix.PayloadBytes() != ix.RawBytes() {
-		t.Fatalf("CompressOff trace: version %d, %d compressed segments, payload %d raw %d",
-			ix.Version, ix.CompressedSegments(), ix.PayloadBytes(), ix.RawBytes())
-	}
-	var got Collect
-	if pn, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAllParallel(&got, 4); err != nil || pn != n {
-		t.Fatalf("read back: %d, %v", pn, err)
-	}
-	for i := range recs {
-		if got.Records[i] != recs[i] {
-			t.Fatalf("record %d diverges", i)
+		ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Version != version || ix.CompressedSegments() != 0 || ix.PayloadBytes() != ix.RawBytes() {
+			t.Fatalf("CompressOff trace: version %d (want %d), %d compressed segments, payload %d raw %d",
+				ix.Version, version, ix.CompressedSegments(), ix.PayloadBytes(), ix.RawBytes())
+		}
+		var got Collect
+		if pn, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAllParallel(&got, 4); err != nil || pn != n {
+			t.Fatalf("v%d read back: %d, %v", version, pn, err)
+		}
+		for i := range recs {
+			if got.Records[i] != recs[i] {
+				t.Fatalf("v%d record %d diverges", version, i)
+			}
 		}
 	}
 }
@@ -601,10 +618,13 @@ func TestV2IndexSegmentDisagreement(t *testing.T) {
 // empty index and a footer, and every read path reports zero records
 // cleanly.
 func TestEmptyIndexedTrace(t *testing.T) {
-	for _, version := range []int{2, 3} {
+	for _, version := range []int{2, 3, 4} {
 		var buf bytes.Buffer
 		w := NewWriterV2(&buf)
-		if version == 3 {
+		switch version {
+		case 3:
+			w = NewWriterV3(&buf)
+		case 4:
 			w = NewWriter(&buf)
 		}
 		if err := w.Flush(); err != nil {
@@ -691,7 +711,7 @@ func TestReaderErrLatchesCause(t *testing.T) {
 // TestVersionPolicy: version bytes above the current version must error
 // cleanly everywhere, and ReadIndex must identify v1 as index-less.
 func TestVersionPolicy(t *testing.T) {
-	future := append([]byte("CSTR"), 4, 0, 0, 0)
+	future := append([]byte("CSTR"), 5, 0, 0, 0)
 	if _, err := NewReader(bytes.NewReader(future)).Read(); err != ErrBadVersion {
 		t.Fatalf("Read = %v, want ErrBadVersion", err)
 	}
@@ -730,10 +750,10 @@ func TestVersionPolicy(t *testing.T) {
 }
 
 // goldenV1 is a two-record v1 file written by the original (pre-v2) Writer,
-// byte for byte; goldenV2 and goldenV3 are the same stream in v2 and v3
-// form, as specified in docs/FORMAT.md. (The 12-byte golden payload does
-// not shrink under flate, so the v3 writer stores it uncompressed with the
-// flag clear — which pins the adaptive store-raw path too.) If any
+// byte for byte; goldenV2, goldenV3 and goldenV4 are the same stream in v2,
+// v3 and v4 form, as specified in docs/FORMAT.md. (The tiny golden payloads
+// do not shrink under flate, so the v3/v4 writers store them uncompressed
+// with the flag clear — which pins the adaptive store-raw path too.) If any
 // comparison breaks, the on-disk format changed and the compatibility
 // policy was violated.
 var (
@@ -802,12 +822,57 @@ var (
 		b = binary.LittleEndian.AppendUint32(b, 1)
 		return append(b, 'C', 'S', 'F', 'T')
 	}()
+	// goldenPayloadV4 is the same two records field-striped: a 16-byte
+	// column header (run lengths, LE u32 each) followed by the four runs —
+	// timestamp deltas, flags, client ids, app sizes. The runs concatenate
+	// the exact field encodings of the interleaved goldenPayload.
+	goldenPayloadV4 = []byte{
+		5, 0, 0, 0, // deltas run: 5 bytes
+		2, 0, 0, 0, // flags run: 2 bytes
+		2, 0, 0, 0, // clients run: 2 bytes
+		3, 0, 0, 0, // apps run: 3 bytes
+		0x00, 0x80, 0xE1, 0xEB, 0x17, // deltas: 0, 50 ms (uvarint 50 000 000)
+		0x00, 0x01, // flags: in/game, out/game
+		0x01, 0x01, // clients: 1, 1
+		0x28, 0x82, 0x01, // apps: 40, 130
+	}
+	goldenV4 = func() []byte {
+		b := []byte{'C', 'S', 'T', 'R', 4, 0, 0, 0}
+		// Segment frame at offset 8: the v3 header with the columnar flag
+		// set and the compressed flag clear (the 28-byte stored form with
+		// per-run flate is no smaller, so the payload is stored raw and no
+		// rawLen field follows).
+		b = append(b, 'C', 'S', 'E', 'G')
+		b = binary.LittleEndian.AppendUint32(b, 28)          // payload bytes
+		b = binary.LittleEndian.AppendUint32(b, 2)           // records
+		b = binary.LittleEndian.AppendUint32(b, SegColumnar) // flags
+		b = binary.LittleEndian.AppendUint64(b, 0)           // baseT
+		b = binary.LittleEndian.AppendUint64(b, 0)           // minT
+		b = binary.LittleEndian.AppendUint64(b, 50_000_000)
+		b = append(b, goldenPayloadV4...)
+		// Index frame at offset 76.
+		b = append(b, 'C', 'S', 'I', 'X')
+		b = binary.LittleEndian.AppendUint32(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, 8)
+		b = binary.LittleEndian.AppendUint32(b, 28)          // payloadLen
+		b = binary.LittleEndian.AppendUint32(b, 2)           // count
+		b = binary.LittleEndian.AppendUint32(b, SegColumnar) // flags
+		b = binary.LittleEndian.AppendUint32(b, 28)          // rawLen == payloadLen
+		b = binary.LittleEndian.AppendUint64(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 50_000_000)
+		// Footer.
+		b = binary.LittleEndian.AppendUint64(b, 2)
+		b = binary.LittleEndian.AppendUint64(b, 76)
+		b = binary.LittleEndian.AppendUint32(b, 1)
+		return append(b, 'C', 'S', 'F', 'T')
+	}()
 )
 
 // TestGoldenFiles: all golden byte strings decode to the golden records,
 // and today's writers reproduce them exactly.
 func TestGoldenFiles(t *testing.T) {
-	for name, raw := range map[string][]byte{"v1": goldenV1, "v2": goldenV2, "v3": goldenV3} {
+	for name, raw := range map[string][]byte{"v1": goldenV1, "v2": goldenV2, "v3": goldenV3, "v4": goldenV4} {
 		var got Collect
 		n, err := NewReader(bytes.NewReader(raw)).ReadAll(&got)
 		if err != nil {
@@ -818,16 +883,16 @@ func TestGoldenFiles(t *testing.T) {
 		}
 	}
 
-	var v1, v2, v3 bytes.Buffer
-	w1, w2, w3 := NewWriterV1(&v1), NewWriterV2(&v2), NewWriter(&v3)
+	var v1, v2, v3, v4 bytes.Buffer
+	w1, w2, w3, w4 := NewWriterV1(&v1), NewWriterV2(&v2), NewWriterV3(&v3), NewWriter(&v4)
 	for _, r := range goldenRecords {
-		for _, w := range []*Writer{w1, w2, w3} {
+		for _, w := range []*Writer{w1, w2, w3, w4} {
 			if err := w.Write(r); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	for _, w := range []*Writer{w1, w2, w3} {
+	for _, w := range []*Writer{w1, w2, w3, w4} {
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)
 		}
@@ -841,17 +906,21 @@ func TestGoldenFiles(t *testing.T) {
 	if !bytes.Equal(v3.Bytes(), goldenV3) {
 		t.Errorf("v3 writer output diverged from golden:\n got %x\nwant %x", v3.Bytes(), goldenV3)
 	}
+	if !bytes.Equal(v4.Bytes(), goldenV4) {
+		t.Errorf("v4 writer output diverged from golden:\n got %x\nwant %x", v4.Bytes(), goldenV4)
+	}
 }
 
-// TestRoundTripEquality: the identical record stream written in all three
+// TestRoundTripEquality: the identical record stream written in all four
 // format versions decodes to the identical records on every read path.
 func TestRoundTripEquality(t *testing.T) {
 	const n = 12000
 	recs, rawV1 := versionStream(t, 1, n, 0)
 	_, rawV2 := versionStream(t, 2, n, 1<<10)
 	_, rawV3 := versionStream(t, 3, n, 1<<10)
+	_, rawV4 := versionStream(t, 4, n, 1<<10)
 
-	for name, raw := range map[string][]byte{"v1": rawV1, "v2": rawV2, "v3": rawV3} {
+	for name, raw := range map[string][]byte{"v1": rawV1, "v2": rawV2, "v3": rawV3, "v4": rawV4} {
 		paths := map[string]func(rd *Reader, h Handler) (int64, error){
 			"readall":  func(rd *Reader, h Handler) (int64, error) { return rd.ReadAll(h) },
 			"prefetch": func(rd *Reader, h Handler) (int64, error) { return rd.ReadAllPrefetch(h) },

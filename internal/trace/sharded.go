@@ -33,6 +33,20 @@ type BlockIngester interface {
 	IngestBlock(blk *Block)
 }
 
+// ColumnIngester is implemented by sinks that can additionally consume
+// column-decoded segments (v4 field-striped payloads) without the reader
+// first interleaving them into Records. The same ordering and ownership
+// contract as IngestBlock applies: calls arrive in stream order, serialized
+// by the caller, and the sink must eventually return cb with
+// FreeColumnBlock. A segment is delivered either as blocks or as columns,
+// never both.
+type ColumnIngester interface {
+	BlockIngester
+	// IngestColumns consumes one column-decoded block obtained from
+	// NewColumnBlock, taking ownership.
+	IngestColumns(cb *ColumnBlock)
+}
+
 // ReadAllSharded drains the stream into h exactly as ReadAllParallel does,
 // but when h also implements BlockIngester (analysis.ShardedSuite does) the
 // decode workers deliver their pooled blocks to it directly — in file
@@ -116,13 +130,23 @@ func parallelDecodeSharded(ra io.ReaderAt, ix *Index, workers int, ing BlockInge
 	var n int64
 	var firstErr error
 	var wg sync.WaitGroup
+	ci, colOK := ing.(ColumnIngester)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var sc segScratch
 			for i := range jobs {
-				blocks, err := readSegmentAt(ra, segs[i], ix.Version, &sc)
+				var blocks []*Block
+				var cols []*ColumnBlock
+				var err error
+				if colOK && segs[i].Columnar() {
+					// Column-aware sink + field-striped segment: keep the
+					// on-disk separation all the way to the collectors.
+					cols, err = readSegmentColumnsAt(ra, segs[i], ix.Version, &sc)
+				} else {
+					blocks, err = readSegmentAt(ra, segs[i], ix.Version, &sc)
+				}
 				select {
 				case <-turn[i]:
 				case <-stop:
@@ -131,11 +155,18 @@ func parallelDecodeSharded(ra io.ReaderAt, ix *Index, workers int, ing BlockInge
 					for _, blk := range blocks {
 						FreeBlock(blk)
 					}
+					for _, cb := range cols {
+						FreeColumnBlock(cb)
+					}
 					continue
 				}
 				for _, blk := range blocks {
 					n += int64(len(*blk))
 					ing.IngestBlock(blk)
+				}
+				for _, cb := range cols {
+					n += int64(cb.Len())
+					ci.IngestColumns(cb)
 				}
 				if err != nil {
 					// This worker holds the turn, so it is the only one

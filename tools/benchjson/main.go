@@ -8,11 +8,13 @@
 //
 // Parsing keeps the numbers provisioning decisions ride on: ns/op, the
 // repo's Mrec/s custom metric, and — where a bench reports it — the on-disk
-// B/rec of the trace encoding under test. The regression gate compares only
-// Mrec/s — wall-clock ns/op varies with iteration counts and host load,
-// while records-per-second of the fixed workloads is the contract — and
-// fails (exit 1) when any benchmark present in both files lost more than
-// the tolerated fraction.
+// B/rec of the trace encoding under test. The regression gate compares
+// Mrec/s and B/rec, never wall-clock ns/op — that varies with iteration
+// counts and host load, while records-per-second and bytes-per-record of
+// the fixed workloads are the contract. It fails (exit 1) when any
+// benchmark present in both files lost more than -tolerance of its
+// throughput, or (deterministic, so the default tolerance is tight) grew
+// its encoding more than -btolerance over the baseline.
 package main
 
 import (
@@ -96,6 +98,7 @@ func main() {
 	out := flag.String("out", "", "write parsed results as JSON to this file")
 	baseline := flag.String("baseline", "", "compare Mrec/s against this JSON baseline")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional Mrec/s regression vs baseline")
+	btolerance := flag.Float64("btolerance", 0.10, "allowed fractional B/rec growth vs baseline")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -150,12 +153,21 @@ func main() {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-40s %8.2f -> %8.2f Mrec/s  %+6.1f%%  %s\n",
-			e.Name, b.MrecPerS, e.MrecPerS, change*100, status)
+		size := ""
+		if b.BPerRec > 0 && e.BPerRec > 0 {
+			growth := e.BPerRec/b.BPerRec - 1
+			size = fmt.Sprintf("  %6.3f -> %6.3f B/rec %+6.1f%%", b.BPerRec, e.BPerRec, growth*100)
+			if growth > *btolerance {
+				status = "SIZE REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-40s %8.2f -> %8.2f Mrec/s  %+6.1f%%%s  %s\n",
+			e.Name, b.MrecPerS, e.MrecPerS, change*100, size, status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: throughput regressed more than %.0f%% vs %s\n",
-			*tolerance*100, *baseline)
+		fmt.Fprintf(os.Stderr, "benchjson: regressed beyond tolerance (%.0f%% Mrec/s, %.0f%% B/rec) vs %s\n",
+			*tolerance*100, *btolerance*100, *baseline)
 		os.Exit(1)
 	}
 }
