@@ -660,6 +660,38 @@ func BenchmarkScenario(b *testing.B) {
 	b.ReportMetric(perSlot, "kbs/slot")
 }
 
+// BenchmarkScenarioAuto is BenchmarkScenario with every worker knob on
+// AutoWorkers: the self-tuning path — budget-split fills, adaptive shard,
+// tournament merge — over the identical workload. CI gates its Mrec/s
+// against the hand-tuned BenchmarkScenario baseline (benchjson -alias), so
+// "auto matches or beats hand-tuned" is a checked invariant, not a hope.
+func BenchmarkScenarioAuto(b *testing.B) {
+	var n int64
+	var perSlot float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunScenario(ScenarioConfig{
+			Spec: Scenario{
+				Seed:      uint64(i + 1),
+				Servers:   4,
+				Duration:  benchWindow,
+				Warmup:    5 * time.Minute,
+				SlotMix:   []int{22, 32, 16},
+				SpikeMult: 6,
+				RateScale: 5,
+			},
+			Parallelism: AutoWorkers,
+			GenWorkers:  AutoWorkers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += res.Aggregate.TableII.TotalPackets
+		perSlot = res.PerSlotKbs()
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+	b.ReportMetric(perSlot, "kbs/slot")
+}
+
 // BenchmarkGeneratorThroughput measures raw generation speed through a
 // per-record handler: how fast the half-billion-packet week can be
 // regenerated by a legacy consumer.

@@ -23,9 +23,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +36,7 @@ import (
 	"cstrace/internal/population"
 	"cstrace/internal/provision"
 	"cstrace/internal/report"
+	"cstrace/internal/sched"
 	"cstrace/internal/trace"
 	"cstrace/internal/webtraffic"
 )
@@ -45,40 +46,48 @@ func main() {
 	log.SetPrefix("cstrace: ")
 
 	var (
-		mode       = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | pcap | web | aggregate | provision | scenario")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		duration   = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
-		inFile     = flag.String("in", "", "input trace file (analyze/index)")
-		outFile    = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
-		format     = flag.Int("format", 4, "trace format version to write (gen): 4 = columnar compressed, 3 = compressed+indexed, 2 = indexed, 1 = legacy")
-		compress   = flag.Int("compress", 0, "v3/v4 segment compression (gen): 0 = default flate level, 1-9 = explicit level, -1 = store uncompressed")
-		players    = flag.Int("players", 100000, "target concurrent players (provision)")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded)")
-		genWorkers = flag.Int("genworkers", runtime.GOMAXPROCS(0), "generator fill-stage goroutines (week/quick/gen; 1 = serial, results identical)")
-		servers    = flag.Int("servers", 8, "fleet size (scenario)")
-		stagger    = flag.Duration("stagger", 0, "per-server launch stagger (scenario)")
-		spike      = flag.Float64("spike", 6, "launch-day arrival surge multiplier (scenario; <=1 disables)")
-		perServer  = flag.Bool("perserver", false, "print the per-server breakdown with full per-box suites (scenario)")
-		perSlim    = flag.Bool("perslim", false, "like -perserver but with the slim per-box collector set (counters + minute series); scales to hundreds of servers")
-		depths     = flag.Bool("depths", false, "print collector-group channel-depth stats after a sharded run (week/quick/analyze)")
-		from       = flag.Duration("from", 0, "analyze only records at or after this offset (analyze)")
-		to         = flag.Duration("to", 0, "analyze only records before this offset (analyze; 0 = end of trace)")
+		mode        = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | pcap | web | aggregate | provision | scenario")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		duration    = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
+		inFile      = flag.String("in", "", "input trace file (analyze/index)")
+		outFile     = flag.String("out", "", "output file (gen/pcap/scenario; .pcapng selects pcapng)")
+		format      = flag.Int("format", 4, "trace format version to write (gen): 4 = columnar compressed, 3 = compressed+indexed, 2 = indexed, 1 = legacy")
+		compress    = flag.Int("compress", 0, "v3/v4 segment compression (gen): 0 = default flate level, 1-9 = explicit level, -1 = store uncompressed")
+		players     = flag.Int("players", 100000, "target concurrent players (provision)")
+		parallelStr = flag.String("parallel", "auto", "analysis worker goroutines (week/quick/analyze/scenario; 1 = single-threaded, \"auto\" = self-tuned from the worker budget)")
+		genStr      = flag.String("genworkers", "auto", "generator fill-stage goroutines (week/quick/gen/scenario; 1 = serial, \"auto\" = split the worker budget; results identical)")
+		servers     = flag.Int("servers", 8, "fleet size (scenario)")
+		stagger     = flag.Duration("stagger", 0, "per-server launch stagger (scenario)")
+		spike       = flag.Float64("spike", 6, "launch-day arrival surge multiplier (scenario; <=1 disables)")
+		perServer   = flag.Bool("perserver", false, "print the per-server breakdown with full per-box suites (scenario)")
+		perSlim     = flag.Bool("perslim", false, "like -perserver but with the slim per-box collector set (counters + minute series); scales to hundreds of servers")
+		depths      = flag.Bool("depths", false, "print collector-group channel-depth stats (and any adaptive rebalances) after a sharded run (week/quick/analyze/scenario)")
+		from        = flag.Duration("from", 0, "analyze only records at or after this offset (analyze)")
+		to          = flag.Duration("to", 0, "analyze only records before this offset (analyze; 0 = end of trace)")
 	)
 	flag.Parse()
 
+	parallel, err := sched.ParseWorkers(*parallelStr)
+	if err != nil {
+		log.Fatalf("-parallel: %v", err)
+	}
+	genWorkers, err := sched.ParseWorkers(*genStr)
+	if err != nil {
+		log.Fatalf("-genworkers: %v", err)
+	}
+
 	start := time.Now()
-	var err error
 	switch *mode {
 	case "week":
-		err = runReproduce(cstrace.Full(*seed), *duration, *parallel, *genWorkers, *depths)
+		err = runReproduce(cstrace.Full(*seed), *duration, parallel, genWorkers, *depths)
 	case "quick":
-		err = runReproduce(cstrace.Quick(*seed), *duration, *parallel, *genWorkers, *depths)
+		err = runReproduce(cstrace.Quick(*seed), *duration, parallel, genWorkers, *depths)
 	case "nat":
 		err = runNAT(*seed)
 	case "gen":
-		err = runGen(*seed, *duration, *outFile, *format, *compress, *genWorkers)
+		err = runGen(*seed, *duration, *outFile, *format, *compress, genWorkers)
 	case "analyze":
-		err = runAnalyze(*inFile, *parallel, *from, *to, *depths)
+		err = runAnalyze(*inFile, parallel, *from, *to, *depths)
 	case "index":
 		err = runIndex(*inFile)
 	case "pcap":
@@ -96,7 +105,7 @@ func main() {
 		} else if *perServer {
 			perMode = cstrace.PerServerFull
 		}
-		err = runScenario(*seed, *servers, *duration, *stagger, *spike, *parallel, perMode, *outFile)
+		err = runScenario(*seed, *servers, *duration, *stagger, *spike, parallel, genWorkers, perMode, *outFile, *depths)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -123,22 +132,26 @@ func runReproduce(cfg cstrace.Config, override time.Duration, parallel, genWorke
 	fmt.Printf("Per-slot bandwidth: %.1f kbs across %d slots (paper: ~40 kbs)\n",
 		res.PerSlotKbs(), cfg.Game.Slots)
 	if depths {
-		printDepths(res.GroupDepths)
+		fprintDepths(os.Stdout, res.GroupDepths, res.Rebalances)
 	}
 	return nil
 }
 
-// printDepths renders sharded collector-group depth statistics: the group
-// whose mean rides the channel bound is the pipeline's straggler.
-func printDepths(ds []analysis.GroupDepth) {
+// fprintDepths renders sharded collector-group depth statistics — the
+// group whose mean rides the channel bound is the pipeline's straggler —
+// followed by the adaptive shard's rebalance history when there is one.
+func fprintDepths(w io.Writer, ds []analysis.GroupDepth, rebs []analysis.Rebalance) {
 	if len(ds) == 0 {
 		fmt.Fprintln(os.Stderr, "cstrace: no group depths (single-threaded run)")
 		return
 	}
-	fmt.Printf("Collector group depths (channel bound %d)\n", analysis.ShardChanDepth)
-	fmt.Printf("  %-16s %10s %10s %6s\n", "group", "blocks", "mean", "max")
+	fmt.Fprintf(w, "Collector group depths (channel bound %d)\n", analysis.ShardChanDepth)
+	fmt.Fprintf(w, "  %-16s %10s %10s %6s\n", "group", "blocks", "mean", "max")
 	for _, d := range ds {
-		fmt.Printf("  %-16s %10d %10.2f %6d\n", d.Name, d.Blocks, d.MeanDepth(), d.MaxDepth)
+		fmt.Fprintf(w, "  %-16s %10d %10.2f %6d\n", d.Name, d.Blocks, d.MeanDepth(), d.MaxDepth)
+	}
+	for _, r := range rebs {
+		fmt.Fprintf(w, "  rebalance @block %d: %s moved %d -> %d\n", r.Block, r.Unit, r.From, r.To)
 	}
 }
 
@@ -247,7 +260,7 @@ func runAnalyze(in string, parallel int, from, to time.Duration, depths bool) er
 		return err
 	}
 	if depths {
-		printDepths(a.GroupDepths)
+		fprintDepths(os.Stdout, a.GroupDepths, a.Rebalances)
 	}
 	log.Printf("analyzed %d records (format v%d)", a.Records, a.Version)
 	return nil
@@ -412,7 +425,7 @@ func runAggregate(seed uint64) error {
 	return nil
 }
 
-func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel int, perMode cstrace.PerServerMode, out string) error {
+func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel, genWorkers int, perMode cstrace.PerServerMode, out string, depths bool) error {
 	cfg := cstrace.LaunchDay(seed, servers)
 	if duration > 0 {
 		cfg.Spec.Duration = duration
@@ -420,6 +433,7 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 	cfg.Spec.Stagger = stagger
 	cfg.Spec.SpikeMult = spike
 	cfg.Parallelism = parallel
+	cfg.GenWorkers = genWorkers
 	cfg.PerServer = perMode
 
 	// -out persists the merged fleet stream as an indexed, compressed v4
@@ -475,6 +489,9 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 				float64(t2.MeanPPS), float64(t2.PacketsIn)/float64(t2.PacketsOut))
 		}
 		fmt.Println()
+	}
+	if depths {
+		fprintDepths(os.Stdout, res.Aggregate.GroupDepths, res.Aggregate.Rebalances)
 	}
 	fmt.Printf("Fleet: %d servers, %d slots, %.1f kbs/slot aggregate (paper: ~40 kbs)\n",
 		len(res.Servers), res.TotalSlots(), res.PerSlotKbs())

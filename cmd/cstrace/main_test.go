@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cstrace/internal/analysis"
+	"cstrace/internal/sched"
+)
+
+// captureStdout runs fn with os.Stdout redirected through a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestDepthsEndToEnd closes the latent gap that ShardedSuite.Depths was
+// never exercised through the harness: generate a real trace with the auto
+// worker knobs, analyze it sharded with -depths, and assert the printed
+// statistics parse and are non-degenerate — every group named, every group
+// fed every block, means and maxima inside the channel bound.
+func TestDepthsEndToEnd(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "depths.cst")
+	if err := runGen(5, time.Minute, traceFile, 4, 0, sched.Auto); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+
+	out := captureStdout(t, func() error {
+		return runAnalyze(traceFile, 4, 0, 0, true)
+	})
+
+	type row struct {
+		name        string
+		blocks, max int64
+		mean        float64
+	}
+	var rows []row
+	sc := bufio.NewScanner(strings.NewReader(out))
+	inTable := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "Collector group depths") {
+			var bound int
+			if _, err := fmt.Sscanf(line, "Collector group depths (channel bound %d)", &bound); err != nil {
+				t.Fatalf("unparseable depths header %q: %v", line, err)
+			}
+			if bound != analysis.ShardChanDepth {
+				t.Errorf("printed channel bound %d, want %d", bound, analysis.ShardChanDepth)
+			}
+			inTable = true
+			sc.Scan() // column header line
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			break // end of the table
+		}
+		var r row
+		r.name = fields[0]
+		if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %f %d",
+			&r.blocks, &r.mean, &r.max); err != nil {
+			t.Fatalf("unparseable depths row %q: %v", line, err)
+		}
+		rows = append(rows, r)
+	}
+	if !inTable {
+		t.Fatalf("-depths printed no depth table; output:\n%s", out)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("depth table has %d groups, want at least 2:\n%s", len(rows), out)
+	}
+
+	for _, r := range rows {
+		if r.name == "" {
+			t.Errorf("unnamed group in depth table")
+		}
+		if r.blocks <= 0 {
+			t.Errorf("group %q saw %d blocks, want > 0", r.name, r.blocks)
+		}
+		if r.mean < 0 || r.mean > float64(analysis.ShardChanDepth) {
+			t.Errorf("group %q mean depth %.2f outside [0, %d]", r.name, r.mean, analysis.ShardChanDepth)
+		}
+		if r.max < 0 || r.max > analysis.ShardChanDepth {
+			t.Errorf("group %q max depth %d outside [0, %d]", r.name, r.max, analysis.ShardChanDepth)
+		}
+		if float64(r.max) < r.mean {
+			t.Errorf("group %q max %d below mean %.2f", r.name, r.max, r.mean)
+		}
+	}
+	// The ingest groups (all but any downstream sort consumers) are fed by
+	// the same fan-out, so they must have enqueued the same block count.
+	if rows[0].blocks != rows[1].blocks {
+		t.Errorf("ingest groups disagree on block count: %d vs %d", rows[0].blocks, rows[1].blocks)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"cstrace/internal/analysis"
 	"cstrace/internal/gamesim"
 	"cstrace/internal/nat"
+	"cstrace/internal/sched"
 	"cstrace/internal/trace"
 )
 
@@ -52,16 +53,28 @@ type Config struct {
 	Extra trace.Handler
 	// Parallelism selects how many goroutines run the analysis
 	// collectors. 0 or 1 is single-threaded; 2 or more shards the suite's
-	// collector groups across workers (clamped to the number of groups).
-	// Results are byte-identical across all settings; on multi-core
-	// hardware sharding overlaps the collector sweeps with generation.
+	// collector groups across workers (clamped to the number of groups);
+	// AutoWorkers takes the suite's share from the process-wide worker
+	// budget and self-tunes the shard assignment at run time (adaptive
+	// sharding — serial on a one-core budget). Results are byte-identical
+	// across all settings; on multi-core hardware sharding overlaps the
+	// collector sweeps with generation.
 	//
 	// Generation-side parallelism is configured separately on
 	// Game.Workers: the payload-size fill stage of the generator runs on
-	// that many goroutines, again with byte-identical results. The two
-	// knobs compose — a fully parallel reproduction sets both.
+	// that many goroutines (AutoWorkers resolves it from the same
+	// budget), again with byte-identical results. The two knobs compose —
+	// a fully parallel reproduction sets both.
 	Parallelism int
 }
+
+// AutoWorkers is the worker-count sentinel meaning "resolve from the
+// process-wide worker budget" (internal/sched): concurrent stages split the
+// machine once instead of each assuming it owns GOMAXPROCS. Valid for
+// Config.Parallelism, gamesim.Config.Workers, trace.Writer.Workers,
+// ScenarioConfig.Parallelism/GenWorkers and the AnalyzeTrace parallelism
+// argument. Worker counts change speed, never results.
+const AutoWorkers = sched.Auto
 
 // Full returns the full-week reproduction configuration.
 func Full(seed uint64) Config {
@@ -97,6 +110,9 @@ type Results struct {
 	// statistics (nil for single-threaded runs) — the measurement that
 	// names the next collector-group straggler.
 	GroupDepths []analysis.GroupDepth
+	// Rebalances holds the adaptive shard's unit migrations (AutoWorkers
+	// runs only; nil otherwise).
+	Rebalances []analysis.Rebalance
 }
 
 // Reproduce runs the workload through the full analysis suite.
@@ -134,6 +150,7 @@ func Reproduce(cfg Config) (*Results, error) {
 	}
 	if sh, ok := sink.(*analysis.ShardedSuite); ok {
 		res.GroupDepths = sh.Depths()
+		res.Rebalances = sh.Rebalances()
 	}
 	return res, nil
 }
@@ -165,6 +182,9 @@ type TraceAnalysis struct {
 	// GroupDepths holds the sharded suite's per-group channel-depth
 	// statistics (nil for single-threaded runs).
 	GroupDepths []analysis.GroupDepth
+	// Rebalances holds the adaptive shard's unit migrations (AutoWorkers
+	// runs only; nil otherwise).
+	Rebalances []analysis.Rebalance
 }
 
 // AnalyzeTrace reads a persisted binary trace (format v1 through v4,
@@ -191,8 +211,18 @@ func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 		return nil, err
 	}
 	rd := trace.NewReader(src)
+	// The suite takes its budget share first (Sink resolves AutoWorkers);
+	// the decode stage then claims the remainder — the two run
+	// concurrently, so together they should cover the machine, not double
+	// it.
 	sink, closeSink := suite.Sink(parallelism)
-	n, err := rd.ReadAllSharded(sink, parallelism)
+	decodePar := parallelism
+	if parallelism == sched.Auto {
+		lease := sched.Default().Acquire(sched.Default().Total())
+		decodePar = lease.Workers()
+		defer lease.Release()
+	}
+	n, err := rd.ReadAllSharded(sink, decodePar)
 	closeSink()
 	if err != nil {
 		return nil, err
@@ -209,6 +239,7 @@ func AnalyzeTrace(src io.Reader, parallelism int) (*TraceAnalysis, error) {
 	}
 	if sh, ok := sink.(*analysis.ShardedSuite); ok {
 		a.GroupDepths = sh.Depths()
+		a.Rebalances = sh.Rebalances()
 	}
 	return a, nil
 }
@@ -253,6 +284,7 @@ func AnalyzeTraceRange(src io.Reader, parallelism int, from, to time.Duration) (
 	}
 	if sh, ok := sink.(*analysis.ShardedSuite); ok {
 		a.GroupDepths = sh.Depths()
+		a.Rebalances = sh.Rebalances()
 	}
 	return a, nil
 }

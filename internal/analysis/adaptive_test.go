@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cstrace/internal/gamesim"
+	"cstrace/internal/sched"
+	"cstrace/internal/trace"
+)
+
+// TestAdaptiveMatchesStatic is the adaptive determinism contract: the same
+// workload through ShardAdaptive — with epochs short enough that the
+// rebalancer really fires mid-run — yields exactly the collector state of a
+// single-threaded run, at every worker count. Run with -race to exercise
+// the quiesce barrier.
+func TestAdaptiveMatchesStatic(t *testing.T) {
+	cfg := shardWorkload(t)
+	sc := DefaultSuiteConfig(cfg.Duration)
+
+	newSuite := func() *Suite {
+		s, err := NewSuite(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	ref := newSuite()
+	if _, err := gamesim.Run(cfg, ref, ref.Observe); err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+	want := suiteFingerprint(ref)
+
+	for _, workers := range []int{2, 3, 4, 5} {
+		s := newSuite()
+		sh := ShardAdaptive(s, workers)
+		sh.epochLen = 8 // fast epochs: give the rebalancer many boundaries
+		if _, err := gamesim.Run(cfg, sh, sh.Observe); err != nil {
+			t.Fatal(err)
+		}
+		sh.Close()
+		if got := suiteFingerprint(s); !reflect.DeepEqual(want, got) {
+			t.Errorf("adaptive %d workers (%d rebalances): suite diverges from single-threaded",
+				workers, len(sh.Rebalances()))
+			diffFingerprint(t, want, got)
+		}
+		for _, d := range sh.Depths() {
+			if d.Blocks == 0 {
+				t.Errorf("adaptive %d workers: group %q saw no blocks", workers, d.Name)
+			}
+		}
+	}
+}
+
+// TestRebalanceMovesWorkOffStraggler injects a synthetic straggler unit —
+// a collector stub that sleeps on every block — and asserts the feedback
+// loop does its one job: the straggler's worker sheds its other unit at an
+// epoch boundary, the move is recorded, Depths' final assignment names
+// reflect it, and every unit still saw every record exactly once (the
+// results match what a static assignment computes).
+func TestRebalanceMovesWorkOffStraggler(t *testing.T) {
+	s, err := NewSuite(SuiteConfig{Duration: time.Hour, SortedInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slowN, lightN, f1N, f2N atomic.Int64
+	count := func(n *atomic.Int64) func(*shardBlock) {
+		return func(b *shardBlock) { n.Add(int64(len(b.recs))) }
+	}
+	slowSweep := count(&slowN)
+	units := []*shardUnit{
+		{name: "slow", sweep: func(b *shardBlock) {
+			time.Sleep(200 * time.Microsecond)
+			slowSweep(b)
+		}},
+		{name: "light", sweep: count(&lightN)},
+		{name: "f1", sweep: count(&f1N)},
+		{name: "f2", sweep: count(&f2N)},
+	}
+	// Split(4, 2) seats [slow light] on worker 0, [f1 f2] on worker 1.
+	sh := newAdaptive(s, units, 2)
+	sh.epochLen = 4
+
+	const blocks = 120
+	recs := make([]trace.Record, trace.BlockSize)
+	for i := range recs {
+		recs[i] = trace.Record{T: time.Duration(i) * time.Microsecond, Kind: trace.KindGame}
+	}
+	for b := 0; b < blocks; b++ {
+		sh.HandleBatch(recs) // exactly one fanned block per call
+	}
+	sh.Close()
+
+	rebs := sh.Rebalances()
+	if len(rebs) == 0 {
+		t.Fatal("no rebalance fired: the straggler was never shed")
+	}
+	first := rebs[0]
+	if first.From != 0 || first.To != 1 || first.Unit != "light" {
+		t.Errorf("first rebalance = %+v, want unit \"light\" moving 0 -> 1", first)
+	}
+	if first.Block%sh.epochLen != 0 {
+		t.Errorf("rebalance at block %d, not an epoch boundary (epoch %d)", first.Block, sh.epochLen)
+	}
+
+	// Depths reports the post-move assignment by name, and the straggler's
+	// queue is measurably the deep one.
+	ds := sh.Depths()
+	if len(ds) != 2 {
+		t.Fatalf("Depths returned %d groups, want 2", len(ds))
+	}
+	if ds[0].Name != "slow" {
+		t.Errorf("worker 0 final assignment %q, want the bare straggler \"slow\"", ds[0].Name)
+	}
+	if ds[1].Name != "f1+f2+light" {
+		t.Errorf("worker 1 final assignment %q, want \"f1+f2+light\"", ds[1].Name)
+	}
+	if ds[0].MeanDepth() <= ds[1].MeanDepth() {
+		t.Errorf("straggler mean depth %.2f not above light worker's %.2f",
+			ds[0].MeanDepth(), ds[1].MeanDepth())
+	}
+	for _, d := range ds {
+		if d.Blocks != blocks {
+			t.Errorf("group %q enqueued %d blocks, want %d (every worker sees every block)",
+				d.Name, d.Blocks, blocks)
+		}
+	}
+
+	// The migration never changed what any unit saw: all records, once.
+	want := int64(blocks) * int64(trace.BlockSize)
+	for name, got := range map[string]int64{
+		"slow": slowN.Load(), "light": lightN.Load(), "f1": f1N.Load(), "f2": f2N.Load(),
+	} {
+		if got != want {
+			t.Errorf("unit %q swept %d records, want %d", name, got, want)
+		}
+	}
+}
+
+// TestRebalanceQuietWhenBalanced: with even synthetic load there is no
+// straggler, so the adaptive shard must not churn assignments.
+func TestRebalanceQuietWhenBalanced(t *testing.T) {
+	s, err := NewSuite(SuiteConfig{Duration: time.Hour, SortedInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b atomic.Int64
+	units := []*shardUnit{
+		{name: "a", sweep: func(blk *shardBlock) { a.Add(int64(len(blk.recs))) }},
+		{name: "b", sweep: func(blk *shardBlock) { b.Add(int64(len(blk.recs))) }},
+	}
+	sh := newAdaptive(s, units, 2)
+	sh.epochLen = 4
+	recs := make([]trace.Record, trace.BlockSize)
+	for i := range recs {
+		recs[i] = trace.Record{T: time.Duration(i) * time.Microsecond, Kind: trace.KindGame}
+	}
+	for blk := 0; blk < 64; blk++ {
+		sh.HandleBatch(recs)
+	}
+	sh.Close()
+	if rebs := sh.Rebalances(); len(rebs) != 0 {
+		t.Errorf("balanced load still rebalanced: %+v", rebs)
+	}
+}
+
+// TestSinkAutoFollowsBudget: Sink(sched.Auto) must resolve to a plain
+// serial suite when the budget is one core (the CI box contract: auto
+// equals hand-tuned serial) and to an adaptive shard when cores are free —
+// releasing its budget share at close either way.
+func TestSinkAutoFollowsBudget(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	s, err := NewSuite(SuiteConfig{Duration: time.Hour, SortedInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, closeSink := s.Sink(sched.Auto)
+	if _, sharded := h.(*ShardedSuite); sharded {
+		t.Error("one-core budget: Sink(Auto) must be the serial suite")
+	}
+	closeSink()
+
+	runtime.GOMAXPROCS(4)
+	s2, err := NewSuite(SuiteConfig{Duration: time.Hour, SortedInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, closeSink2 := s2.Sink(sched.Auto)
+	sh, sharded := h2.(*ShardedSuite)
+	if !sharded || !sh.adaptive {
+		t.Fatalf("four-core budget: Sink(Auto) = %T (adaptive=%v), want adaptive ShardedSuite", h2, sharded && sh.adaptive)
+	}
+	if free := sched.Default().Free(); free != 4-len(sh.ingest)-len(sh.down) {
+		t.Errorf("budget free %d while the auto sink holds %d workers of 4",
+			free, len(sh.ingest)+len(sh.down))
+	}
+	closeSink2()
+	if free := sched.Default().Free(); free != 4 {
+		t.Errorf("budget free %d after close, want 4 (lease leaked)", free)
+	}
+}

@@ -3,7 +3,9 @@ package analysis
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"cstrace/internal/sched"
 	"cstrace/internal/trace"
 )
 
@@ -49,6 +51,9 @@ type shardBlock struct {
 	owned *trace.Block       // non-nil when recs aliases a transferred trace block
 	cols  *trace.ColumnBlock // non-nil when the columns of recs are also held
 	refs  atomic.Int32
+	// barrier marks a quiesce marker from the adaptive shard: the worker
+	// signals it and moves on without sweeping or releasing.
+	barrier *sync.WaitGroup
 }
 
 // release drops one reference and recycles the block when it was the last.
@@ -112,6 +117,10 @@ type shardWorker struct {
 	depth  GroupDepth
 	ch     chan *shardBlock
 	sweeps []func(*shardBlock)
+	// units is the adaptive-mode assignment (exactly one of sweeps/units
+	// is populated): the enqueuer mutates it at quiesced epoch boundaries
+	// and the worker times each unit's sweep for the rebalance decision.
+	units []*shardUnit
 }
 
 func newShardWorker(name string, sweeps ...func(*shardBlock)) *shardWorker {
@@ -139,8 +148,17 @@ func (w *shardWorker) send(blk *shardBlock) {
 func (w *shardWorker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for blk := range w.ch {
+		if blk.barrier != nil {
+			blk.barrier.Done()
+			continue
+		}
 		for _, sweep := range w.sweeps {
 			sweep(blk)
+		}
+		for _, u := range w.units {
+			t0 := time.Now()
+			u.sweep(blk)
+			u.cost += time.Since(t0)
 		}
 		blk.release()
 	}
@@ -158,6 +176,15 @@ type ShardedSuite struct {
 	downWg  sync.WaitGroup
 	pending *shardBlock
 	stopped bool
+
+	// Adaptive mode (see adaptive.go): epoch clock, depth snapshot at the
+	// last epoch boundary, and the migration history. All owned by the
+	// single logical enqueuer.
+	adaptive   bool
+	blocks     int64
+	epochLen   int64
+	lastEpoch  []GroupDepth
+	rebalances []Rebalance
 }
 
 // sortedFan sits behind the suite's SortBuffer in split mode: each released
@@ -329,6 +356,7 @@ func (sh *ShardedSuite) flush() {
 	for _, w := range sh.ingest {
 		w.send(blk)
 	}
+	sh.fanned()
 }
 
 // IngestBlock implements trace.BlockIngester: a decoded block is fanned out
@@ -350,6 +378,7 @@ func (sh *ShardedSuite) IngestBlock(blk *trace.Block) {
 	for _, w := range sh.ingest {
 		w.send(b)
 	}
+	sh.fanned()
 }
 
 // IngestColumns implements trace.ColumnIngester: a column-decoded segment
@@ -371,6 +400,7 @@ func (sh *ShardedSuite) IngestColumns(cb *trace.ColumnBlock) {
 	for _, w := range sh.ingest {
 		w.send(b)
 	}
+	sh.fanned()
 }
 
 // Close flushes pending records, drains and stops the workers, then
@@ -400,10 +430,17 @@ func (sh *ShardedSuite) Close() {
 // Depths returns every collector group's channel-depth statistics, ingest
 // groups first. Only valid after Close; the straggler is the group whose
 // mean depth rides the channel bound (its consumers are always behind).
+// For an adaptive shard the names reflect each worker's final unit
+// assignment (the depth statistics are cumulative across assignments; see
+// Rebalances for the migration history).
 func (sh *ShardedSuite) Depths() []GroupDepth {
 	out := make([]GroupDepth, 0, len(sh.ingest)+len(sh.down))
 	for _, w := range sh.ingest {
-		out = append(out, w.depth)
+		d := w.depth
+		if sh.adaptive {
+			d.Name = unitNames(w.units)
+		}
+		out = append(out, d)
 	}
 	for _, w := range sh.down {
 		out = append(out, w.depth)
@@ -412,10 +449,23 @@ func (sh *ShardedSuite) Depths() []GroupDepth {
 }
 
 // Sink returns the suite's ingest handler for the given parallelism level
-// and the matching finalizer: the suite itself below 2, a sharded wrapper
-// otherwise. Call close exactly once after the last record (also on error
-// paths — a sharded suite leaks worker goroutines otherwise).
+// and the matching finalizer: the suite itself below 2, a statically
+// sharded wrapper for explicit counts of 2 or more, and — for
+// sched.Auto — an adaptive shard sized by a grant from the process-wide
+// worker budget (released by close; a budget of one core resolves to the
+// plain single-threaded suite). Call close exactly once after the last
+// record (also on error paths — a sharded suite leaks worker goroutines
+// otherwise).
 func (s *Suite) Sink(parallelism int) (h trace.Handler, close func()) {
+	if parallelism == sched.Auto {
+		lease := sched.Default().Acquire(maxAutoShardWorkers)
+		if lease.Workers() < 2 {
+			lease.Release()
+			return s, s.Close
+		}
+		sh := ShardAdaptive(s, lease.Workers())
+		return sh, func() { sh.Close(); lease.Release() }
+	}
 	if parallelism > 1 {
 		sh := Shard(s, parallelism)
 		return sh, sh.Close

@@ -6,6 +6,7 @@ import (
 
 	"cstrace/internal/dist"
 	"cstrace/internal/eventsim"
+	"cstrace/internal/sched"
 	"cstrace/internal/trace"
 )
 
@@ -146,6 +147,13 @@ type sim struct {
 // run; ev keeps firing from the coordinating goroutine, so an EventFunc
 // that shares state with h must tolerate the two running concurrently.
 func Run(cfg Config, h trace.Handler, ev EventFunc) (Stats, error) {
+	if cfg.Workers == sched.Auto {
+		// Resolve the fill-stage share from the process budget for the
+		// run's lifetime. Worker counts change speed, never output.
+		lease := sched.Default().Acquire(sched.Default().Total())
+		cfg.Workers = lease.Workers()
+		defer lease.Release()
+	}
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}

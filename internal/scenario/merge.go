@@ -1,0 +1,123 @@
+package scenario
+
+// loserTree is the fleet merge: a tournament tree over the per-server
+// block streams that replaces the container/heap merge loop. The order
+// contract is unchanged — emit the (minT, server) minimum, refill that
+// stream, repeat — but the per-block cost drops from heap.Fix's ~2·log2 k
+// interface-dispatched Less calls to exactly ceil(log2 k) inline integer
+// comparisons: the merge goroutine is the one serial stage of a fleet run,
+// so at high server counts its per-block constant is the fleet's ceiling.
+//
+// Layout: m = next power of two ≥ k leaves (streams; the padding leaves
+// are permanently exhausted and lose every match), node[1..m-1] hold each
+// internal match's *loser*, node[0] the overall winner. Re-inserting a
+// refilled stream touches only the leaf's root path: compare against each
+// stored loser, swap when the incumbent wins, and the element that
+// survives to the top is the new overall winner.
+//
+// Refill is deferred: next pops the winner and only receives the stream's
+// next block at the following call, so the caller dispatches the popped
+// block downstream while the winning server's generator refills its
+// channel — the same overlap the heap loop had.
+type loserTree struct {
+	chans []chan *fleetBlock
+	head  []*fleetBlock // current head per leaf; nil = exhausted
+	node  []int         // node[0] = winner leaf, node[1..m-1] = match losers
+	m     int           // leaf count, next power of two >= len(chans)
+	fill  int           // leaf awaiting refill before the next pop; -1 = none
+}
+
+// newLoserTree blocks for one head block per stream (index order, exactly
+// like the heap merge's prime loop) and builds the initial tournament.
+func newLoserTree(chans []chan *fleetBlock) *loserTree {
+	m := 1
+	for m < len(chans) {
+		m <<= 1
+	}
+	lt := &loserTree{
+		chans: chans,
+		head:  make([]*fleetBlock, m),
+		node:  make([]int, m),
+		m:     m,
+		fill:  -1,
+	}
+	for i, ch := range chans {
+		if blk, ok := <-ch; ok {
+			lt.head[i] = blk
+		}
+	}
+	lt.build()
+	return lt
+}
+
+// build runs the full initial tournament: winner(n) resolves subtree n's
+// winning leaf, storing each match's loser at its node on the way up.
+func (lt *loserTree) build() {
+	if lt.m == 1 {
+		return // node[0] is already leaf 0
+	}
+	var winner func(n int) int
+	winner = func(n int) int {
+		if n >= lt.m {
+			return n - lt.m
+		}
+		a, b := winner(2*n), winner(2*n+1)
+		if lt.beats(b, a) {
+			a, b = b, a
+		}
+		lt.node[n] = b
+		return a
+	}
+	lt.node[0] = winner(1)
+}
+
+// beats reports whether leaf a's head precedes leaf b's under the merge
+// order: (minT, stream index), with an exhausted stream as +infinity.
+func (lt *loserTree) beats(a, b int) bool {
+	ha, hb := lt.head[a], lt.head[b]
+	switch {
+	case hb == nil:
+		return ha != nil || a < b
+	case ha == nil:
+		return false
+	case ha.minT != hb.minT:
+		return ha.minT < hb.minT
+	}
+	return a < b
+}
+
+// replay re-seats leaf j after its head changed: walk j's root path,
+// swapping with any stored loser that now beats the climbing element.
+func (lt *loserTree) replay(j int) {
+	if lt.m == 1 {
+		return
+	}
+	w := j
+	for n := (lt.m + j) / 2; n >= 1; n /= 2 {
+		if lt.beats(lt.node[n], w) {
+			w, lt.node[n] = lt.node[n], w
+		}
+	}
+	lt.node[0] = w
+}
+
+// next pops the merge's next block and its stream index; ok is false once
+// every stream is exhausted. The popped stream's refill happens at the
+// start of the following call.
+func (lt *loserTree) next() (blk *fleetBlock, server int, ok bool) {
+	if j := lt.fill; j >= 0 {
+		lt.fill = -1
+		if nb, open := <-lt.chans[j]; open {
+			lt.head[j] = nb
+		} else {
+			lt.head[j] = nil
+		}
+		lt.replay(j)
+	}
+	w := lt.node[0]
+	if lt.head[w] == nil {
+		return nil, 0, false
+	}
+	lt.fill = w
+	return lt.head[w], w, true
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Reference k-way merge: the container/heap implementation the loser tree
+// replaced, kept verbatim as the test oracle. Property tests assert the
+// tournament emits exactly the sequence this does, element for element.
+
+type refHead struct {
+	blk    *fleetBlock
+	server int
+}
+
+type refHeap []refHead
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].blk.minT != h[j].blk.minT {
+		return h[i].blk.minT < h[j].blk.minT
+	}
+	return h[i].server < h[j].server
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refHead)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type emitted struct {
+	blk    *fleetBlock
+	server int
+}
+
+// refMerge drains the streams with the reference heap.
+func refMerge(chans []chan *fleetBlock) []emitted {
+	var out []emitted
+	var h refHeap
+	for i, ch := range chans {
+		if blk, ok := <-ch; ok {
+			h = append(h, refHead{blk: blk, server: i})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		head := h[0]
+		out = append(out, emitted{blk: head.blk, server: head.server})
+		if blk, ok := <-chans[head.server]; ok {
+			h[0] = refHead{blk: blk, server: head.server}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// treeMerge drains the streams with the loser tree under test.
+func treeMerge(chans []chan *fleetBlock) []emitted {
+	var out []emitted
+	lt := newLoserTree(chans)
+	for {
+		blk, server, ok := lt.next()
+		if !ok {
+			return out
+		}
+		out = append(out, emitted{blk: blk, server: server})
+	}
+}
+
+// randomStreams builds k per-stream block sequences with seeded random
+// lengths and non-decreasing minT values (real streams are time-ordered),
+// deliberately including duplicate timestamps across streams so the
+// server-index tiebreak is exercised, and empty streams.
+func randomStreams(rng *rand.Rand, k, maxLen int) [][]*fleetBlock {
+	streams := make([][]*fleetBlock, k)
+	for i := range streams {
+		n := rng.Intn(maxLen + 1)
+		var t time.Duration
+		for j := 0; j < n; j++ {
+			// Coarse quantization: collisions across streams are common.
+			t += time.Duration(rng.Intn(4)) * 50 * time.Millisecond
+			streams[i] = append(streams[i], &fleetBlock{minT: t})
+		}
+	}
+	return streams
+}
+
+// feed replays the pre-built streams into fresh channels.
+func feed(streams [][]*fleetBlock) []chan *fleetBlock {
+	chans := make([]chan *fleetBlock, len(streams))
+	for i, s := range streams {
+		chans[i] = make(chan *fleetBlock, streamDepth)
+		go func(ch chan *fleetBlock, blocks []*fleetBlock) {
+			for _, b := range blocks {
+				ch <- b
+			}
+			close(ch)
+		}(chans[i], s)
+	}
+	return chans
+}
+
+func assertSameMerge(t *testing.T, streams [][]*fleetBlock) {
+	t.Helper()
+	want := refMerge(feed(streams))
+	got := treeMerge(feed(streams))
+	if len(got) != len(want) {
+		t.Fatalf("loser tree emitted %d blocks, reference heap %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].blk != want[i].blk || got[i].server != want[i].server {
+			t.Fatalf("emission %d: tree gave stream %d block %p (minT %v), heap gave stream %d block %p (minT %v)",
+				i, got[i].server, got[i].blk, got[i].blk.minT,
+				want[i].server, want[i].blk, want[i].blk.minT)
+		}
+	}
+}
+
+// TestLoserTreeMatchesHeapMerge is the property test: across seeded random
+// fleet shapes — stream counts, lengths, timestamp collisions, empty
+// streams — the tournament's emission sequence equals the reference heap's
+// element for element (same block pointer, same stream, same position).
+func TestLoserTreeMatchesHeapMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(17) // 1..17 covers power-of-two boundaries 1,2,4,8,16
+		streams := randomStreams(rng, k, 40)
+		assertSameMerge(t, streams)
+	}
+}
+
+// TestLoserTreeSingleStream pins the N=1 degenerate case: the tree is a
+// bare leaf and must drain the stream in channel order.
+func TestLoserTreeSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	streams := randomStreams(rng, 1, 100)
+	got := treeMerge(feed(streams))
+	if len(got) != len(streams[0]) {
+		t.Fatalf("emitted %d of %d blocks", len(got), len(streams[0]))
+	}
+	for i, e := range got {
+		if e.blk != streams[0][i] || e.server != 0 {
+			t.Fatalf("emission %d: got stream %d block %p, want stream 0 block %p",
+				i, e.server, e.blk, streams[0][i])
+		}
+	}
+}
+
+// TestLoserTreeThousandStreams is the wide edge case: 1000 streams (padded
+// to 1024 leaves, most of a level exhausted from the start once short
+// streams drain) still merge in exact reference order.
+func TestLoserTreeThousandStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	streams := randomStreams(rng, 1000, 3)
+	assertSameMerge(t, streams)
+}
+
+// TestLoserTreeAllEmpty: a fleet whose every stream closes without a block
+// must terminate immediately.
+func TestLoserTreeAllEmpty(t *testing.T) {
+	streams := make([][]*fleetBlock, 5)
+	if got := treeMerge(feed(streams)); len(got) != 0 {
+		t.Fatalf("emitted %d blocks from empty streams", len(got))
+	}
+}

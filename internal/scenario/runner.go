@@ -1,12 +1,12 @@
 package scenario
 
 import (
-	"container/heap"
 	"sync"
 	"time"
 
 	"cstrace/internal/analysis"
 	"cstrace/internal/gamesim"
+	"cstrace/internal/sched"
 	"cstrace/internal/trace"
 )
 
@@ -100,31 +100,12 @@ type Result struct {
 	Stats gamesim.Stats
 	// Servers holds per-server stats (and suites when requested).
 	Servers []ServerResult
-}
-
-// mergeHead is one stream's current block in the merge heap.
-type mergeHead struct {
-	blk    *fleetBlock
-	server int
-}
-
-type mergeHeap []mergeHead
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].blk.minT != h[j].blk.minT {
-		return h[i].blk.minT < h[j].blk.minT
-	}
-	return h[i].server < h[j].server
-}
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeHead)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	// GroupDepths holds the aggregate suite's collector-group channel
+	// statistics when the merge fed a sharded sink; nil for serial runs.
+	GroupDepths []analysis.GroupDepth
+	// Rebalances holds the adaptive shard's unit migrations (Parallelism
+	// auto); nil for serial and statically sharded runs.
+	Rebalances []analysis.Rebalance
 }
 
 // Run simulates the fleet: every server generates on its own goroutine, the
@@ -144,12 +125,34 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sink, closeSink := suite.Sink(cfg.Parallelism)
+	// The aggregate sink takes its share of the worker budget first (Sink
+	// resolves sched.Auto against it); the fill stages split what is left.
+	// Order matters on small boxes: the merge-fed suite is the run's one
+	// always-hot consumer, the fills backpressure behind it.
+	rawSink, closeSink := suite.Sink(cfg.Parallelism)
+	sink := rawSink
 	if cfg.Extra != nil {
 		sink = trace.Tee(sink, cfg.Extra)
 	}
 
 	n := len(cfg.Servers)
+	genWorkers := make([]int, n)
+	for i := range genWorkers {
+		genWorkers[i] = cfg.Servers[i].Game.Workers
+	}
+	switch {
+	case cfg.GenWorkers == sched.Auto:
+		// One fair split of the budget's remainder instead of n servers
+		// independently resolving Auto (which would hand the whole machine
+		// to whichever server asked first).
+		lease := sched.Default().Acquire(sched.Default().Total())
+		defer lease.Release()
+		copy(genWorkers, sched.Split(lease.Workers(), n))
+	case cfg.GenWorkers > 0:
+		for i := range genWorkers {
+			genWorkers[i] = cfg.GenWorkers
+		}
+	}
 	res := &Result{Horizon: horizon, Suite: suite, Servers: make([]ServerResult, n)}
 	chans := make([]chan *fleetBlock, n)
 	events := make([][]taggedEvent, n)
@@ -180,6 +183,7 @@ func Run(cfg Config) (*Result, error) {
 		go func(i int, sp ServerSpec, per *analysis.Suite, slim *analysis.SlimSuite) {
 			defer wg.Done()
 			defer close(chans[i])
+			sp.Game.Workers = genWorkers[i]
 			ss := &serverSink{out: chans[i], offset: sp.StartOffset, per: per, slim: slim}
 			ev := func(e gamesim.SessionEvent) {
 				if per != nil {
@@ -203,24 +207,15 @@ func Run(cfg Config) (*Result, error) {
 	// K-way merge on this goroutine: hold one head block per live stream,
 	// repeatedly emit the (minT, server) minimum and refill that stream.
 	// Channels are FIFO, so per-server block order is preserved no matter
-	// what the tags say; the heap only decides the interleave.
-	var h mergeHeap
-	for i, ch := range chans {
-		if blk, ok := <-ch; ok {
-			h = append(h, mergeHead{blk: blk, server: i})
+	// what the tags say; the tournament only decides the interleave.
+	lt := newLoserTree(chans)
+	for {
+		blk, _, ok := lt.next()
+		if !ok {
+			break
 		}
-	}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		head := h[0]
-		trace.Dispatch(sink, head.blk.recs)
-		fleetBlockPool.Put(head.blk)
-		if blk, ok := <-chans[head.server]; ok {
-			h[0] = mergeHead{blk: blk, server: head.server}
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
+		trace.Dispatch(sink, blk.recs)
+		fleetBlockPool.Put(blk)
 	}
 	wg.Wait()
 
@@ -236,6 +231,10 @@ func Run(cfg Config) (*Result, error) {
 	// record stream, so feeding it after the records changes nothing.
 	mergeEvents(events, func(te taggedEvent) { suite.Observe(te.ev) })
 	closeSink()
+	if sh, ok := rawSink.(*analysis.ShardedSuite); ok {
+		res.GroupDepths = sh.Depths()
+		res.Rebalances = sh.Rebalances()
+	}
 
 	res.Stats = aggregateStats(res, horizon)
 	return res, nil

@@ -8,6 +8,8 @@ import (
 	"io"
 	"slices"
 	"time"
+
+	"cstrace/internal/sched"
 )
 
 // Binary trace format: a fixed header followed by delta-encoded records.
@@ -408,9 +410,10 @@ func (w *Writer) level() int {
 }
 
 // useAsync reports whether sealed segments should compress on the worker
-// pipeline.
+// pipeline. sched.Auto counts as parallel here; the pipeline resolves the
+// actual pool size from the process worker budget when it starts.
 func (w *Writer) useAsync() bool {
-	return w.Workers > 1 && w.version >= version3 && w.CompressLevel != CompressOff
+	return (w.Workers > 1 || w.Workers == sched.Auto) && w.version >= version3 && w.CompressLevel != CompressOff
 }
 
 // assembleColumnar seals the column runs into one raw columnar payload

@@ -8,6 +8,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"cstrace/internal/sched"
 )
 
 // Write-side segment compression. compScratch is the deterministic
@@ -152,6 +154,7 @@ type compResult struct {
 type compPipeline struct {
 	w     *Writer
 	level int
+	lease *sched.Lease // budget grant backing an Auto-sized pool; may be nil
 
 	jobs   chan compJob
 	order  chan chan compResult
@@ -165,9 +168,18 @@ type compPipeline struct {
 
 func newCompPipeline(w *Writer) *compPipeline {
 	workers := w.Workers
+	var lease *sched.Lease
+	if workers == sched.Auto {
+		// The pipeline holds its budget share for its whole life — it is
+		// created at the first sealed segment and compresses until Flush
+		// drains it. Pool size changes speed only; bytes are identical.
+		lease = sched.Default().Acquire(sched.Default().Total())
+		workers = lease.Workers()
+	}
 	depth := 2 * workers
 	p := &compPipeline{
 		w:      w,
+		lease:  lease,
 		level:  w.level(),
 		jobs:   make(chan compJob, workers),
 		order:  make(chan chan compResult, depth),
@@ -281,5 +293,8 @@ func (p *compPipeline) drain() error {
 	p.wg.Wait()
 	close(p.order)
 	<-p.emDone
+	if p.lease != nil {
+		p.lease.Release()
+	}
 	return p.getErr()
 }

@@ -41,9 +41,16 @@ type ScenarioConfig struct {
 	// suite sized to the fleet horizon.
 	Suite analysis.SuiteConfig
 	// Parallelism shards the aggregate suite's collector groups, exactly
-	// as Config.Parallelism does; results are byte-identical across
-	// settings.
+	// as Config.Parallelism does (AutoWorkers grants the suite its share
+	// of the worker budget and self-tunes the assignment); results are
+	// byte-identical across settings.
 	Parallelism int
+	// GenWorkers overrides every server's fill-stage worker count: 0
+	// keeps each ServerSpec's own Game.Workers, AutoWorkers splits the
+	// worker budget's remainder fairly across the fleet, and a positive
+	// value applies to every server. Results are byte-identical across
+	// settings.
+	GenWorkers int
 	// PerServer selects per-box collection alongside the aggregate:
 	// PerServerFull runs a complete per-server analysis suite for per-box
 	// vs aggregate comparison; PerServerSlim collects only counters and
@@ -99,6 +106,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResults, error) {
 		Servers:     servers,
 		Suite:       cfg.Suite,
 		Parallelism: cfg.Parallelism,
+		GenWorkers:  cfg.GenWorkers,
 		PerServer:   cfg.PerServer,
 		Extra:       cfg.Extra,
 	}
@@ -123,6 +131,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResults, error) {
 		TableIII: res.Suite.Count.TableIII(),
 		Regions: analysis.Regions(res.Suite.VT.Points(), rc.Suite.VarTimeBase,
 			first.TickInterval, first.MapDuration+first.MapChangePause),
+		GroupDepths: res.GroupDepths,
+		Rebalances:  res.Rebalances,
 	}
 	return &ScenarioResults{
 		Config:    cfg,

@@ -99,7 +99,27 @@ func main() {
 	baseline := flag.String("baseline", "", "compare Mrec/s against this JSON baseline")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional Mrec/s regression vs baseline")
 	btolerance := flag.Float64("btolerance", 0.10, "allowed fractional B/rec growth vs baseline")
+	match := flag.String("match", "", "gate only benchmarks whose name matches this regexp (default: all)")
+	aliases := flag.String("alias", "", "comma-separated New=Baseline pairs: gate benchmark New against the baseline's entry for Baseline (e.g. BenchmarkScenarioAuto=BenchmarkScenario)")
 	flag.Parse()
+
+	var gateRe *regexp.Regexp
+	if *match != "" {
+		var err error
+		if gateRe, err = regexp.Compile(*match); err != nil {
+			fatal(fmt.Errorf("-match: %w", err))
+		}
+	}
+	alias := map[string]string{}
+	if *aliases != "" {
+		for _, pair := range strings.Split(*aliases, ",") {
+			newName, baseName, ok := strings.Cut(pair, "=")
+			if !ok || newName == "" || baseName == "" {
+				fatal(fmt.Errorf("-alias: malformed pair %q (want New=Baseline)", pair))
+			}
+			alias[newName] = baseName
+		}
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -143,9 +163,20 @@ func main() {
 	}
 	failed := false
 	for _, e := range entries {
-		b, ok := baseBy[e.Name]
+		if gateRe != nil && !gateRe.MatchString(e.Name) {
+			continue
+		}
+		baseName := e.Name
+		if a, ok := alias[e.Name]; ok {
+			baseName = a
+		}
+		b, ok := baseBy[baseName]
 		if !ok || b.MrecPerS == 0 || e.MrecPerS == 0 {
 			continue
+		}
+		label := e.Name
+		if baseName != e.Name {
+			label = e.Name + " vs " + baseName
 		}
 		change := e.MrecPerS/b.MrecPerS - 1
 		status := "ok"
@@ -163,7 +194,7 @@ func main() {
 			}
 		}
 		fmt.Printf("%-40s %8.2f -> %8.2f Mrec/s  %+6.1f%%%s  %s\n",
-			e.Name, b.MrecPerS, e.MrecPerS, change*100, size, status)
+			label, b.MrecPerS, e.MrecPerS, change*100, size, status)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchjson: regressed beyond tolerance (%.0f%% Mrec/s, %.0f%% B/rec) vs %s\n",
