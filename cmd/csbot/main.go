@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"cstrace/internal/gameserver"
@@ -31,6 +32,8 @@ func main() {
 		rate    = flag.Float64("rate", 24, "user commands per second per bot")
 		runFor  = flag.Duration("for", 30*time.Second, "how long to play (0 = until interrupt)")
 		namePfx = flag.String("name", "bot", "player name prefix")
+		drop    = flag.Float64("drop", 0, "probability a user command is dropped before send")
+		jitter  = flag.Duration("jitter", 0, "stddev of the half-normal delay added to each send")
 	)
 	flag.Parse()
 
@@ -49,7 +52,10 @@ func main() {
 		*addr = best.Addr.String()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM matters as much as ^C here: process managers and CI send it,
+	// and a bot torn down without the context cancel never sends its
+	// Disconnect, leaving a slot to rot until the server's idle timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *runFor > 0 {
 		var cancel context.CancelFunc
@@ -66,6 +72,8 @@ func main() {
 			CmdRate:        *rate,
 			ConnectTimeout: 3 * time.Second,
 			Seed:           uint64(i + 1),
+			Drop:           *drop,
+			Jitter:         *jitter,
 		}
 		b, err := gameserver.Dial(cfg)
 		if err != nil {
@@ -88,7 +96,7 @@ func main() {
 
 	for i, b := range bots {
 		st := b.Stats()
-		log.Printf("bot %d: sent %d cmds (%d B), received %d snapshots (%d B), last tick %d",
-			i, st.CmdsSent, st.BytesSent, st.SnapshotsRecv, st.BytesRecv, st.LastTick)
+		log.Printf("bot %d: sent %d cmds (%d B), dropped %d, received %d snapshots (%d B), last tick %d",
+			i, st.CmdsSent, st.BytesSent, st.CmdsDropped, st.SnapshotsRecv, st.BytesRecv, st.LastTick)
 	}
 }

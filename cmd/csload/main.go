@@ -1,0 +1,384 @@
+// Command csload is a ctraffic-style load harness for the reference game
+// server: it drives N bot connections at a target user-command rate against
+// one or more csserver targets, prints a continuous monitor line, injects
+// disturbances (server kill, client-path loss and jitter), and writes a
+// machine-readable JSON summary.
+//
+//	csload -targets 127.0.0.1:27015 -bots 16 -rate 24 -for 30s
+//	csload -master 127.0.0.1:27010 -bots 16            # discover via master
+//	csload -spawn 2 -bots 8 -kill-after 5s -for 15s    # self-contained fail-over run
+//	csload -spawn 1 -bots 8 -for 10s -trace /tmp/live -compare
+//
+// With -spawn the harness runs its own in-process servers (and master) on
+// loopback — real UDP sockets driven by the same gameserver code as
+// cmd/csserver — which is what makes -kill-after and -trace possible without
+// external orchestration. -trace captures each spawned server's datagram
+// exchange into a v4 trace file via the server's BatchTap; -compare then
+// feeds the capture(s) to cstrace.AnalyzeTrace next to a matched in-process
+// simulation, printing the simulated-vs-actual report that closes the loop
+// between the repository's traffic model and the kernel's UDP stack.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/bits"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cstrace"
+	"cstrace/internal/analysis"
+	"cstrace/internal/discovery"
+	"cstrace/internal/gamesim"
+	"cstrace/internal/loadtest"
+	"cstrace/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csload: ")
+
+	var (
+		targets   = flag.String("targets", "", "comma-separated csserver addresses to load")
+		master    = flag.String("master", "", "master server address for discovery-driven connects")
+		spawn     = flag.Int("spawn", 0, "spawn this many in-process loopback servers (self-contained mode)")
+		bots      = flag.Int("bots", 8, "concurrent bot connections to hold open")
+		rate      = flag.Float64("rate", 24, "user commands per second per bot")
+		runFor    = flag.Duration("for", 30*time.Second, "run duration (0 = until interrupt)")
+		connRate  = flag.Float64("connrate", 0, "connection attempts per second (0 = unlimited)")
+		connBurst = flag.Int("connburst", 1, "connection attempt burst size")
+		monitor   = flag.Duration("monitor", time.Second, "monitor line interval")
+		statsOut  = flag.String("stats", "", "write the JSON run summary to this file")
+		seed      = flag.Uint64("seed", 1, "seed for bot movement and injection randomness")
+
+		drop      = flag.Float64("drop", 0, "probability a user command is dropped before send")
+		jitter    = flag.Duration("jitter", 0, "stddev of the half-normal delay added to each send")
+		killAfter = flag.Duration("kill-after", 0, "kill one spawned server this long into the run")
+		killIdx   = flag.Int("kill", 0, "index of the spawned server to kill")
+
+		slots     = flag.Int("slots", 22, "player capacity of each spawned server")
+		tick      = flag.Duration("tick", 50*time.Millisecond, "snapshot interval of spawned servers")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "spawned servers' master heartbeat")
+		tracePfx  = flag.String("trace", "", "capture each spawned server's traffic to <prefix>-<i>.trace")
+		compare   = flag.Bool("compare", false, "after the run, analyze the capture(s) against a matched simulation")
+	)
+	flag.Parse()
+
+	if *spawn <= 0 && *targets == "" && *master == "" {
+		log.Fatal("nothing to load: give -targets, -master, or -spawn")
+	}
+	if *killAfter > 0 && *spawn <= 0 {
+		log.Fatal("-kill-after needs -spawn: external servers expose no kill hook")
+	}
+	if (*tracePfx != "" || *compare) && *spawn <= 0 {
+		log.Fatal("-trace/-compare need -spawn: capture taps an in-process server")
+	}
+	if *compare && *tracePfx == "" {
+		log.Fatal("-compare needs -trace: there is no capture to analyze")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := loadtest.Config{
+		Master:    *master,
+		Bots:      *bots,
+		CmdRate:   *rate,
+		Duration:  *runFor,
+		ConnRate:  *connRate,
+		ConnBurst: *connBurst,
+		Monitor:   *monitor,
+		Logf:      log.Printf,
+		Drop:      *drop,
+		Jitter:    *jitter,
+		KillAfter: *killAfter,
+		KillIndex: *killIdx,
+		Seed:      *seed,
+	}
+	for _, a := range splitComma(*targets) {
+		cfg.Targets = append(cfg.Targets, loadtest.Target{Addr: a})
+	}
+
+	// Self-contained mode: in-process master + servers on loopback.
+	var spawned []*loadtest.Spawned
+	var traceFiles []string
+	var traceFlush []func() error
+	if *spawn > 0 {
+		masterAddr := *master
+		if masterAddr == "" {
+			ttl := 6 * *heartbeat
+			if ttl < 2*time.Second {
+				ttl = 2 * time.Second
+			}
+			m, err := discovery.ListenMaster(discovery.MasterConfig{Addr: "127.0.0.1:0", TTL: ttl})
+			if err != nil {
+				log.Fatalf("master: %v", err)
+			}
+			defer m.Close()
+			masterAddr = m.Addr().String()
+			cfg.Master = masterAddr
+			log.Printf("master on %s (ttl %v)", masterAddr, ttl)
+		}
+		for i := 0; i < *spawn; i++ {
+			scfg := loadtest.SpawnConfig{
+				Slots:     *slots,
+				Tick:      *tick,
+				Name:      fmt.Sprintf("csload-%d", i),
+				Master:    masterAddr,
+				Heartbeat: *heartbeat,
+			}
+			if *tracePfx != "" {
+				name := fmt.Sprintf("%s-%d.trace", *tracePfx, i)
+				f, err := os.Create(name)
+				if err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+				fw := bufio.NewWriterSize(f, 1<<20)
+				scfg.TraceOut = fw
+				traceFiles = append(traceFiles, name)
+				traceFlush = append(traceFlush, func() error {
+					if err := fw.Flush(); err != nil {
+						f.Close()
+						return err
+					}
+					return f.Close()
+				})
+			}
+			s, err := loadtest.Spawn(scfg)
+			if err != nil {
+				log.Fatalf("spawn %d: %v", i, err)
+			}
+			log.Printf("server %d on %s", i, s.Addr())
+			spawned = append(spawned, s)
+			cfg.Targets = append(cfg.Targets, s.Target())
+		}
+	}
+
+	start := time.Now()
+	st, err := loadtest.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	// Shut the spawned servers down (sealing their captures) and flush the
+	// capture files to disk before any analysis touches them. The killed
+	// server is already stopped; Shutdown is idempotent.
+	for _, s := range spawned {
+		if err := s.Shutdown(); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	for _, fl := range traceFlush {
+		if err := fl(); err != nil {
+			log.Printf("trace flush: %v", err)
+		}
+	}
+
+	log.Printf("done in %v: %s", time.Since(start).Round(time.Millisecond), st.Final.MonitorLine())
+	if st.Kill != nil {
+		if st.Kill.RecoveredAt > 0 {
+			log.Printf("kill %s at %v, fleet recovered at %v (window %v)",
+				st.Kill.Target, st.Kill.At.Round(time.Millisecond),
+				st.Kill.RecoveredAt.Round(time.Millisecond),
+				(st.Kill.RecoveredAt - st.Kill.At).Round(time.Millisecond))
+		} else {
+			log.Printf("kill %s at %v, fleet did not fully recover before the end",
+				st.Kill.Target, st.Kill.At.Round(time.Millisecond))
+		}
+	}
+
+	if *statsOut != "" {
+		buf, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		if err := os.WriteFile(*statsOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		log.Printf("stats written to %s", *statsOut)
+	}
+
+	if *compare {
+		if err := compareRun(os.Stdout, st, traceFiles, *tick, *slots, *seed); err != nil {
+			log.Fatalf("compare: %v", err)
+		}
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, f := range bytes.Split([]byte(s), []byte(",")) {
+		if t := bytes.TrimSpace(f); len(t) > 0 {
+			out = append(out, string(t))
+		}
+	}
+	return out
+}
+
+// compareRun analyzes the captured trace(s) and a simulation matched to the
+// run's shape (same slots, tick, command rate, a stable full house) and
+// prints the side-by-side report.
+func compareRun(w io.Writer, st *loadtest.Stats, files []string, tick time.Duration, slots int, seed uint64) error {
+	actual, err := analyzeCaptures(files)
+	if err != nil {
+		return err
+	}
+	sim, err := matchedSim(st, tick, slots, seed)
+	if err != nil {
+		return err
+	}
+	writeComparison(w, sim, actual, tick)
+	return nil
+}
+
+// capturesAnalysis aggregates the analyses of every per-server capture:
+// counters and size histograms merge exactly; interarrival quantiles come
+// from the busiest capture (interarrival state is not mergeable across
+// independent sockets, and the busiest server is the representative one).
+type capturesAnalysis struct {
+	Records    int64
+	PacketsIn  int64
+	PacketsOut int64
+	BytesIn    int64
+	BytesOut   int64
+	SizeIn     *analysis.SizeDist
+	SizeOut    *analysis.SizeDist // same object; split kept for clarity
+	busiest    *cstrace.TraceAnalysis
+}
+
+func analyzeCaptures(files []string) (*capturesAnalysis, error) {
+	agg := &capturesAnalysis{}
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		a, err := cstrace.AnalyzeTrace(f, runtime.NumCPU())
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		agg.Records += a.Records
+		agg.PacketsIn += a.Suite.Count.PacketsIn
+		agg.PacketsOut += a.Suite.Count.PacketsOut
+		agg.BytesIn += a.Suite.Count.AppBytesIn
+		agg.BytesOut += a.Suite.Count.AppBytesOut
+		if agg.SizeIn == nil {
+			agg.SizeIn = a.Suite.Sizes
+		} else {
+			agg.SizeIn.In.Merge(a.Suite.Sizes.In)
+			agg.SizeIn.Out.Merge(a.Suite.Sizes.Out)
+		}
+		if agg.busiest == nil || a.Records > agg.busiest.Records {
+			agg.busiest = a
+		}
+	}
+	if agg.busiest == nil {
+		return nil, fmt.Errorf("no captures analyzed")
+	}
+	agg.SizeOut = agg.SizeIn
+	return agg, nil
+}
+
+// matchedSim runs the repository's traffic model with the harness's shape —
+// a full house of ordinary clients at the run's command rate and tick, no
+// diurnal cycle, no downloads, no outages — and analyzes it through the same
+// trace pipeline the capture went through.
+func matchedSim(st *loadtest.Stats, tick time.Duration, slots int, seed uint64) (*cstrace.TraceAnalysis, error) {
+	cfg := gamesim.PaperConfig(seed)
+	cfg.Duration = st.Duration.Truncate(tick)
+	if cfg.Duration < tick {
+		cfg.Duration = tick
+	}
+	cfg.Warmup = 0
+	cfg.Slots = slots
+	cfg.TickInterval = tick
+	cfg.CmdRate = st.CmdRate
+	// Saturate admission instantly and keep everyone seated: the harness
+	// holds a fixed fleet, so the sim should too.
+	cfg.AttemptRate = float64(st.Bots) * 10
+	cfg.SessionMean = cfg.Duration.Seconds() * 100
+	cfg.MinSession = cfg.SessionMean
+	cfg.DiurnalAmp = 0
+	cfg.SpikeMult = 0
+	cfg.TouristFrac = 0
+	cfg.EliteFrac = 0
+	cfg.LogoDownloadProb = 0
+	cfg.LogoUploadProb = 0
+	cfg.Outages = nil
+	cfg.MapDuration = cfg.Duration + time.Hour
+	if st.Bots < slots {
+		// The harness fleet may be smaller than the server: cap the sim's
+		// population so occupancy matches.
+		cfg.Slots = st.Bots
+	}
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	if _, err := gamesim.Run(cfg, tw, nil); err != nil {
+		return nil, err
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return cstrace.AnalyzeTrace(bytes.NewReader(buf.Bytes()), runtime.NumCPU())
+}
+
+// tickBucketMass returns the fraction of direction-d interarrivals in the
+// log₂ bucket containing the tick interval: bucket b of the Interarrival
+// histogram covers gaps in [2^(b-1), 2^b) µs, so the tick's bucket index is
+// bits.Len of its microsecond count.
+func tickBucketMass(a *cstrace.TraceAnalysis, d trace.Direction, tick time.Duration) float64 {
+	_, counts := a.Suite.Gaps.Histogram(d)
+	idx := bits.Len64(uint64(tick.Microseconds()))
+	if idx >= len(counts) {
+		idx = len(counts) - 1
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(counts[idx]) / float64(total)
+}
+
+func writeComparison(w io.Writer, sim *cstrace.TraceAnalysis, act *capturesAnalysis, tick time.Duration) {
+	b := act.busiest
+	fmt.Fprintf(w, "\nsimulated vs actual (matched gamesim vs live capture)\n")
+	fmt.Fprintf(w, "%-34s %14s %14s\n", "metric", "simulated", "actual")
+	row := func(name string, sv, av any) {
+		fmt.Fprintf(w, "%-34s %14v %14v\n", name, sv, av)
+	}
+	row("records", sim.Records, act.Records)
+	row("packets in (client→server)", sim.Suite.Count.PacketsIn, act.PacketsIn)
+	row("packets out (server→client)", sim.Suite.Count.PacketsOut, act.PacketsOut)
+	row("app bytes in", sim.Suite.Count.AppBytesIn, act.BytesIn)
+	row("app bytes out", sim.Suite.Count.AppBytesOut, act.BytesOut)
+	row("mean in payload (B)",
+		fmt.Sprintf("%.1f", sim.Suite.Sizes.In.Mean()),
+		fmt.Sprintf("%.1f", act.SizeIn.In.Mean()))
+	row("mean out payload (B)",
+		fmt.Sprintf("%.1f", sim.Suite.Sizes.Out.Mean()),
+		fmt.Sprintf("%.1f", act.SizeOut.Out.Mean()))
+	row("out interarrival p50",
+		sim.Suite.Gaps.Quantile(trace.Out, 0.5),
+		b.Suite.Gaps.Quantile(trace.Out, 0.5))
+	row("in interarrival p50",
+		sim.Suite.Gaps.Quantile(trace.In, 0.5),
+		b.Suite.Gaps.Quantile(trace.In, 0.5))
+	row(fmt.Sprintf("out mass in %v log2 bucket", tick),
+		fmt.Sprintf("%.3f", tickBucketMass(sim, trace.Out, tick)),
+		fmt.Sprintf("%.3f", tickBucketMass(b, trace.Out, tick)))
+	fmt.Fprintf(w, "(interarrival rows use the busiest capture; counters and sizes aggregate all captures)\n")
+}

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"cstrace/internal/discovery"
@@ -35,7 +36,7 @@ func main() {
 	defer m.Close()
 	log.Printf("listening on %s (ttl %v)", m.Addr(), *ttl)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	t := time.NewTicker(*statsInt)

@@ -8,16 +8,19 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"cstrace/internal/discovery"
 	"cstrace/internal/gameserver"
+	"cstrace/internal/loadtest"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 		master   = flag.String("master", "", "master server address to register with (optional)")
 		beat     = flag.Duration("heartbeat", time.Minute, "master heartbeat period")
 		statsInt = flag.Duration("stats", 10*time.Second, "stats print interval")
+		traceOut = flag.String("trace", "", "capture all traffic to this v4 trace file")
 	)
 	flag.Parse()
 
@@ -44,6 +48,28 @@ func main() {
 		ClientTimeout: *timeout,
 		MapName:       *mapName,
 		ServerName:    *srvName,
+	}
+	var capture *loadtest.Capture
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fw := bufio.NewWriterSize(f, 1<<20)
+		capture = loadtest.NewCapture(fw, *tick)
+		cfg.BatchTap = capture
+		defer func() {
+			if err := capture.Flush(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			if err := fw.Flush(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			log.Printf("trace written to %s", *traceOut)
+		}()
 	}
 	srv, err := gameserver.Listen(cfg)
 	if err != nil {
@@ -62,7 +88,7 @@ func main() {
 		log.Printf("registered with master %s (heartbeat %v)", *master, *beat)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	go func() {

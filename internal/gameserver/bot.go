@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cstrace/internal/dist"
@@ -25,6 +26,21 @@ type BotConfig struct {
 	ConnectTimeout time.Duration
 	// Seed drives the bot's movement.
 	Seed uint64
+
+	// Drop is the probability a user command is discarded before the
+	// socket write — loss injected on the client send path, the harness-
+	// edge mirror of internal/netem's queue drops. Handshake and
+	// disconnect datagrams are exempt so connection state stays clean.
+	Drop float64
+	// Jitter, when > 0, delays each user command by |N(0, Jitter)| before
+	// the write (the same half-normal spread internal/netem adds to
+	// propagation). Delayed commands may reorder, as on a real jittery
+	// path.
+	Jitter time.Duration
+	// SnapshotTimeout, when > 0, makes Run return ErrServerSilent once no
+	// snapshot has arrived for that long — the dead-server detection a
+	// fail-over harness needs. The clock starts at Run.
+	SnapshotTimeout time.Duration
 }
 
 // DefaultBotConfig returns an ordinary-client bot.
@@ -40,7 +56,10 @@ func DefaultBotConfig(addr string) BotConfig {
 
 // BotStats counts one bot's traffic.
 type BotStats struct {
-	CmdsSent      int64
+	CmdsSent int64
+	// CmdsDropped counts user commands discarded by the client-side loss
+	// injection (BotConfig.Drop).
+	CmdsDropped   int64
 	SnapshotsRecv int64
 	BytesSent     int64
 	BytesRecv     int64
@@ -121,16 +140,29 @@ func Dial(cfg BotConfig) (*Bot, error) {
 // ErrServerFull reports a refused connection.
 var ErrServerFull = errors.New("gameserver: server full")
 
+// ErrServerSilent reports that the server stopped sending snapshots for
+// longer than BotConfig.SnapshotTimeout — the client-side symptom of a
+// crashed or partitioned server, and the trigger for fail-over.
+var ErrServerSilent = errors.New("gameserver: server went silent")
+
 // PlayerID returns the granted slot id.
 func (b *Bot) PlayerID() uint8 { return b.playerID }
 
 // MapName returns the map reported by the server.
 func (b *Bot) MapName() string { return b.mapName }
 
-// Run plays until ctx is done: it streams user commands at CmdRate and
-// consumes snapshots. It sends a Disconnect on the way out.
+// Run plays until ctx is done: it streams user commands at CmdRate —
+// subject to the configured Drop/Jitter injection — and consumes
+// snapshots. On a clean exit (ctx done) it waits out any jitter-delayed
+// commands, sends a Disconnect as its final datagram (never dropped or
+// delayed, so the server frees the slot instead of waiting for the idle
+// timeout), and returns nil. With SnapshotTimeout set it instead returns
+// ErrServerSilent — without a Disconnect, since the server is presumed
+// dead — once the snapshot stream stalls.
 func (b *Bot) Run(ctx context.Context) error {
 	done := make(chan struct{})
+	var lastRecv atomic.Int64 // UnixNano of the last snapshot
+	lastRecv.Store(time.Now().UnixNano())
 	go func() {
 		defer close(done)
 		buf := make([]byte, 4096)
@@ -145,11 +177,15 @@ func (b *Bot) Run(ctx context.Context) error {
 				case <-ctx.Done():
 					return
 				default:
+					if errors.Is(err, net.ErrClosed) {
+						return
+					}
 					continue
 				}
 			}
 			if typ, err := protocol.Peek(buf[:n]); err == nil && typ == protocol.MsgSnapshot {
 				if snap.Unmarshal(buf[:n]) == nil {
+					lastRecv.Store(time.Now().UnixNano())
 					b.statsMu.Lock()
 					b.stats.SnapshotsRecv++
 					b.stats.BytesRecv += int64(n)
@@ -161,6 +197,18 @@ func (b *Bot) Run(ctx context.Context) error {
 		}
 	}()
 
+	// pending tracks jitter-delayed sends so shutdown can flush them
+	// before the disconnect goes out.
+	var pending sync.WaitGroup
+	send := func(msg []byte) {
+		if n, err := b.conn.Write(msg); err == nil {
+			b.statsMu.Lock()
+			b.stats.CmdsSent++
+			b.stats.BytesSent += int64(n)
+			b.statsMu.Unlock()
+		}
+	}
+
 	interval := time.Duration(float64(time.Second) / b.cfg.CmdRate)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -168,14 +216,19 @@ func (b *Bot) Run(ctx context.Context) error {
 	for {
 		select {
 		case <-ctx.Done():
-			msg, err := (&protocol.Disconnect{PlayerID: b.playerID, Reason: "done"}).Marshal(nil)
-			if err == nil {
-				_, _ = b.conn.Write(msg)
-			}
+			pending.Wait()
+			b.sendDisconnect()
 			b.conn.Close()
 			<-done
 			return nil
 		case <-ticker.C:
+			if b.cfg.SnapshotTimeout > 0 &&
+				time.Since(time.Unix(0, lastRecv.Load())) > b.cfg.SnapshotTimeout {
+				pending.Wait()
+				b.conn.Close()
+				<-done
+				return ErrServerSilent
+			}
 			seq++
 			cmd := protocol.UserCmd{
 				PlayerID: b.playerID,
@@ -186,17 +239,41 @@ func (b *Bot) Run(ctx context.Context) error {
 				MoveX:    int8(b.rng.Intn(3) - 1),
 				MoveY:    int8(b.rng.Intn(3) - 1),
 			}
+			if b.cfg.Drop > 0 && b.rng.Float64() < b.cfg.Drop {
+				b.statsMu.Lock()
+				b.stats.CmdsDropped++
+				b.statsMu.Unlock()
+				continue
+			}
 			msg, err := cmd.Marshal(nil)
 			if err != nil {
 				continue
 			}
-			if n, err := b.conn.Write(msg); err == nil {
-				b.statsMu.Lock()
-				b.stats.CmdsSent++
-				b.stats.BytesSent += int64(n)
-				b.statsMu.Unlock()
+			if b.cfg.Jitter > 0 {
+				j := b.rng.NormFloat64() * float64(b.cfg.Jitter)
+				if j < 0 {
+					j = -j
+				}
+				pending.Add(1)
+				time.AfterFunc(time.Duration(j), func() {
+					defer pending.Done()
+					send(msg)
+				})
+			} else {
+				send(msg)
 			}
 		}
+	}
+}
+
+// sendDisconnect announces a clean leave. It bypasses the Drop/Jitter
+// injection: the disturbances model the data path, not the client's intent
+// to leave, and a swallowed disconnect would turn every shutdown into a
+// server-side timeout.
+func (b *Bot) sendDisconnect() {
+	msg, err := (&protocol.Disconnect{PlayerID: b.playerID, Reason: "done"}).Marshal(nil)
+	if err == nil {
+		_, _ = b.conn.Write(msg)
 	}
 }
 

@@ -1,0 +1,87 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzMonitorLine throws arbitrary lines at the parser and checks the
+// contract both ways: the parser never panics, and any line it accepts
+// re-renders and re-parses to the same sample (print∘parse is idempotent).
+func FuzzMonitorLine(f *testing.F) {
+	f.Add(sampleFixture().MonitorLine())
+	f.Add(Sample{}.MonitorLine())
+	f.Add("t=1s active=1 conn=1 fail=0 over=0 sent=1 drop=0 recv=1 txB=1 rxB=1 rtt=1µs/2µs/3µs")
+	f.Add("")
+	f.Add("t=1s t=1s")
+	f.Add("rtt=1s/2s")
+	f.Add("active=-9223372036854775808")
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseMonitorLine(line)
+		if err != nil {
+			return
+		}
+		line2 := s.MonitorLine()
+		s2, err := ParseMonitorLine(line2)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", line, line2, err)
+		}
+		if s2 != s {
+			t.Fatalf("parse(%q) = %+v, but parse(print) = %+v", line, s, s2)
+		}
+	})
+}
+
+// FuzzSampleRoundTrip drives the renderer from arbitrary field values:
+// whatever the counters are, MonitorLine must parse back losslessly, and the
+// JSON encoding must survive a round trip too. Durations are clamped
+// non-negative — the harness never reports negative times, and
+// time.Duration's "-1µs" rendering is not part of the contract.
+func FuzzSampleRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(time.Second), int64(8), int64(384), int64(40960), int64(181000), int64(301000))
+	f.Add(int64(1<<62), int64(1)<<62, int64(-5), int64(7), int64(1<<40), int64(3))
+	f.Fuzz(func(t *testing.T, tns, active, sent, bytesRecv, rttp50, rttp99 int64) {
+		clamp := func(v int64) time.Duration {
+			if v < 0 {
+				return 0
+			}
+			return time.Duration(v)
+		}
+		s := Sample{
+			T:         clamp(tns),
+			Active:    active,
+			Connects:  active + 1,
+			Failed:    sent / 2,
+			Failovers: active / 3,
+			Sent:      sent,
+			Dropped:   sent / 10,
+			Recv:      bytesRecv / 128,
+			BytesSent: sent * 36,
+			BytesRecv: bytesRecv,
+			RTTP50:    clamp(rttp50),
+			RTTP95:    clamp((rttp50 + rttp99) / 2),
+			RTTP99:    clamp(rttp99),
+		}
+		got, err := ParseMonitorLine(s.MonitorLine())
+		if err != nil {
+			t.Fatalf("own line rejected: %v (%q)", err, s.MonitorLine())
+		}
+		if got != s {
+			t.Fatalf("monitor round trip:\n got %+v\nwant %+v", got, s)
+		}
+
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js Sample
+		if err := json.Unmarshal(buf, &js); err != nil {
+			t.Fatal(err)
+		}
+		if js != s {
+			t.Fatalf("json round trip:\n got %+v\nwant %+v", js, s)
+		}
+	})
+}

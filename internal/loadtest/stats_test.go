@@ -1,0 +1,146 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleFixture() Sample {
+	return Sample{
+		T:         2*time.Second + 123*time.Millisecond,
+		Active:    8,
+		Connects:  11,
+		Failed:    2,
+		Failovers: 3,
+		Sent:      384,
+		Dropped:   7,
+		Recv:      320,
+		BytesSent: 13824,
+		BytesRecv: 40960,
+		RTTP50:    181 * time.Microsecond,
+		RTTP95:    260 * time.Microsecond,
+		RTTP99:    301 * time.Microsecond,
+	}
+}
+
+func TestMonitorLineRoundTrip(t *testing.T) {
+	want := sampleFixture()
+	line := want.MonitorLine()
+	got, err := ParseMonitorLine(line)
+	if err != nil {
+		t.Fatalf("ParseMonitorLine(%q): %v", line, err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The zero sample must round-trip too (zero durations print as "0s").
+	zero := Sample{}
+	got, err = ParseMonitorLine(zero.MonitorLine())
+	if err != nil {
+		t.Fatalf("zero sample: %v", err)
+	}
+	if got != zero {
+		t.Fatalf("zero sample round trip: %+v", got)
+	}
+}
+
+func TestParseMonitorLineErrors(t *testing.T) {
+	valid := sampleFixture().MonitorLine()
+	cases := map[string]string{
+		"empty":         "",
+		"not key=value": "t=1s active",
+		"unknown key":   valid + " bogus=1",
+		"duplicate key": valid + " sent=1",
+		"bad number":    strings.Replace(valid, "sent=384", "sent=x", 1),
+		"bad duration":  strings.Replace(valid, "t=2.123s", "t=never", 1),
+		"short rtt":     strings.Replace(valid, "rtt=181µs/260µs/301µs", "rtt=181µs/260µs", 1),
+		"missing key":   strings.Replace(valid, " recv=320", "", 1),
+	}
+	for name, line := range cases {
+		if _, err := ParseMonitorLine(line); err == nil {
+			t.Errorf("%s: ParseMonitorLine(%q) succeeded, want error", name, line)
+		}
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	want := Stats{
+		Bots:      8,
+		CmdRate:   24,
+		Targets:   []string{"127.0.0.1:27015", "127.0.0.1:27016"},
+		Duration:  10 * time.Second,
+		Drop:      0.05,
+		Jitter:    2 * time.Millisecond,
+		KillAfter: 5 * time.Second,
+		Seed:      42,
+		Final:     sampleFixture(),
+		Samples:   []Sample{{T: time.Second, Active: 8}, sampleFixture()},
+		Kill: &KillEvent{
+			Target:      "127.0.0.1:27015",
+			At:          5 * time.Second,
+			RecoveredAt: 6 * time.Second,
+		},
+		RTT: RTTStats{Count: 100, Failed: 3, Min: time.Microsecond,
+			P50: 2 * time.Microsecond, P95: 3 * time.Microsecond,
+			P99: 4 * time.Microsecond, Max: 5 * time.Microsecond},
+		PerBot: []BotSummary{{ID: 0, Server: "127.0.0.1:27016", Connects: 2,
+			Failovers: 1, Sent: 100, Dropped: 4, Recv: 90,
+			BytesSent: 3600, BytesRecv: 9000}},
+	}
+	buf, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kill == nil || *got.Kill != *want.Kill {
+		t.Fatalf("Kill round trip: %+v", got.Kill)
+	}
+	got.Kill, want.Kill = nil, nil
+	if len(got.Samples) != len(want.Samples) || got.Samples[1] != want.Samples[1] {
+		t.Fatalf("Samples round trip: %+v", got.Samples)
+	}
+	if len(got.PerBot) != 1 || got.PerBot[0] != want.PerBot[0] {
+		t.Fatalf("PerBot round trip: %+v", got.PerBot)
+	}
+	if got.Final != want.Final || got.RTT != want.RTT || got.Bots != want.Bots ||
+		got.Duration != want.Duration || got.Seed != want.Seed {
+		t.Fatalf("scalar round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRTTQuantiles(t *testing.T) {
+	if p50, p95, p99, min, max := rttQuantiles(nil); p50 != 0 || p95 != 0 || p99 != 0 || min != 0 || max != 0 {
+		t.Fatal("empty input should yield zeros")
+	}
+	// One sample: every quantile is that sample.
+	p50, p95, p99, min, max := rttQuantiles([]float64{0.001})
+	for _, d := range []time.Duration{p50, p95, p99, min, max} {
+		if d != time.Millisecond {
+			t.Fatalf("single sample quantile = %v, want 1ms", d)
+		}
+	}
+	// 100 samples 1ms..100ms: p50 lands mid-range regardless of input order.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(100-i) / 1000 // reversed order on purpose
+	}
+	p50, _, p99, min, max = rttQuantiles(samples)
+	if min != time.Millisecond || max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", min, max)
+	}
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v, want mid-range", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	// rttQuantiles must not reorder its input.
+	if samples[0] != 0.1 {
+		t.Fatal("input slice was mutated")
+	}
+}
