@@ -20,7 +20,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -142,16 +141,12 @@ func main() {
 				if err != nil {
 					log.Fatalf("trace: %v", err)
 				}
-				fw := bufio.NewWriterSize(f, 1<<20)
-				scfg.TraceOut = fw
+				// The capture gets the *os.File itself so its per-segment
+				// fsync is real durability: a crashed run leaves salvageable
+				// traces, not a full 1 MB buffer of lost records.
+				scfg.TraceOut = f
 				traceFiles = append(traceFiles, name)
-				traceFlush = append(traceFlush, func() error {
-					if err := fw.Flush(); err != nil {
-						f.Close()
-						return err
-					}
-					return f.Close()
-				})
+				traceFlush = append(traceFlush, f.Close)
 			}
 			s, err := loadtest.Spawn(scfg)
 			if err != nil {
@@ -169,19 +164,29 @@ func main() {
 		log.Fatalf("run: %v", err)
 	}
 
-	// Shut the spawned servers down (sealing their captures) and flush the
-	// capture files to disk before any analysis touches them. The killed
-	// server is already stopped; Shutdown is idempotent.
-	for _, s := range spawned {
+	// Shut the spawned servers down (sealing their captures) and close the
+	// capture files before any analysis touches them. The killed server is
+	// already stopped; Shutdown is idempotent. A capture that failed to
+	// seal is a failed run — the measurement is the product — so it exits
+	// nonzero after the teardown completes, with the latched cause logged.
+	captureFailed := false
+	for i, s := range spawned {
 		if err := s.Shutdown(); err != nil {
-			log.Printf("shutdown: %v", err)
+			log.Printf("shutdown %d: capture failed to seal: %v (salvage with cstrace -mode salvage)", i, err)
+			captureFailed = true
 		}
 	}
 	for _, fl := range traceFlush {
 		if err := fl(); err != nil {
-			log.Printf("trace flush: %v", err)
+			log.Printf("trace close: %v", err)
+			captureFailed = true
 		}
 	}
+	defer func() {
+		if captureFailed {
+			os.Exit(1)
+		}
+	}()
 
 	log.Printf("done in %v: %s", time.Since(start).Round(time.Millisecond), st.Final.MonitorLine())
 	if st.Kill != nil {

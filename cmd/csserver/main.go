@@ -8,7 +8,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"log"
@@ -26,6 +25,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("csserver: ")
+
+	// A failed capture must turn into a nonzero exit, but only after every
+	// deferred teardown has run — hence the first-registered exit hook.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 
 	var (
 		addr     = flag.String("addr", "127.0.0.1:27015", "UDP listen address")
@@ -55,18 +63,22 @@ func main() {
 		if err != nil {
 			log.Fatalf("trace: %v", err)
 		}
-		fw := bufio.NewWriterSize(f, 1<<20)
-		capture = loadtest.NewCapture(fw, *tick)
+		// The capture writes the *os.File directly — no buffering wrapper —
+		// so its per-segment fsync makes every sealed frame durable: a
+		// SIGKILL at any point leaves a file `cstrace -mode salvage`
+		// recovers. (The trace.Writer carries its own write buffer.)
+		capture = loadtest.NewCapture(f, *tick)
 		cfg.BatchTap = capture
 		defer func() {
-			if err := capture.Flush(); err != nil {
-				log.Printf("trace: %v", err)
+			sealErr := capture.Flush()
+			if closeErr := f.Close(); sealErr == nil {
+				sealErr = closeErr
 			}
-			if err := fw.Flush(); err != nil {
-				log.Printf("trace: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Printf("trace: %v", err)
+			if sealErr != nil {
+				log.Printf("trace: capture failed to seal: %v (latched: %v) — salvage %s with cstrace -mode salvage",
+					sealErr, capture.Err(), *traceOut)
+				exitCode = 1
+				return
 			}
 			log.Printf("trace written to %s", *traceOut)
 		}()
@@ -107,8 +119,12 @@ func main() {
 		}
 	}()
 
+	// Serve errors flow through the exit hook instead of log.Fatal so the
+	// deferred capture seal still runs — the trace outlives the server.
 	if err := srv.Serve(ctx); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		exitCode = 1
+		return
 	}
 	log.Print("shut down")
 }

@@ -11,6 +11,9 @@
 //	                                       tune/disable flate)
 //	cstrace -mode analyze -in trace.cst    analyze a trace (-parallel N: segment decode + sharded suite)
 //	cstrace -mode index -in trace.cst      inspect a trace's segment index without decoding it
+//	cstrace -mode salvage -in torn.cst     recover a crashed capture: scan and validate the
+//	                                       segment frames, report the intact prefix, and
+//	                                       (-out fixed.cst) rewrite it as a sealed v4 trace
 //	cstrace -mode pcap  -out trace.pcap    export a (short) trace as pcap or pcapng
 //	cstrace -mode web   -seed 1            web/TCP baseline through the NAT device
 //	cstrace -mode aggregate -seed 1        population self-similarity study
@@ -46,7 +49,7 @@ func main() {
 	log.SetPrefix("cstrace: ")
 
 	var (
-		mode        = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | pcap | web | aggregate | provision | scenario")
+		mode        = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | salvage | pcap | web | aggregate | provision | scenario")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		duration    = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
 		inFile      = flag.String("in", "", "input trace file (analyze/index)")
@@ -90,6 +93,8 @@ func main() {
 		err = runAnalyze(*inFile, parallel, *from, *to, *depths)
 	case "index":
 		err = runIndex(*inFile)
+	case "salvage":
+		err = runSalvage(*inFile, *outFile, parallel)
 	case "pcap":
 		err = runPcap(*seed, *duration, *outFile)
 	case "web":
@@ -340,6 +345,94 @@ func runIndex(in string) error {
 			i, si.Offset, si.PayloadLen, si.RawLen, si.Count, enc,
 			si.MinT.Round(time.Millisecond), si.MaxT.Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runSalvage recovers a damaged capture: it scans the segment frames,
+// reports the intact prefix (always), and with -out rewrites the salvaged
+// records as a fresh, sealed v4 trace that every other mode reads normally.
+func runSalvage(in, out string, parallel int) error {
+	if in == "" {
+		return fmt.Errorf("salvage: -in required")
+	}
+	if parallel < 1 {
+		parallel = sched.Default().Total()
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+
+	ix, rep, err := trace.Recover(f, st.Size())
+	if errors.Is(err, trace.ErrNoIndex) {
+		// v1 has no segment frames to scan; the serial reader's records-
+		// before-error delivery is the whole salvage story.
+		return salvageV1(f, in, out)
+	}
+	if err != nil {
+		return fmt.Errorf("salvage: %s: %w", in, err)
+	}
+	log.Printf("%s: %s", in, rep)
+	if out == "" {
+		return nil
+	}
+
+	g, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	w := trace.NewWriter(g)
+	if _, err := trace.DecodeIndex(f, ix, w, parallel); err != nil {
+		return fmt.Errorf("salvage: decoding the intact prefix: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("salvage: sealing %s: %w", out, err)
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d salvaged records to %s (format v%d, sealed)", w.Count(), out, w.Version())
+	return nil
+}
+
+// salvageV1 recovers an unsegmented v1 stream: scan serially, keep the
+// records before the first error.
+func salvageV1(f *os.File, in, out string) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var w *trace.Writer
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		w = trace.NewWriter(g)
+	}
+	n, serr := trace.NewReader(f).ReadAllPrefetch(trace.HandlerFunc(func(r trace.Record) {
+		if w != nil {
+			_ = w.Write(r) // a write failure latches; Flush reports it
+		}
+	}))
+	if serr != nil {
+		log.Printf("%s: v1 trace: %d records intact before the damage (%v)", in, n, serr)
+	} else {
+		log.Printf("%s: v1 trace: all %d records intact; nothing to salvage", in, n)
+	}
+	if w == nil {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("salvage: sealing %s: %w", out, err)
+	}
+	log.Printf("wrote %d salvaged records to %s (format v%d, sealed)", w.Count(), out, w.Version())
 	return nil
 }
 

@@ -1,0 +1,346 @@
+// Package faultio provides io.Writer / io.WriterAt / io.ReaderAt wrappers
+// with programmable faults, for testing how the trace layer degrades when
+// the storage underneath it misbehaves: a write that lands short, a disk
+// that fills after N bytes, a power cut that tears a write at byte k, an
+// fsync that starts failing and never recovers, a read that comes back with
+// a flipped bit.
+//
+// The wrappers model the failure semantics of a real file descriptor, not
+// just the error return: once a write-side fault fires, the fault latches
+// and every later operation fails with the same error (a file past ENOSPC
+// does not heal), while the bytes written before the fault — and only those
+// — remain visible through Bytes. That latching is exactly what the
+// crash-only capture path must survive: a trace.Writer over a faulty sink
+// must never emit a later segment after an earlier one failed, and the
+// durable prefix must stay a valid segment stream that trace.Recover can
+// salvage.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrNoSpace is the injected disk-full error (the wrapper's ENOSPC).
+var ErrNoSpace = errors.New("faultio: no space left on device")
+
+// ErrSyncFailed is the injected fsync failure.
+var ErrSyncFailed = errors.New("faultio: sync failed")
+
+// ErrTorn is the injected power-cut error: the write stopped mid-datagram
+// and nothing after it reached the medium.
+var ErrTorn = errors.New("faultio: torn write")
+
+// Writer wraps an io.Writer with programmable write-side faults. The zero
+// value with only W set is a transparent pass-through. Writer is safe for
+// concurrent use.
+type Writer struct {
+	// W is the underlying sink. Nil means "collect only": bytes accumulate
+	// in the wrapper and are retrievable with Bytes — the common testing
+	// arrangement, since Bytes shows exactly the durable prefix.
+	W io.Writer
+
+	// FailAt, when > 0, injects Err (default ErrNoSpace) once total bytes
+	// written would exceed it: the write that crosses the boundary lands
+	// short — the first FailAt-offset bytes of it are written — and returns
+	// the error, like a disk filling mid-write. The fault latches: every
+	// later Write and Sync fails with the same error.
+	FailAt int64
+	// Err overrides the injected error (nil selects ErrNoSpace).
+	Err error
+	// Torn, when true, makes the failing write report ErrTorn instead and
+	// write only the short prefix — a crash mid-write rather than a polite
+	// ENOSPC. Implies the same latching.
+	Torn bool
+	// SyncFailAfter, when > 0, makes Sync fail (latched, ErrSyncFailed)
+	// starting with the Nth call: SyncFailAfter = 1 fails the first Sync.
+	// Writes keep succeeding — the failure mode of a disk whose cache
+	// accepts writes it can no longer persist.
+	SyncFailAfter int
+
+	mu      sync.Mutex
+	buf     []byte
+	n       int64
+	syncs   int
+	latched error
+}
+
+// Write implements io.Writer with the configured faults.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.latched != nil {
+		return 0, w.latched
+	}
+	n := len(p)
+	var ferr error
+	if w.FailAt > 0 && w.n+int64(len(p)) > w.FailAt {
+		n = int(w.FailAt - w.n)
+		if n < 0 {
+			n = 0
+		}
+		ferr = w.faultErr()
+		w.latched = ferr
+	}
+	if n > 0 {
+		if w.W != nil {
+			m, err := w.W.Write(p[:n])
+			if err != nil {
+				w.latched = err
+				w.n += int64(m)
+				w.buf = append(w.buf, p[:m]...)
+				return m, err
+			}
+		}
+		w.buf = append(w.buf, p[:n]...)
+		w.n += int64(n)
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return n, nil
+}
+
+// Sync implements the Sync() error method the trace.Writer probes for,
+// with the configured sync fault.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.latched != nil {
+		return w.latched
+	}
+	w.syncs++
+	if w.SyncFailAfter > 0 && w.syncs >= w.SyncFailAfter {
+		w.latched = ErrSyncFailed
+		return w.latched
+	}
+	if s, ok := w.W.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			w.latched = err
+			return err
+		}
+	}
+	return nil
+}
+
+// faultErr resolves the configured write fault.
+func (w *Writer) faultErr() error {
+	if w.Torn {
+		return ErrTorn
+	}
+	if w.Err != nil {
+		return w.Err
+	}
+	return ErrNoSpace
+}
+
+// Bytes returns a copy of every byte successfully written so far — the
+// durable prefix a crash would leave on disk.
+func (w *Writer) Bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf...)
+}
+
+// BytesWritten returns the total byte count successfully written.
+func (w *Writer) BytesWritten() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Syncs returns how many Sync calls have been observed (including the
+// failing one).
+func (w *Writer) Syncs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// Latched returns the latched fault, or nil while the writer is healthy.
+func (w *Writer) Latched() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.latched
+}
+
+// WriterAt wraps an io.WriterAt with the same latched byte-budget fault as
+// Writer: writes whose end offset exceeds FailAt land short and latch Err.
+type WriterAt struct {
+	W io.WriterAt
+	// FailAt, when > 0, fails any write extending past that offset; the
+	// prefix up to FailAt is written. Latched.
+	FailAt int64
+	// Err overrides the injected error (nil selects ErrNoSpace).
+	Err error
+
+	mu      sync.Mutex
+	latched error
+}
+
+// WriteAt implements io.WriterAt with the configured fault.
+func (w *WriterAt) WriteAt(p []byte, off int64) (int, error) {
+	w.mu.Lock()
+	if w.latched != nil {
+		err := w.latched
+		w.mu.Unlock()
+		return 0, err
+	}
+	n := len(p)
+	var ferr error
+	if w.FailAt > 0 && off+int64(len(p)) > w.FailAt {
+		n = int(w.FailAt - off)
+		if n < 0 {
+			n = 0
+		}
+		if w.Err != nil {
+			ferr = w.Err
+		} else {
+			ferr = ErrNoSpace
+		}
+		w.latched = ferr
+	}
+	w.mu.Unlock()
+	var m int
+	var err error
+	if n > 0 {
+		m, err = w.W.WriteAt(p[:n], off)
+		if err != nil {
+			w.mu.Lock()
+			if w.latched == nil {
+				w.latched = err
+			}
+			w.mu.Unlock()
+			return m, err
+		}
+	}
+	if ferr != nil {
+		return m, ferr
+	}
+	return m, nil
+}
+
+// ReaderAt wraps an io.ReaderAt with read-side faults: truncation to a
+// shorter size and single-bit corruption. It is how the fault matrix turns
+// one reference trace into every torn or corrupted variant without copying
+// the file. ReaderAt is stateless per read and safe for concurrent use.
+type ReaderAt struct {
+	R io.ReaderAt
+	// TruncateAt, when >= 0, makes the source appear to end at that byte
+	// offset: reads past it return io.EOF, reads crossing it come back
+	// short. A negative value disables truncation.
+	TruncateAt int64
+	// FlipBit, when >= 0, XORs FlipMask (default 0x01) into the byte at
+	// that offset on every read that covers it. A negative value disables
+	// corruption.
+	FlipBit  int64
+	FlipMask byte
+
+	// FailAt, when >= 0, makes any read touching that offset fail with Err
+	// (default io.ErrUnexpectedEOF) after delivering the bytes before it —
+	// a failing sector rather than a short file. Negative disables.
+	FailAt int64
+	Err    error
+}
+
+// NewReaderAt returns a transparent ReaderAt over r with all faults
+// disabled; set the fault fields before use.
+func NewReaderAt(r io.ReaderAt) *ReaderAt {
+	return &ReaderAt{R: r, TruncateAt: -1, FlipBit: -1, FailAt: -1}
+}
+
+// ReadAt implements io.ReaderAt with the configured faults.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	limit := int64(len(p))
+	var capErr error
+	if r.TruncateAt >= 0 {
+		if off >= r.TruncateAt {
+			return 0, io.EOF
+		}
+		if off+limit > r.TruncateAt {
+			limit = r.TruncateAt - off
+			capErr = io.EOF
+		}
+	}
+	if r.FailAt >= 0 && off+limit > r.FailAt {
+		if off >= r.FailAt {
+			return 0, r.failErr()
+		}
+		limit = r.FailAt - off
+		capErr = r.failErr()
+	}
+	n, err := r.R.ReadAt(p[:limit], off)
+	if r.FlipBit >= 0 && r.FlipBit >= off && r.FlipBit < off+int64(n) {
+		mask := r.FlipMask
+		if mask == 0 {
+			mask = 0x01
+		}
+		p[r.FlipBit-off] ^= mask
+	}
+	if err == nil && capErr != nil {
+		err = capErr
+	}
+	if err == nil && int64(n) < int64(len(p)) {
+		// A short fault-free read of a capped request still signals the cap.
+		err = capErr
+	}
+	return n, err
+}
+
+// Size returns the apparent size of a source of the given real size under
+// the truncation fault.
+func (r *ReaderAt) Size(real int64) int64 {
+	if r.TruncateAt >= 0 && r.TruncateAt < real {
+		return r.TruncateAt
+	}
+	return real
+}
+
+// Reader wraps an io.Reader with a byte-budget fault: after Limit bytes the
+// stream ends with Err (default io.ErrUnexpectedEOF), mimicking a serial
+// scan hitting the torn end of a capture.
+type Reader struct {
+	R io.Reader
+	// Limit, when >= 0, bounds the readable bytes. Negative disables.
+	Limit int64
+	// Err is returned once the limit is hit (nil selects io.EOF, the
+	// silent-truncation case).
+	Err error
+
+	n int64
+}
+
+// Read implements io.Reader with the configured fault.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.Limit >= 0 {
+		left := r.Limit - r.n
+		if left <= 0 {
+			return 0, r.limitErr()
+		}
+		if int64(len(p)) > left {
+			p = p[:left]
+		}
+	}
+	n, err := r.R.Read(p)
+	r.n += int64(n)
+	if err == nil && r.Limit >= 0 && r.n >= r.Limit {
+		err = r.limitErr()
+	}
+	return n, err
+}
+
+func (r *Reader) limitErr() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return io.EOF
+}
+
+func (r *ReaderAt) failErr() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("faultio: injected read fault: %w", io.ErrUnexpectedEOF)
+}

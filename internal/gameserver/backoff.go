@@ -1,0 +1,106 @@
+package gameserver
+
+import (
+	"context"
+	"time"
+
+	"cstrace/internal/dist"
+)
+
+// Backoff computes jittered exponential retry delays for the discovery
+// plane — master browses and info probes. A fixed retry period makes every
+// failed client hammer the master in lockstep (and keeps hammering a dead
+// server at full rate); exponential growth with randomized jitter spreads
+// the fleet out and lets a struggling endpoint breathe. The zero value is
+// usable: it resolves to 100ms base, 2s cap, doubling, half-width jitter,
+// and an unlimited budget.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Cap bounds the grown delay (before jitter).
+	Cap time.Duration
+	// Mult is the per-attempt growth factor.
+	Mult float64
+	// Jitter is the fraction of the delay that is randomized, in [0, 1]:
+	// the sleep is uniform in [d*(1-Jitter), d], so 0 is deterministic and
+	// 1 is "full jitter". Ignored when no RNG is supplied.
+	Jitter float64
+	// Budget, when > 0, caps how many retries Retry will spend before
+	// giving up with the last error. <= 0 retries until the context ends.
+	Budget int
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 2 * time.Second
+	}
+	if b.Mult < 1 {
+		b.Mult = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.5
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// Delay returns the sleep before retry number attempt (0-based): Base grown
+// by Mult^attempt, capped at Cap, with the top Jitter fraction randomized
+// by rng. A nil rng yields the deterministic upper edge.
+func (b Backoff) Delay(attempt int, rng *dist.RNG) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Mult
+		if d >= float64(b.Cap) {
+			d = float64(b.Cap)
+			break
+		}
+	}
+	if rng != nil && b.Jitter > 0 {
+		d = d*(1-b.Jitter) + rng.Float64()*d*b.Jitter
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Exhausted reports whether retry number attempt (0-based) would exceed the
+// budget.
+func (b Backoff) Exhausted(attempt int) bool {
+	return b.Budget > 0 && attempt >= b.Budget
+}
+
+// Retry runs op until it succeeds, the budget is exhausted, or ctx ends,
+// sleeping the backoff schedule between attempts. It returns how many
+// retries were spent (0 when the first attempt succeeded) and the last
+// error. The context error wins when the wait is what failed, so callers
+// can distinguish "gave up" from "shut down".
+func Retry(ctx context.Context, b Backoff, rng *dist.RNG, op func() error) (int, error) {
+	b = b.withDefaults()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return attempt, nil
+		}
+		if b.Exhausted(attempt) {
+			return attempt, err
+		}
+		t := time.NewTimer(b.Delay(attempt, rng))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return attempt, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

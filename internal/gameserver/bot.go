@@ -63,8 +63,12 @@ type BotStats struct {
 	SnapshotsRecv int64
 	BytesSent     int64
 	BytesRecv     int64
-	LastTick      uint32
-	Entities      int
+	// Retries counts backed-off discovery retries spent on this bot's
+	// behalf — master re-browses and refused connection attempts. The Bot
+	// itself connects once; the harness that redials it accumulates this.
+	Retries  int64
+	LastTick uint32
+	Entities int
 }
 
 // Bot is a connected client.

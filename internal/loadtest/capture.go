@@ -14,6 +14,13 @@ import (
 	"cstrace/internal/trace"
 )
 
+// CaptureSegmentPayload is the live capture's raw segment size. Offline
+// encoders favor big segments (compression ratio, decode parallelism); a
+// capture that may be SIGKILLed favors small ones, because a crash loses at
+// most the unsealed segment plus the reorder window. 2 KiB is a few hundred
+// records — well under a second of tail at game-server rates.
+const CaptureSegmentPayload = 2048
+
 // Capture adapts a gameserver BatchTap to a v4 trace.Writer: the server's
 // goroutines deliver coalesced record blocks concurrently, so writes are
 // serialized under a mutex, and a SortWindow absorbs the bounded disorder
@@ -21,23 +28,45 @@ import (
 // record may trail its datagram by up to one tick on either side of the
 // interleave). Flush seals the trace; the file is then a normal v4 capture
 // that cstrace.AnalyzeTrace reads like any simulated trace.
+//
+// The capture is crash-only: segments are small (CaptureSegmentPayload),
+// every sealed frame is fsynced before the next begins (SyncEvery = 1, when
+// out can Sync), and a timed pump releases the reorder window so records
+// stop aging in memory even when the record rate is too low to trip the
+// writer's count-based release. Kill the process at any point and the file
+// on disk is a valid segment stream that trace.Recover salvages.
 type Capture struct {
-	mu sync.Mutex
-	w  *trace.Writer
+	mu          sync.Mutex
+	w           *trace.Writer
+	lastRelease time.Time
+	window      time.Duration
 }
 
 // NewCapture creates a capture writing the v4 format to out. tick is the
-// server's TickInterval; the writer's reorder window is sized from it.
+// server's TickInterval; the writer's reorder window is sized from it. When
+// out has a Sync method (an *os.File — pass the file itself, not a
+// buffering wrapper, or durability is silently lost), every sealed segment
+// is fsynced.
 func NewCapture(out io.Writer, tick time.Duration) *Capture {
 	w := trace.NewWriter(out)
 	w.SortWindow = 4 * tick
-	return &Capture{w: w}
+	w.SegmentPayload = CaptureSegmentPayload
+	w.SyncEvery = 1
+	return &Capture{w: w, window: w.SortWindow, lastRelease: time.Now()}
 }
 
 // HandleBatch implements trace.BatchHandler (the BatchTap contract).
 func (c *Capture) HandleBatch(rs []trace.Record) {
 	c.mu.Lock()
 	c.w.HandleBatch(rs)
+	// Timed pump: at low record rates the writer's count-based reorder
+	// release may never trip, leaving everything unsealed until Flush — the
+	// exact bytes a crash destroys. Once per window, push the aged span of
+	// the reorder buffer down into segments.
+	if now := time.Now(); now.Sub(c.lastRelease) > c.window {
+		c.lastRelease = now
+		_ = c.w.Release() // the latched error resurfaces on Flush/Err
+	}
 	c.mu.Unlock()
 }
 
@@ -57,6 +86,15 @@ func (c *Capture) Flush() error {
 		return err
 	}
 	return c.w.Flush()
+}
+
+// Err returns the capture's latched write-path error without sealing it —
+// what a CLI should print (and exit nonzero on) when the capture failed
+// underneath a healthy-looking run.
+func (c *Capture) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Err()
 }
 
 // SpawnConfig parameterizes one in-process game server for a self-contained

@@ -1,15 +1,37 @@
 package loadtest
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"cstrace/internal/discovery"
+	"cstrace/internal/trace"
 )
+
+// lockedBuf is a mutex-guarded capture sink: the server's capture writes
+// and the test's crash-point snapshot race by design.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) Snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
 
 // TestKillFailover is the disturbance-injection drill: two servers behind a
 // master, every bot parked on the first, which the harness kills mid-run.
@@ -33,14 +55,27 @@ func TestKillFailover(t *testing.T) {
 	masterAddr := master.Addr().String()
 
 	// The victim registers immediately, so the opening browse finds only it
-	// and the whole fleet deterministically lands there.
+	// and the whole fleet deterministically lands there. It captures its
+	// traffic, and the kill hook snapshots the capture bytes at the crash
+	// point — the exact torn file a SIGKILL would leave — for the salvage
+	// leg below.
+	capBuf := &lockedBuf{}
 	victim, err := Spawn(SpawnConfig{
 		Slots: bots, Master: masterAddr, Heartbeat: 200 * time.Millisecond,
+		TraceOut: capBuf,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer victim.Shutdown()
+	victimTarget := victim.Target()
+	realKill := victimTarget.Kill
+	var torn []byte
+	var tornOnce sync.Once
+	victimTarget.Kill = func() error {
+		tornOnce.Do(func() { torn = capBuf.Snapshot() })
+		return realKill()
+	}
 
 	// The survivor starts unregistered; the test registers it mid-run,
 	// before the kill, so fail-over has somewhere to go.
@@ -64,7 +99,7 @@ func TestKillFailover(t *testing.T) {
 	}()
 
 	st, err := Run(context.Background(), Config{
-		Targets:  []Target{victim.Target(), survivor.Target()},
+		Targets:  []Target{victimTarget, survivor.Target()},
 		Master:   masterAddr,
 		Bots:     bots,
 		CmdRate:  30,
@@ -145,6 +180,36 @@ func TestKillFailover(t *testing.T) {
 	if rt.Final != st.Final {
 		t.Errorf("final sample did not survive JSON")
 	}
+
+	// Capture-salvage leg: the bytes snapshotted at the kill are a file
+	// with no footer and possibly a torn tail — the crash-only capture
+	// contract says Recover salvages every sealed-and-synced segment from
+	// them as ordinary, analyzable records.
+	if len(torn) == 0 {
+		t.Fatal("kill hook snapshotted no capture bytes")
+	}
+	ix, rep, err := trace.Recover(bytes.NewReader(torn), int64(len(torn)))
+	if err != nil {
+		t.Fatalf("salvaging the crash-point capture (%d bytes): %v", len(torn), err)
+	}
+	if len(ix.Segments) == 0 || rep.Records == 0 {
+		t.Fatalf("nothing salvaged from %d crash-point bytes (%s)", len(torn), rep)
+	}
+	var salvaged trace.Collect
+	n, err := trace.DecodeIndex(bytes.NewReader(torn), ix, &salvaged, 2)
+	if err != nil {
+		t.Fatalf("decoding the salvage: %v", err)
+	}
+	if n != rep.Records {
+		t.Fatalf("salvage decoded %d records, report says %d", n, rep.Records)
+	}
+	for i := 1; i < len(salvaged.Records); i++ {
+		if salvaged.Records[i].T < salvaged.Records[i-1].T {
+			t.Fatalf("salvaged records out of order at %d: %v after %v",
+				i, salvaged.Records[i].T, salvaged.Records[i-1].T)
+		}
+	}
+	t.Logf("salvage: %s", rep)
 
 	// No goroutine leak: after everything is torn down, the count returns
 	// to (about) the baseline. The retry loop gives lingering readers time

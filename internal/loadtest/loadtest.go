@@ -23,8 +23,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cstrace/internal/dist"
 	"cstrace/internal/gameserver"
 )
+
+// discoveryBackoff is the retry schedule for the run-blocking initial
+// master browse: ~100ms..1s jittered, seven retries, so a slow-starting
+// master is tolerated for a couple of seconds but a dead one fails fast.
+func discoveryBackoff() gameserver.Backoff {
+	return gameserver.Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Budget: 7}
+}
+
+// reconnectBackoff paces a bot slot whose every candidate refused. No
+// budget: a load slot never abandons the run, it just stops stampeding.
+func reconnectBackoff() gameserver.Backoff {
+	return gameserver.Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+}
 
 // Target is one server under load. Kill, when non-nil, terminates the
 // server (an in-process Spawned server's crash hook, or a process kill
@@ -148,6 +162,13 @@ func (w *botWorker) setCur(b *gameserver.Bot, addr string) {
 	w.mu.Unlock()
 }
 
+// addRetry charges one backed-off discovery retry to this slot's counters.
+func (w *botWorker) addRetry() {
+	w.mu.Lock()
+	w.base.Retries++
+	w.mu.Unlock()
+}
+
 func (w *botWorker) retire() {
 	w.mu.Lock()
 	if w.cur != nil {
@@ -225,20 +246,26 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	}
 
 	// Master-only configs discover their target list up front so the RTT
-	// probers have addresses to work with; bots re-browse on their own.
+	// probers have addresses to work with; bots re-browse on their own. The
+	// retries follow the jittered exponential schedule with a hard budget:
+	// a master that never answers fails the run instead of hanging it.
 	if len(h.cfg.Targets) == 0 {
-		for attempt := 0; attempt < 5 && ctx.Err() == nil; attempt++ {
-			lines, err := gameserver.Browse(h.cfg.Master, h.cfg.BrowseTimeout)
-			if err == nil && len(lines) > 0 {
-				for _, l := range lines {
-					h.cfg.Targets = append(h.cfg.Targets, Target{Addr: l.Addr.String()})
-				}
-				break
+		rng := dist.NewRNG(c.Seed ^ 0x9e3779b97f4a7c15)
+		_, err := gameserver.Retry(ctx, discoveryBackoff(), rng, func() error {
+			lines, berr := gameserver.Browse(h.cfg.Master, h.cfg.BrowseTimeout)
+			if berr != nil {
+				return berr
 			}
-			sleepCtx(ctx, 200*time.Millisecond)
-		}
+			if len(lines) == 0 {
+				return errors.New("master returned no servers")
+			}
+			for _, l := range lines {
+				h.cfg.Targets = append(h.cfg.Targets, Target{Addr: l.Addr.String()})
+			}
+			return nil
+		})
 		if len(h.cfg.Targets) == 0 {
-			return nil, fmt.Errorf("loadtest: no servers discovered via master %s", h.cfg.Master)
+			return nil, fmt.Errorf("loadtest: no servers discovered via master %s: %w", h.cfg.Master, err)
 		}
 		h.dead = make([]atomic.Bool, len(h.cfg.Targets))
 	}
@@ -373,6 +400,7 @@ func (h *harness) assemble(final Sample) *Stats {
 			Server:    server,
 			Connects:  connects,
 			Failovers: failovers,
+			Retries:   bs.Retries,
 			Sent:      bs.CmdsSent,
 			Dropped:   bs.CmdsDropped,
 			Recv:      bs.SnapshotsRecv,
@@ -383,19 +411,20 @@ func (h *harness) assemble(final Sample) *Stats {
 	return st
 }
 
-// probe measures RTT to one target with periodic info queries. It stops
-// probing a target once it is marked dead (killed targets would only pile
-// up timeouts).
+// probe measures RTT to one target with periodic info queries. A healthy
+// target is probed every ProbeInterval; consecutive failures stretch the
+// period on the jittered exponential schedule (capped at 8x) instead of
+// piling timeouts onto a struggling server at full rate. It stops probing a
+// target once it is marked dead.
 func (h *harness) probe(ctx context.Context, wg *sync.WaitGroup, idx int) {
 	defer wg.Done()
 	addr := h.cfg.Targets[idx].Addr
-	t := time.NewTicker(h.cfg.ProbeInterval)
-	defer t.Stop()
+	bo := gameserver.Backoff{Base: h.cfg.ProbeInterval, Cap: 8 * h.cfg.ProbeInterval, Jitter: 0.25}
+	rng := dist.NewRNG(h.cfg.Seed ^ (uint64(idx)*40_503 + 7))
+	failStreak := 0
 	for {
-		select {
-		case <-ctx.Done():
+		if err := sleepCtx(ctx, bo.Delay(failStreak, rng)); err != nil {
 			return
-		case <-t.C:
 		}
 		if h.dead[idx].Load() {
 			return
@@ -408,6 +437,11 @@ func (h *harness) probe(ctx context.Context, wg *sync.WaitGroup, idx int) {
 			h.rttSamples = append(h.rttSamples, rtt.Seconds())
 		}
 		h.rttMu.Unlock()
+		if err != nil {
+			failStreak++
+		} else {
+			failStreak = 0
+		}
 	}
 }
 
@@ -465,6 +499,9 @@ func (h *harness) candidates(w *botWorker) []string {
 // ends or the server goes silent, fail over and reconnect.
 func (h *harness) runBot(ctx context.Context, wg *sync.WaitGroup, w *botWorker) {
 	defer wg.Done()
+	bo := reconnectBackoff()
+	rng := dist.NewRNG(h.cfg.Seed ^ (uint64(w.id)*2_654_435_761 + 1))
+	refused := 0 // consecutive all-candidates-refused rounds
 	for ctx.Err() == nil {
 		if err := h.waitConn(ctx); err != nil {
 			return
@@ -493,12 +530,18 @@ func (h *harness) runBot(ctx context.Context, wg *sync.WaitGroup, w *botWorker) 
 			break
 		}
 		if bot == nil {
-			// Every candidate refused; back off briefly and retry.
-			if err := sleepCtx(ctx, 200*time.Millisecond); err != nil {
+			// Every candidate refused; back off on the jittered exponential
+			// schedule (a dead or full fleet gets geometrically less
+			// hammering) and count the retry against this slot.
+			w.addRetry()
+			d := bo.Delay(refused, rng)
+			refused++
+			if err := sleepCtx(ctx, d); err != nil {
 				return
 			}
 			continue
 		}
+		refused = 0
 		w.setCur(bot, addr)
 		h.connects.Add(1)
 		h.active.Add(1)

@@ -151,11 +151,14 @@ type BotSummary struct {
 	Server    string `json:"server"` // last server the bot was connected to
 	Connects  int64  `json:"connects"`
 	Failovers int64  `json:"failovers"`
-	Sent      int64  `json:"sent"`
-	Dropped   int64  `json:"dropped"`
-	Recv      int64  `json:"recv"`
-	BytesSent int64  `json:"bytes_sent"`
-	BytesRecv int64  `json:"bytes_recv"`
+	// Retries counts backed-off reconnect rounds where every candidate
+	// refused this slot (see gameserver.Backoff).
+	Retries   int64 `json:"retries"`
+	Sent      int64 `json:"sent"`
+	Dropped   int64 `json:"dropped"`
+	Recv      int64 `json:"recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
 }
 
 // Stats is the machine-readable summary of one load run, written by

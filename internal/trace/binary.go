@@ -103,12 +103,14 @@ const (
 // seals the file and must be called exactly once, after the last Write.
 type Writer struct {
 	w       *bufio.Writer
+	dst     io.Writer // the unbuffered sink, for SyncEvery durability
 	version uint8
 	last    time.Duration
 	wrote   bool
 	sealed  bool
 	n       int64
-	err     error // first encode/IO error; latched for Handle paths
+	frames  int64 // sealed segment frames written, for the SyncEvery cadence
+	err     error // first write-path error; latches, Write refuses afterwards
 	off     int64 // file offset of the next frame to be written
 
 	// SegmentPayload is the target (pre-compression) payload size per
@@ -135,6 +137,18 @@ type Writer struct {
 	// ignored when ≤ 1, for v1/v2 writers, and with CompressOff (there is
 	// no compression to offload).
 	Workers int
+
+	// SyncEvery, when > 0, makes the Writer durable at segment grain: after
+	// every SyncEvery sealed segment frames the buffered bytes are flushed
+	// to the destination and — when it exposes a Sync() error method, as
+	// *os.File does — fsynced, and Flush ends with one final sync after the
+	// footer. Combined with the error latching (a failed write or sync
+	// refuses every later Write), this orders durability so that at any
+	// crash point the on-disk prefix is the header plus zero or more intact
+	// segment frames — exactly what Recover salvages. SyncEvery = 1 syncs
+	// every sealed segment (the live-capture setting); larger values
+	// amortize the fsync over N segments. Set it before the first Write.
+	SyncEvery int
 
 	// SortWindow, when > 0, lets records arrive up to that far out of time
 	// order: Write buffers them and releases in sorted order (ties keep
@@ -172,10 +186,14 @@ type Writer struct {
 // spans many parallel decode units.
 const DefaultSegmentPayload = 1 << 18
 
+func newWriter(w io.Writer, version uint8) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), dst: w, version: version}
+}
+
 // NewWriter creates a Writer emitting the current format version (v4,
 // segmented + indexed + field-striped per-segment compression).
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: currentVersion}
+	return newWriter(w, currentVersion)
 }
 
 // NewWriterV3 creates a Writer emitting format v3: segmented, indexed and
@@ -184,7 +202,7 @@ func NewWriter(w io.Writer) *Writer {
 // docs/FORMAT.md for the compatibility policy); new traces should use
 // NewWriter.
 func NewWriterV3(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version3}
+	return newWriter(w, version3)
 }
 
 // NewWriterV2 creates a Writer emitting format v2: segmented and indexed,
@@ -192,7 +210,7 @@ func NewWriterV3(w io.Writer) *Writer {
 // indefinitely (see docs/FORMAT.md for the compatibility policy); new
 // traces should use NewWriter.
 func NewWriterV2(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version2}
+	return newWriter(w, version2)
 }
 
 // NewWriterV1 creates a Writer emitting the legacy v1 format: one
@@ -200,7 +218,7 @@ func NewWriterV2(w io.Writer) *Writer {
 // docs/FORMAT.md for the compatibility policy); new traces should use
 // NewWriter.
 func NewWriterV1(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: version1}
+	return newWriter(w, version1)
 }
 
 // Version returns the format version the Writer emits (1–4).
@@ -224,8 +242,13 @@ func (w *Writer) HandleBatch(rs []Record) {
 	}
 }
 
-// Err returns the first error latched by Handle or HandleBatch, or — when
-// compression runs on workers — the first failure latched by the pipeline.
+// Err returns the first error latched anywhere on the write path — a
+// failed header/frame/sync write, an encode failure, an error swallowed by
+// Handle or HandleBatch, or (when compression runs on workers) the first
+// failure latched by the pipeline. Once Err is non-nil the Writer is dead:
+// every later Write and Flush returns the latched error without emitting a
+// byte, so a failed write can never be followed by a later segment and the
+// file's durable prefix stays a valid segment stream.
 func (w *Writer) Err() error {
 	if w.err != nil {
 		return w.err
@@ -236,26 +259,51 @@ func (w *Writer) Err() error {
 	return nil
 }
 
+// latchIO records a write-path failure as the Writer's terminal state. In
+// async mode the pipeline's emitter goroutine is the one writing frames, so
+// the latch goes through the pipeline's mutex-guarded slot; otherwise w.err
+// is only ever touched from the caller's goroutine.
+func (w *Writer) latchIO(err error) error {
+	if err == nil {
+		return nil
+	}
+	if w.pipe != nil {
+		w.pipe.setErr(err)
+	} else if w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
 func (w *Writer) writeHeader() error {
 	w.wrote = true
 	if _, err := w.w.WriteString(magic); err != nil {
-		return err
+		return w.latchIO(err)
 	}
 	if err := w.w.WriteByte(w.version); err != nil {
-		return err
+		return w.latchIO(err)
 	}
 	if _, err := w.w.Write([]byte{0, 0, 0}); err != nil {
-		return err
+		return w.latchIO(err)
 	}
 	w.off = headerLen
 	return nil
 }
 
 // Write encodes one record. With SortWindow set it may instead buffer the
-// record for ordered release; see the field docs.
+// record for ordered release; see the field docs. After any write-path
+// failure (see Err) every Write returns the latched error without emitting
+// anything; ordering violations are rejected per record without latching.
 func (w *Writer) Write(r Record) error {
 	if w.sealed {
 		return ErrFinished
+	}
+	// Checking the plain field (not Err, which takes the pipeline mutex)
+	// keeps the per-record cost flat; pipeline failures latch into w.err at
+	// the next segment seal, and the emitter refuses frames after a failure
+	// regardless, so no later segment can follow a failed write either way.
+	if w.err != nil {
+		return w.err
 	}
 	if !w.wrote {
 		if err := w.writeHeader(); err != nil {
@@ -266,6 +314,23 @@ func (w *Writer) Write(r Record) error {
 		return w.bufferSorted(r)
 	}
 	return w.encode(r)
+}
+
+// Release encodes every SortWindow-buffered record the high-water mark has
+// already made safe, without waiting for the buffer-count threshold that
+// normally paces release passes. A low-rate live capture calls it on a
+// timer so sealed segments — and durability under SyncEvery — keep pace
+// with wall time instead of record count; the encoded stream is unchanged
+// (the same records release in the same order, just earlier). No-op without
+// a SortWindow or after Flush.
+func (w *Writer) Release() error {
+	if w.sealed || w.SortWindow <= 0 || len(w.pend) == 0 {
+		return nil
+	}
+	if err := w.Err(); err != nil {
+		return err
+	}
+	return w.releasePending(w.pendMax - w.SortWindow)
 }
 
 // sortPendFlush is how many buffered out-of-order records accumulate before
@@ -467,14 +532,22 @@ func (w *Writer) flushSegment() error {
 	}
 	w.segCount = 0
 	if async {
-		return w.pipe.submit(raw, meta)
+		if err := w.pipe.submit(raw, meta); err != nil {
+			// submit runs on the caller's goroutine, so the pipeline failure
+			// can latch into the plain field Write checks per record.
+			if w.err == nil {
+				w.err = err
+			}
+			return err
+		}
+		return nil
 	}
 	payload := raw
 	var flags uint32
 	if w.version >= version3 {
 		var err error
 		if payload, flags, err = w.cs.encode(int(w.version), raw, w.level()); err != nil {
-			return err
+			return w.latchIO(err)
 		}
 	}
 	err := w.writeFrame(payload, flags, len(raw), meta)
@@ -516,12 +589,29 @@ func (w *Writer) writeFrame(payload []byte, flags uint32, rawLen int, meta segMe
 		hl = segHeaderLenV3 + 4
 	}
 	if _, err := w.w.Write(hdr[:hl]); err != nil {
-		return err
+		return w.latchIO(err)
 	}
 	if _, err := w.w.Write(payload); err != nil {
-		return err
+		return w.latchIO(err)
 	}
 	w.off += int64(hl) + int64(len(payload))
+	w.frames++
+	if w.SyncEvery > 0 && w.frames%int64(w.SyncEvery) == 0 {
+		return w.latchIO(w.syncDst())
+	}
+	return nil
+}
+
+// syncDst makes every byte written so far durable: the bufio layer flushes
+// to the destination, which is then fsynced when it exposes the file-like
+// Sync() error method (a plain in-memory sink just gets the flush).
+func (w *Writer) syncDst() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if s, ok := w.dst.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
 	return nil
 }
 
@@ -564,11 +654,20 @@ func (w *Writer) Flush() error {
 			}
 		}
 		if err := w.writeIndexAndFooter(); err != nil {
-			return err
+			return w.latchIO(err)
 		}
 		w.sealed = true
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		return w.latchIO(err)
+	}
+	if w.SyncEvery > 0 {
+		// The seal itself must be durable too: without this, a crash right
+		// after Flush could leave a file whose segments are synced but whose
+		// index+footer are not — recoverable, but needlessly so.
+		return w.latchIO(w.syncDst())
+	}
+	return nil
 }
 
 // Reader streams records from the binary trace format, accepting every
@@ -578,6 +677,16 @@ func (w *Writer) Flush() error {
 // falling back to the serial scan (with a Warning) when it is not or the
 // index is unreadable.
 type Reader struct {
+	// Salvage, when set before the first read, makes the indexed read paths
+	// (ReadAllParallel, ReadAllSharded) fall back to Recover when the
+	// footer or index is missing or damaged: the forward scan rebuilds an
+	// index over the intact segment prefix and decode proceeds as if the
+	// file were sealed, delivering exactly the validated records with no
+	// error and the degradation note in Warning. The zero value keeps the
+	// strict behavior: a damaged index degrades to the serial scan, which
+	// surfaces the corruption it runs into.
+	Salvage bool
+
 	src     io.Reader // the unbuffered source, for the indexed read path
 	r       *bufio.Reader
 	last    time.Duration

@@ -246,6 +246,16 @@ func (r *Reader) resolveIndex() (*Index, bool) {
 	}
 	ix, err := ReadIndex(sa, size)
 	if err != nil {
+		if r.Salvage {
+			// Salvage mode: rebuild the index over the intact segment
+			// prefix and decode through it as if the file were sealed; the
+			// torn tail is dropped rather than surfaced as corruption.
+			if rix, rep, rerr := Recover(sa, size); rerr == nil {
+				r.warn = fmt.Sprintf("segment index unreadable (%v); salvaged %d intact segments (%d records, %d bytes dropped)",
+					err, rep.Segments, rep.Records, rep.DroppedBytes())
+				return rix, true
+			}
+		}
 		r.warn = fmt.Sprintf("segment index unreadable (%v); using serial scan", err)
 		return nil, false
 	}
