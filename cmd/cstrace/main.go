@@ -19,7 +19,21 @@
 //	cstrace -mode aggregate -seed 1        population self-similarity study
 //	cstrace -mode provision                capacity planning from the paper's budget
 //	cstrace -mode scenario -servers 8      multi-server fleet: merged aggregate analysis
-//	                                       (-out fleet.cst persists the merged trace as v4)
+//	                                       (-out fleet.cst persists the merged trace as v4;
+//	                                       -store metrics.csms records the run)
+//	cstrace -mode ingest -store m.csms a.cst b.cst
+//	                                       analyze trace files into the metrics store
+//	                                       (content-addressed: re-ingest is a no-op)
+//	cstrace -mode list  -store m.csms      list stored runs (-json for machines)
+//	cstrace -mode show  -store m.csms -run 1a2b3c
+//	                                       print one run's full metrics
+//	cstrace -mode trend -store m.csms -metric p95kbs -last 20
+//	                                       metric trajectory across stored runs
+//	                                       (-metric help lists the registry)
+//	cstrace -mode serve -store m.csms -spool dir/
+//	                                       continuous-analysis daemon: watch a spool
+//	                                       directory, ingest new traces, record rolling
+//	                                       windows and a service summary
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	"cstrace"
 	"cstrace/internal/analysis"
 	"cstrace/internal/gamesim"
+	"cstrace/internal/metricstore"
 	"cstrace/internal/nat"
 	"cstrace/internal/population"
 	"cstrace/internal/provision"
@@ -49,7 +64,7 @@ func main() {
 	log.SetPrefix("cstrace: ")
 
 	var (
-		mode        = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | salvage | pcap | web | aggregate | provision | scenario")
+		mode        = flag.String("mode", "quick", "week | quick | nat | gen | analyze | index | salvage | pcap | web | aggregate | provision | scenario | ingest | list | show | trend | serve")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		duration    = flag.Duration("duration", 0, "override trace duration (gen/quick/pcap/web/scenario)")
 		inFile      = flag.String("in", "", "input trace file (analyze/index)")
@@ -67,6 +82,17 @@ func main() {
 		depths      = flag.Bool("depths", false, "print collector-group channel-depth stats (and any adaptive rebalances) after a sharded run (week/quick/analyze/scenario)")
 		from        = flag.Duration("from", 0, "analyze only records at or after this offset (analyze)")
 		to          = flag.Duration("to", 0, "analyze only records before this offset (analyze; 0 = end of trace)")
+		storePath   = flag.String("store", "", "metrics store file (ingest/list/show/trend/serve; scenario: also record the run)")
+		runID       = flag.String("run", "", "run ID or content-hash prefix (show)")
+		metric      = flag.String("metric", "meankbs", "trend metric; \"help\" lists the registry (trend)")
+		last        = flag.Int("last", 20, "keep the last N runs (trend; <=0 keeps all)")
+		kinds       = flag.String("kinds", "", "comma-separated run-kind filter, e.g. scenario (trend)")
+		label       = flag.String("label", "", "operator tag recorded on new runs (ingest/serve/scenario)")
+		spool       = flag.String("spool", "", "directory watched for .cst traces (serve)")
+		cadence     = flag.Duration("cadence", 2*time.Second, "spool poll cadence (serve)")
+		window      = flag.Duration("window", time.Minute, "rolling trace-time window width (serve)")
+		forDur      = flag.Duration("for", 0, "stop serving after this long (serve; 0 = until SIGINT/SIGTERM)")
+		jsonOut     = flag.Bool("json", false, "machine-readable output (list/show/trend)")
 	)
 	flag.Parse()
 
@@ -110,7 +136,21 @@ func main() {
 		} else if *perServer {
 			perMode = cstrace.PerServerFull
 		}
-		err = runScenario(*seed, *servers, *duration, *stagger, *spike, parallel, genWorkers, perMode, *outFile, *depths)
+		err = runScenario(*seed, *servers, *duration, *stagger, *spike, parallel, genWorkers, perMode, *outFile, *depths, *storePath, *label)
+	case "ingest":
+		files := flag.Args()
+		if *inFile != "" {
+			files = append([]string{*inFile}, files...)
+		}
+		err = runIngest(*storePath, *label, parallel, files)
+	case "list":
+		err = runList(*storePath, *jsonOut)
+	case "show":
+		err = runShow(*storePath, *runID, *jsonOut)
+	case "trend":
+		err = runTrend(*storePath, *metric, *last, *kinds, *jsonOut)
+	case "serve":
+		err = runServe(*storePath, *spool, *label, *cadence, *window, *forDur, parallel)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -285,6 +325,14 @@ func runIndex(in string) error {
 		return err
 	}
 
+	// The content hash is the trace's identity in the metrics store: print
+	// it here so an operator can match a file on disk against a stored run
+	// (`-mode show -run <first 12 digits>`) without ingesting anything.
+	hash, _, err := metricstore.HashFile(in)
+	if err != nil {
+		return err
+	}
+
 	ix, err := trace.ReadIndex(f, st.Size())
 	if errors.Is(err, trace.ErrNoIndex) {
 		// v1: no index to print; count the records the only way possible.
@@ -294,6 +342,7 @@ func runIndex(in string) error {
 		}
 		fmt.Printf("%s: format v1, no segment index (%d records by serial scan, %d bytes)\n",
 			in, n, st.Size())
+		fmt.Printf("content sha256 %s (run id %s)\n", hash, hash[:metricstore.IDLen])
 		return nil
 	}
 	if err != nil {
@@ -303,6 +352,7 @@ func runIndex(in string) error {
 	segs := ix.Segments
 	fmt.Printf("%s: format v%d, %d records, %d segments, %d bytes (payload %d)\n",
 		in, ix.Version, ix.Records, len(segs), st.Size(), ix.PayloadBytes())
+	fmt.Printf("content sha256 %s (run id %s)\n", hash, hash[:metricstore.IDLen])
 	if comp := ix.CompressedSegments(); comp > 0 {
 		// On-disk vs decompressed payload: the per-record figures are the
 		// numbers the provisioning storage budget rides on.
@@ -518,7 +568,7 @@ func runAggregate(seed uint64) error {
 	return nil
 }
 
-func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel, genWorkers int, perMode cstrace.PerServerMode, out string, depths bool) error {
+func runScenario(seed uint64, servers int, duration, stagger time.Duration, spike float64, parallel, genWorkers int, perMode cstrace.PerServerMode, out string, depths bool, storePath, label string) error {
 	cfg := cstrace.LaunchDay(seed, servers)
 	if duration > 0 {
 		cfg.Spec.Duration = duration
@@ -547,6 +597,26 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 		cfg.Extra = w
 	}
 
+	// -store records the run into the metrics store, content-addressed by
+	// the merged fleet stream itself (hashed record-by-record as it flows;
+	// no trace file needed): rerunning the same seed and spec dedupes.
+	var mst *metricstore.Store
+	var hasher *metricstore.StreamHasher
+	if storePath != "" {
+		var err error
+		mst, err = metricstore.Open(storePath)
+		if err != nil {
+			return err
+		}
+		defer mst.Close()
+		hasher = metricstore.NewStreamHasher()
+		if w != nil {
+			cfg.Extra = trace.Tee(w, hasher)
+		} else {
+			cfg.Extra = hasher
+		}
+	}
+
 	res, err := cstrace.RunScenario(cfg)
 	if err != nil {
 		return err
@@ -556,6 +626,24 @@ func runScenario(seed uint64, servers int, duration, stagger time.Duration, spik
 			return err
 		}
 		log.Printf("wrote %d merged fleet records to %s (format v%d)", w.Count(), out, w.Version())
+	}
+	if mst != nil {
+		run, added, err := metricstore.RecordScenario(mst, metricstore.ScenarioInfo{
+			Hash:    hasher.Sum(),
+			Source:  fmt.Sprintf("scenario seed=%d servers=%d spike=%g", seed, servers, spike),
+			Label:   label,
+			Horizon: res.Horizon,
+			Suite:   res.Aggregate.Suite,
+			Servers: res.Servers,
+		})
+		if err != nil {
+			return err
+		}
+		if added {
+			log.Printf("recorded run %s in %s", run.ID, storePath)
+		} else {
+			log.Printf("identical run already stored as %s in %s", run.ID, storePath)
+		}
 	}
 	if err := res.WriteReport(os.Stdout); err != nil {
 		return err

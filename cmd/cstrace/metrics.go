@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cstrace/internal/metricstore"
+	"cstrace/internal/metricsvc"
+)
+
+// The metrics-store modes: ingest/list/show/trend query and grow the
+// single-file run database (internal/metricstore), serve runs the
+// continuous-analysis daemon (internal/metricsvc) in-process.
+
+func openMetricStore(path string) (*metricstore.Store, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-store required (path to the metrics store file)")
+	}
+	return metricstore.Open(path)
+}
+
+// runIngest analyzes each file and records one run row per distinct
+// content hash; re-ingesting a file the store already holds is a no-op.
+func runIngest(storePath, label string, parallel int, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("ingest: pass trace files as arguments")
+	}
+	st, err := openMetricStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	for _, path := range files {
+		run, added, err := metricstore.IngestTraceFile(st, path, metricstore.IngestOptions{
+			Parallelism: parallel,
+			Label:       label,
+		})
+		if err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+		verb := "recorded"
+		if !added {
+			verb = "already stored as"
+		}
+		fmt.Printf("%s: %s run %s (%d records, %.1f kbs mean)\n",
+			path, verb, run.ID, run.Records, run.Summary.MeanKbs)
+		if run.Warning != "" {
+			fmt.Printf("  salvaged: %s\n", run.Warning)
+		}
+	}
+	return nil
+}
+
+func runList(storePath string, jsonOut bool) error {
+	st, err := openMetricStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	runs := st.Runs()
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(runs)
+	}
+	fmt.Printf("%s: %d runs\n", st.Path(), len(runs))
+	fmt.Printf("  %4s  %-12s  %-8s  %10s  %10s  %-20s  %s\n",
+		"seq", "run", "kind", "records", "mean kbs", "ingested", "source")
+	for _, r := range runs {
+		src := r.Source
+		if r.Label != "" {
+			src += " [" + r.Label + "]"
+		}
+		fmt.Printf("  %4d  %-12s  %-8s  %10d  %10.1f  %-20s  %s\n",
+			r.Seq, r.ID, r.Kind, r.Records, r.Summary.MeanKbs,
+			r.IngestedAt.Format("2006-01-02T15:04:05Z"), src)
+	}
+	return nil
+}
+
+func runShow(storePath, runID string, jsonOut bool) error {
+	if runID == "" {
+		return fmt.Errorf("show: -run required (run ID or hash prefix)")
+	}
+	st, err := openMetricStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	run, err := st.Find(runID)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(run)
+	}
+	run.WriteText(os.Stdout)
+	return nil
+}
+
+func runTrend(storePath, metric string, last int, kinds string, jsonOut bool) error {
+	if metric == "help" || metric == "list" {
+		for _, line := range metricstore.Metrics() {
+			fmt.Println(line)
+		}
+		return nil
+	}
+	st, err := openMetricStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var kindList []string
+	if kinds != "" {
+		kindList = strings.Split(kinds, ",")
+	}
+	pts, err := metricstore.Trend(st, metric, last, kindList...)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(pts)
+	}
+	metricstore.WriteTrend(os.Stdout, metric, pts)
+	return nil
+}
+
+// runServe is the in-process daemon: watch a spool directory, ingest new
+// traces as they land, record completed windows, and on shutdown (signal
+// or -for deadline) flush the service row.
+func runServe(storePath, spool, label string, cadence, window, forDur time.Duration, parallel int) error {
+	if spool == "" {
+		return fmt.Errorf("serve: -spool required (directory watched for %s files)", metricsvc.TraceSuffix)
+	}
+	st, err := openMetricStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	eng, err := metricsvc.New(metricsvc.Config{
+		Store:       st,
+		Spool:       spool,
+		Poll:        cadence,
+		Window:      window,
+		Parallelism: parallel,
+		Label:       label,
+		Report:      os.Stdout,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if forDur > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, forDur)
+		defer cancel()
+	}
+	log.Printf("serving: spool %s -> store %s (poll %v, window %v)", spool, storePath, cadence, window)
+	if err := eng.Run(ctx); err != nil && err != context.Canceled && err != context.DeadlineExceeded {
+		eng.Close()
+		return err
+	}
+	svc, err := eng.Close()
+	if err != nil {
+		return err
+	}
+	if svc == nil {
+		log.Printf("no traces ingested; no service row recorded")
+		return nil
+	}
+	fmt.Printf("service session %s: %d windows recorded\n", svc.ID, eng.Windows())
+	svc.WriteText(os.Stdout)
+	return nil
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"cstrace/internal/trace"
+	"cstrace/internal/units"
+)
+
+func windowRecords() []trace.Record {
+	// Three one-minute windows worth of records, with a gap: minute 0,
+	// minute 1 empty, minute 2, and a final partial at minute 3.
+	return []trace.Record{
+		{T: 0, Dir: trace.In, Kind: trace.KindGame, Client: 1, App: 40},
+		{T: 10 * time.Second, Dir: trace.Out, Kind: trace.KindGame, Client: 1, App: 120},
+		{T: 59 * time.Second, Dir: trace.Out, Kind: trace.KindGame, Client: 2, App: 80},
+		// T exactly on the minute-2 boundary belongs to window 2.
+		{T: 2 * time.Minute, Dir: trace.In, Kind: trace.KindHandshake, Client: 3, App: 20},
+		{T: 2*time.Minute + 30*time.Second, Dir: trace.Out, Kind: trace.KindGame, Client: 3, App: 200},
+		{T: 3*time.Minute + 5*time.Second, Dir: trace.Out, Kind: trace.KindGame, Client: 1, App: 64},
+	}
+}
+
+func TestRollingWindowBounds(t *testing.T) {
+	var got []WindowStats
+	rw := NewRollingWindow(time.Minute, func(w WindowStats) { got = append(got, w) })
+	rw.HandleBatch(windowRecords())
+	rw.Close()
+
+	if len(got) != 3 {
+		t.Fatalf("windows emitted = %d, want 3 (empty minute skipped)", len(got))
+	}
+	w0, w2, w3 := got[0], got[1], got[2]
+
+	if w0.Index != 0 || w0.Start != 0 || w0.End != time.Minute {
+		t.Errorf("window 0 bounds = (%d, %v, %v)", w0.Index, w0.Start, w0.End)
+	}
+	if w0.Records != 3 || w0.PacketsIn != 1 || w0.PacketsOut != 2 {
+		t.Errorf("window 0 counts = %+v", w0)
+	}
+	if w0.AppBytesIn != 40 || w0.AppBytesOut != 200 {
+		t.Errorf("window 0 bytes = in %d out %d", w0.AppBytesIn, w0.AppBytesOut)
+	}
+	wantWire := int64(40 + 200 + 3*units.WireOverhead)
+	if w0.WireBytes != wantWire {
+		t.Errorf("window 0 wire bytes = %d, want %d", w0.WireBytes, wantWire)
+	}
+	if want := float64(8*wantWire) / 60 / 1e3; w0.MeanKbs != want {
+		t.Errorf("window 0 kbs = %v, want %v", w0.MeanKbs, want)
+	}
+	if w0.Final {
+		t.Errorf("window 0 marked final")
+	}
+
+	// The boundary record opened window 2, not window 1.
+	if w2.Index != 2 || w2.Start != 2*time.Minute || w2.Records != 2 {
+		t.Errorf("window 2 = %+v", w2)
+	}
+	if w3.Index != 3 || !w3.Final || w3.Records != 1 {
+		t.Errorf("final window = %+v", w3)
+	}
+}
+
+func TestRollingWindowHashDeterminism(t *testing.T) {
+	collect := func(rs []trace.Record, batch int) []WindowStats {
+		var got []WindowStats
+		rw := NewRollingWindow(time.Minute, func(w WindowStats) { got = append(got, w) })
+		for len(rs) > 0 {
+			n := batch
+			if n > len(rs) {
+				n = len(rs)
+			}
+			rw.HandleBatch(rs[:n])
+			rs = rs[n:]
+		}
+		rw.Close()
+		return got
+	}
+
+	a := collect(windowRecords(), 100)
+	b := collect(windowRecords(), 1)
+	if len(a) != len(b) {
+		t.Fatalf("window count differs across batch sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("window %d differs across batch sizes:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+		if a[i].Hash == "" {
+			t.Errorf("window %d has empty hash", i)
+		}
+	}
+
+	// Perturbing one record's content must change that window's hash only.
+	rs := windowRecords()
+	rs[0].App++
+	c := collect(rs, 100)
+	if c[0].Hash == a[0].Hash {
+		t.Errorf("window 0 hash unchanged after content change")
+	}
+	if c[1].Hash != a[1].Hash || c[2].Hash != a[2].Hash {
+		t.Errorf("later window hashes changed by an earlier window's content")
+	}
+}
+
+func TestRollingWindowCloseLatches(t *testing.T) {
+	var n int
+	rw := NewRollingWindow(time.Minute, func(WindowStats) { n++ })
+	rw.Handle(trace.Record{T: time.Second, App: 10})
+	rw.Close()
+	rw.Close()
+	rw.Handle(trace.Record{T: 2 * time.Second, App: 10})
+	rw.Close()
+	if n != 1 {
+		t.Fatalf("emitted %d windows, want 1 (close latches)", n)
+	}
+}

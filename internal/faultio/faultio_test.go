@@ -1,0 +1,283 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestWriterFaults exercises the write-side fault matrix in isolation —
+// no trace layer on top — asserting for each case that Bytes() is exactly
+// the durable prefix, the right error surfaces on the right call, and the
+// fault latches for everything after it.
+func TestWriterFaults(t *testing.T) {
+	payload := []byte("0123456789abcdef") // 16 bytes per write
+
+	cases := []struct {
+		name   string
+		w      *Writer
+		writes int
+		// wantN[i] is write i's byte count; wantErr[i] non-nil means write
+		// i must return exactly that error.
+		wantN       []int
+		wantErr     []error
+		wantDurable []byte
+	}{
+		{
+			name:        "transparent pass-through",
+			w:           &Writer{},
+			writes:      2,
+			wantN:       []int{16, 16},
+			wantErr:     []error{nil, nil},
+			wantDurable: append(append([]byte(nil), payload...), payload...),
+		},
+		{
+			name:   "short write: disk fills mid-write",
+			w:      &Writer{FailAt: 10},
+			writes: 2,
+			// The first write crosses the 10-byte budget: its first 10
+			// bytes land, the rest never reach the medium.
+			wantN:       []int{10, 0},
+			wantErr:     []error{ErrNoSpace, ErrNoSpace},
+			wantDurable: payload[:10],
+		},
+		{
+			name:        "ENOSPC after N whole writes",
+			w:           &Writer{FailAt: 32},
+			writes:      3,
+			wantN:       []int{16, 16, 0},
+			wantErr:     []error{nil, nil, ErrNoSpace},
+			wantDurable: append(append([]byte(nil), payload...), payload...),
+		},
+		{
+			name:        "torn write: power cut mid-datagram",
+			w:           &Writer{FailAt: 20, Torn: true},
+			writes:      2,
+			wantN:       []int{16, 4},
+			wantErr:     []error{nil, ErrTorn},
+			wantDurable: append(append([]byte(nil), payload...), payload[:4]...),
+		},
+		{
+			name:        "custom error override",
+			w:           &Writer{FailAt: 1, Err: io.ErrClosedPipe},
+			writes:      1,
+			wantN:       []int{1},
+			wantErr:     []error{io.ErrClosedPipe},
+			wantDurable: payload[:1],
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < tc.writes; i++ {
+				n, err := tc.w.Write(payload)
+				if n != tc.wantN[i] {
+					t.Errorf("write %d: n = %d, want %d", i, n, tc.wantN[i])
+				}
+				if !errors.Is(err, tc.wantErr[i]) && err != tc.wantErr[i] {
+					t.Errorf("write %d: err = %v, want %v", i, err, tc.wantErr[i])
+				}
+			}
+			if got := tc.w.Bytes(); !bytes.Equal(got, tc.wantDurable) {
+				t.Errorf("Bytes() = %q (%d bytes), want %q (%d bytes): not exactly the durable prefix",
+					got, len(got), tc.wantDurable, len(tc.wantDurable))
+			}
+			if got := tc.w.BytesWritten(); got != int64(len(tc.wantDurable)) {
+				t.Errorf("BytesWritten() = %d, want %d", got, len(tc.wantDurable))
+			}
+		})
+	}
+}
+
+// TestWriterSyncFailure checks the accepts-writes-cannot-persist mode:
+// Sync fails from the configured call on, latches, and takes Write down
+// with it — while the bytes before the failed sync stay visible.
+func TestWriterSyncFailure(t *testing.T) {
+	w := &Writer{SyncFailAfter: 2}
+	if _, err := w.Write([]byte("segment-1")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 1 should succeed: %v", err)
+	}
+	if _, err := w.Write([]byte("segment-2")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync 2 = %v, want ErrSyncFailed", err)
+	}
+	// Latched: no later operation succeeds, no later byte lands.
+	if _, err := w.Write([]byte("segment-3")); !errors.Is(err, ErrSyncFailed) {
+		t.Errorf("write after failed sync = %v, want ErrSyncFailed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Errorf("sync after failed sync = %v, want ErrSyncFailed", err)
+	}
+	if got, want := string(w.Bytes()), "segment-1segment-2"; got != want {
+		t.Errorf("Bytes() = %q, want %q", got, want)
+	}
+	if w.Syncs() != 2 {
+		t.Errorf("Syncs() = %d, want 2 (latched calls don't count)", w.Syncs())
+	}
+	if !errors.Is(w.Latched(), ErrSyncFailed) {
+		t.Errorf("Latched() = %v, want ErrSyncFailed", w.Latched())
+	}
+}
+
+// TestWriterLatchesUnderlyingError checks that a real error from the
+// wrapped sink latches just like an injected one, with the sink's partial
+// write counted in the durable prefix.
+func TestWriterLatchesUnderlyingError(t *testing.T) {
+	under := &Writer{FailAt: 5} // inner wrapper plays the faulty file
+	w := &Writer{W: under}
+	n, err := w.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write = %d, %v; want 5, ErrNoSpace", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("write after underlying failure = %v, want latched ErrNoSpace", err)
+	}
+	if got := string(w.Bytes()); got != "01234" {
+		t.Errorf("Bytes() = %q, want the 5-byte durable prefix", got)
+	}
+}
+
+// TestWriterAtFaults covers the offset-addressed variant: writes ending
+// past FailAt land short, and the fault latches.
+func TestWriterAtFaults(t *testing.T) {
+	type res struct {
+		n   int
+		err error
+	}
+	backing := make(sliceWriterAt, 32)
+	w := &WriterAt{W: &backing, FailAt: 12}
+
+	if n, err := w.WriteAt([]byte("aaaaaaaa"), 0); n != 8 || err != nil {
+		t.Fatalf("write 1 = %v, %v", res{n, err}, nil)
+	}
+	// Crosses the boundary: 4 of 8 bytes land.
+	if n, err := w.WriteAt([]byte("bbbbbbbb"), 8); n != 4 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("boundary write = %d, %v; want 4, ErrNoSpace", n, err)
+	}
+	if n, err := w.WriteAt([]byte("c"), 0); n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Errorf("latched write = %d, %v; want 0, ErrNoSpace", n, err)
+	}
+	if got, want := string(backing[:12]), "aaaaaaaabbbb"; got != want {
+		t.Errorf("durable prefix = %q, want %q", got, want)
+	}
+}
+
+// sliceWriterAt is a fixed-size in-memory io.WriterAt.
+type sliceWriterAt []byte
+
+func (s *sliceWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	n := copy((*s)[off:], p)
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// TestReaderAtFaults covers the read-side matrix: truncation, bit flips,
+// failing sectors, and their interaction with apparent size.
+func TestReaderAtFaults(t *testing.T) {
+	src := bytes.NewReader([]byte("0123456789abcdef"))
+
+	t.Run("transparent", func(t *testing.T) {
+		r := NewReaderAt(src)
+		buf := make([]byte, 16)
+		if n, err := r.ReadAt(buf, 0); n != 16 || err != nil {
+			t.Fatalf("ReadAt = %d, %v", n, err)
+		}
+		if string(buf) != "0123456789abcdef" {
+			t.Errorf("read %q", buf)
+		}
+		if r.Size(16) != 16 {
+			t.Errorf("Size = %d", r.Size(16))
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		r := NewReaderAt(src)
+		r.TruncateAt = 10
+		buf := make([]byte, 16)
+		n, err := r.ReadAt(buf, 0)
+		if n != 10 || err != io.EOF {
+			t.Fatalf("crossing read = %d, %v; want 10, EOF", n, err)
+		}
+		if n, err := r.ReadAt(buf, 10); n != 0 || err != io.EOF {
+			t.Errorf("past-end read = %d, %v; want 0, EOF", n, err)
+		}
+		if r.Size(16) != 10 {
+			t.Errorf("apparent Size = %d, want 10", r.Size(16))
+		}
+	})
+
+	t.Run("bit flip", func(t *testing.T) {
+		r := NewReaderAt(src)
+		r.FlipBit = 3 // '3' ^ 0x01 = '2'
+		buf := make([]byte, 16)
+		if _, err := r.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != "0122456789abcdef" {
+			t.Errorf("default-mask flip: read %q", buf)
+		}
+		// A read not covering the flipped byte is untouched.
+		if _, err := r.ReadAt(buf[:4], 4); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf[:4]) != "4567" {
+			t.Errorf("clean region read %q", buf[:4])
+		}
+		r.FlipMask = 0x80
+		if _, err := r.ReadAt(buf[:4], 2); err != nil {
+			t.Fatal(err)
+		}
+		if buf[1] != '3'^0x80 {
+			t.Errorf("custom-mask flip: byte = %#x, want %#x", buf[1], '3'^0x80)
+		}
+	})
+
+	t.Run("failing sector", func(t *testing.T) {
+		r := NewReaderAt(src)
+		r.FailAt = 8
+		buf := make([]byte, 16)
+		n, err := r.ReadAt(buf, 0)
+		if n != 8 || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("crossing read = %d, %v; want 8 bytes then the fault", n, err)
+		}
+		if string(buf[:8]) != "01234567" {
+			t.Errorf("pre-fault bytes = %q", buf[:8])
+		}
+		if n, err := r.ReadAt(buf, 8); n != 0 || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("at-fault read = %d, %v", n, err)
+		}
+	})
+}
+
+// TestReaderLimit covers the serial-scan byte budget: EOF by default at
+// the limit (silent truncation), or the configured error.
+func TestReaderLimit(t *testing.T) {
+	src := func() *Reader {
+		return &Reader{R: bytes.NewReader([]byte("0123456789")), Limit: 4, Err: io.ErrUnexpectedEOF}
+	}
+	r := src()
+	buf := make([]byte, 8)
+	n, err := r.Read(buf)
+	if n != 4 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("limited read = %d, %v; want 4, ErrUnexpectedEOF", n, err)
+	}
+	if string(buf[:4]) != "0123" {
+		t.Errorf("read %q", buf[:4])
+	}
+	if n, err := r.Read(buf); n != 0 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("read past limit = %d, %v", n, err)
+	}
+
+	silent := &Reader{R: bytes.NewReader([]byte("0123456789")), Limit: 4}
+	if _, err := io.ReadAll(silent); err != nil {
+		t.Errorf("silent truncation should end in clean EOF, got %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package metricstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cstrace/internal/trace"
+)
+
+// fuzzSeed builds a small sealed trace of the given version for seeding.
+func fuzzSeed(version int, count int) []byte {
+	var buf bytes.Buffer
+	var w *trace.Writer
+	switch version {
+	case 1:
+		w = trace.NewWriterV1(&buf)
+	case 2:
+		w = trace.NewWriterV2(&buf)
+	case 3:
+		w = trace.NewWriterV3(&buf)
+	default:
+		w = trace.NewWriter(&buf)
+	}
+	w.SegmentPayload = 256
+	for i := 0; i < count; i++ {
+		w.Write(trace.Record{
+			T:      time.Duration(i) * time.Millisecond,
+			Dir:    trace.Direction(i & 1),
+			Kind:   trace.Kind(i % 3),
+			Client: uint32(i%7 + 1),
+			App:    uint16(40 + i%60),
+		})
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// FuzzIngest feeds arbitrary bytes through the store's trace-file ingest
+// path. Whatever the bytes are — valid v1-v4 traces, truncated captures,
+// bit-flipped segments, garbage — ingest must never panic, must never
+// create two rows for the same content hash, and must always leave the
+// store readable (list and show still work, and the file reopens).
+func FuzzIngest(f *testing.F) {
+	for _, ver := range []int{1, 2, 3, 4} {
+		clean := fuzzSeed(ver, 300)
+		f.Add(clean)
+		f.Add(clean[:len(clean)*2/3]) // torn capture
+		damaged := append([]byte(nil), clean...)
+		damaged[len(damaged)/2] ^= 0x40 // bit flip mid-file
+		f.Add(damaged)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		tracePath := filepath.Join(dir, "in.cst")
+		if err := os.WriteFile(tracePath, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		storePath := filepath.Join(dir, "m.csms")
+		st, err := Open(storePath)
+		if err != nil {
+			t.Fatalf("open fresh store: %v", err)
+		}
+
+		run1, added1, err1 := IngestTraceFile(st, tracePath, IngestOptions{})
+		run2, added2, err2 := IngestTraceFile(st, tracePath, IngestOptions{})
+
+		if err1 == nil {
+			if !added1 {
+				t.Fatal("first successful ingest reported added=false")
+			}
+			if err2 != nil {
+				t.Fatalf("re-ingest of ingested content failed: %v", err2)
+			}
+			if added2 {
+				t.Fatal("same content hash inserted twice")
+			}
+			if run1.Hash != run2.Hash || run1.Seq != run2.Seq {
+				t.Fatalf("dedupe returned a different row: %+v vs %+v", run1, run2)
+			}
+			if st.Len() != 1 {
+				t.Fatalf("store rows = %d, want 1", st.Len())
+			}
+		} else if st.Len() != 0 {
+			t.Fatalf("failed ingest left %d rows", st.Len())
+		}
+
+		// list/show must work regardless of ingest outcome.
+		for _, r := range st.Runs() {
+			var buf bytes.Buffer
+			r.WriteText(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("show produced no output")
+			}
+			if got, err := st.Find(r.ID); err != nil || got != r {
+				t.Fatalf("Find(%q) = %v, %v", r.ID, got, err)
+			}
+		}
+		before := st.Len()
+		st.Close()
+
+		// The store file must reopen cleanly with the same rows.
+		st2, err := Open(storePath)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer st2.Close()
+		if st2.Len() != before {
+			t.Fatalf("rows changed across reopen: %d -> %d", before, st2.Len())
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package metricstore is the durable side of the analysis pipeline: a
+// portable single-file database of per-run analysis results, content-
+// addressed by the SHA-256 of the ingested records so re-ingesting the same
+// trace is a no-op. One-shot cstrace runs evaporate when the process exits;
+// the store turns them into a provisioning history that `list`, `show` and
+// `trend` can query across runs ("how did p95 bandwidth per slot move
+// across the last 20 launch-day scenarios?").
+//
+// The file format is a crash-tolerant append-only log: a fixed header
+// followed by length-prefixed, CRC-checked JSON rows. Open validates the
+// log and silently truncates a torn tail — the same crash-only posture as
+// the trace format — so a store written by a killed daemon reopens clean.
+package metricstore
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cstrace/internal/analysis"
+)
+
+// Run kinds stored in Run.Kind.
+const (
+	// KindTrace is a one-shot ingest of a trace file.
+	KindTrace = "trace"
+	// KindScenario is a recorded fleet scenario run, carrying per-server
+	// and per-slot-class metrics alongside the aggregate summary.
+	KindScenario = "scenario"
+	// KindWindow is one completed trace-time window recorded by the
+	// analysis daemon.
+	KindWindow = "window"
+	// KindService is the daemon's cumulative end-of-session summary over
+	// everything it ingested.
+	KindService = "service"
+)
+
+// IDLen is the length of the short run ID (a Hash prefix).
+const IDLen = 12
+
+// Run is one row of the store: the serializable result of analyzing one
+// unit of traffic (a trace file, a scenario, a daemon window, or a daemon
+// session). Rows are immutable once ingested; the Hash is the row's
+// content address and dedupe key.
+type Run struct {
+	// ID is the short run identifier: the first 12 hex digits of Hash.
+	ID string
+	// Hash is the hex SHA-256 content address of the ingested records
+	// (for files: the file bytes; for streams: the canonical record
+	// encoding; for service rows: the chain of ingested run hashes).
+	Hash string
+	// Seq is the 1-based insertion order in this store file.
+	Seq int64
+	// Kind is one of KindTrace, KindScenario, KindWindow, KindService.
+	Kind string
+	// Source says where the records came from (file path, spool entry,
+	// scenario spec); Label is a free-form operator tag (-label).
+	Source string
+	Label  string `json:",omitempty"`
+	// IngestedAt is the wall-clock ingest time (UTC).
+	IngestedAt time.Time
+	// TraceVersion is the trace format version for file ingests (0 when
+	// not applicable).
+	TraceVersion int `json:",omitempty"`
+	// FileBytes is the on-disk trace size for file ingests; with Records
+	// it gives the B/record storage figure.
+	FileBytes int64 `json:",omitempty"`
+	// Records is the analyzed record count.
+	Records int64
+	// Warning carries the reader's degradation note when the ingest
+	// salvaged a damaged capture; empty for clean ingests.
+	Warning string `json:",omitempty"`
+	// Summary is the serializable collector digest.
+	Summary analysis.Summary
+	// Window is set on KindWindow rows.
+	Window *analysis.WindowStats `json:",omitempty"`
+	// Servers and SlotClasses are set on KindScenario rows.
+	Servers     []ServerMetrics    `json:",omitempty"`
+	SlotClasses []SlotClassMetrics `json:",omitempty"`
+}
+
+// ServerMetrics is one server's row of a scenario run.
+type ServerMetrics struct {
+	Name        string
+	Slots       int
+	TickMillis  float64
+	Packets     int64
+	WireBytes   int64
+	MeanKbs     float64
+	KbsPerSlot  float64
+	Established int
+	MeanPlayers float64
+}
+
+// SlotClassMetrics aggregates a scenario's servers sharing a slot count —
+// the paper's per-slot provisioning figure, tracked per capacity class.
+type SlotClassMetrics struct {
+	Slots      int
+	Servers    int
+	Packets    int64
+	MeanKbs    float64 // mean per-server bandwidth in the class
+	KbsPerSlot float64
+}
+
+// TotalSlots sums the slot capacity across a scenario run's servers.
+func (r *Run) TotalSlots() int {
+	var n int
+	for _, s := range r.Servers {
+		n += s.Slots
+	}
+	return n
+}
+
+// BytesPerRecord returns the on-disk storage cost per record, or 0 when
+// unknown (non-file rows).
+func (r *Run) BytesPerRecord() float64 {
+	if r.FileBytes <= 0 || r.Records <= 0 {
+		return 0
+	}
+	return float64(r.FileBytes) / float64(r.Records)
+}
+
+// normalize derives ID from Hash and fills defaults; it is called by
+// Store.Ingest before the row is written.
+func (r *Run) normalize() error {
+	r.Hash = strings.ToLower(strings.TrimSpace(r.Hash))
+	if len(r.Hash) < IDLen {
+		return fmt.Errorf("metricstore: run hash %q is too short (need >= %d hex digits)", r.Hash, IDLen)
+	}
+	for _, c := range r.Hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("metricstore: run hash %q is not lowercase hex", r.Hash)
+		}
+	}
+	r.ID = r.Hash[:IDLen]
+	if r.Kind == "" {
+		r.Kind = KindTrace
+	}
+	return nil
+}
+
+// WriteText renders the row for `show`: a stable, human-readable dump.
+// The output is a pure function of the stored row, so showing the same run
+// twice — or after a re-ingest that deduped to this row — is byte-identical.
+func (r *Run) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "run %s  (%s)\n", r.ID, r.Kind)
+	fmt.Fprintf(w, "  hash         %s\n", r.Hash)
+	fmt.Fprintf(w, "  seq          %d\n", r.Seq)
+	if r.Source != "" {
+		fmt.Fprintf(w, "  source       %s\n", r.Source)
+	}
+	if r.Label != "" {
+		fmt.Fprintf(w, "  label        %s\n", r.Label)
+	}
+	fmt.Fprintf(w, "  ingested     %s\n", r.IngestedAt.UTC().Format(time.RFC3339Nano))
+	if r.TraceVersion != 0 {
+		fmt.Fprintf(w, "  trace        v%d, %d bytes (%.2f B/record)\n",
+			r.TraceVersion, r.FileBytes, r.BytesPerRecord())
+	}
+	if r.Warning != "" {
+		fmt.Fprintf(w, "  warning      %s\n", r.Warning)
+	}
+	s := &r.Summary
+	fmt.Fprintf(w, "  records      %d over %.1fs\n", r.Records, s.SpanSeconds)
+	fmt.Fprintf(w, "  packets      %d in / %d out\n", s.PacketsIn, s.PacketsOut)
+	fmt.Fprintf(w, "  app bytes    %d in / %d out (mean %.1f / %.1f B/pkt)\n",
+		s.AppBytesIn, s.AppBytesOut, s.MeanAppIn, s.MeanAppOut)
+	fmt.Fprintf(w, "  bandwidth    %.1f kbs mean (%.1f in / %.1f out), %.1f pps\n",
+		s.MeanKbs, s.MeanKbsIn, s.MeanKbsOut, s.MeanPPS)
+	fmt.Fprintf(w, "  minute kbs   p50 %.1f  p90 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+		s.MinuteKbs.P50, s.MinuteKbs.P90, s.MinuteKbs.P95, s.MinuteKbs.P99, s.MinuteKbs.Max)
+	if s.IAInP50Micros > 0 || s.IAOutP50Micros > 0 {
+		fmt.Fprintf(w, "  interarrival p50 %dus in (cv %.2f) / %dus out (cv %.2f)\n",
+			s.IAInP50Micros, s.IAInCV, s.IAOutP50Micros, s.IAOutCV)
+	}
+	for _, k := range s.Kinds {
+		fmt.Fprintf(w, "  kind         %-10s %12d pkts %14d app bytes\n", k.Kind, k.Packets, k.AppBytes)
+	}
+	if r.Window != nil {
+		win := r.Window
+		fmt.Fprintf(w, "  window       #%d [%s, %s) final=%v\n", win.Index, win.Start, win.End, win.Final)
+	}
+	if len(r.Servers) > 0 {
+		fmt.Fprintf(w, "  servers      %d (%d slots)\n", len(r.Servers), r.TotalSlots())
+		for _, sv := range r.Servers {
+			fmt.Fprintf(w, "    %-8s %3d slots %12d pkts %10.1f kbs %8.1f kbs/slot  estab %d\n",
+				sv.Name, sv.Slots, sv.Packets, sv.MeanKbs, sv.KbsPerSlot, sv.Established)
+		}
+	}
+	if len(r.SlotClasses) > 0 {
+		for _, sc := range r.SlotClasses {
+			fmt.Fprintf(w, "  slot class   %2d-slot x%-3d %12d pkts %10.1f kbs %8.1f kbs/slot\n",
+				sc.Slots, sc.Servers, sc.Packets, sc.MeanKbs, sc.KbsPerSlot)
+		}
+	}
+}

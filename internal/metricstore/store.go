@@ -1,0 +1,259 @@
+package metricstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store file layout:
+//
+//	offset 0: "CSMS" magic, 1 version byte, 3 reserved zero bytes
+//	then per row: u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// payload is the JSON encoding of a Run. The log is append-only and rows
+// are immutable; a row whose length or CRC does not check out marks the end
+// of the valid prefix (a torn append from a crash), and Open truncates it
+// away. Everything is little-endian.
+const (
+	storeMagic   = "CSMS"
+	storeVersion = 1
+	headerLen    = 8
+	// maxRowLen bounds a single row against absurd length prefixes from a
+	// corrupt file; real rows are a few KB.
+	maxRowLen = 16 << 20
+)
+
+// ErrNotFound reports a run lookup that matched nothing.
+var ErrNotFound = errors.New("metricstore: run not found")
+
+// Store is an open metrics database. All methods are safe for concurrent
+// use; the file is kept open for appends.
+type Store struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	runs   []*Run // insertion (Seq) order
+	byHash map[string]*Run
+}
+
+// Open opens (creating if missing) the store at path and replays the log.
+// A torn final row — the signature of a crashed writer — is truncated away
+// so the store reopens clean; rows before it are unaffected.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{f: f, path: path, byHash: make(map[string]*Run)}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size == 0 {
+		var hdr [headerLen]byte
+		copy(hdr[:], storeMagic)
+		hdr[4] = storeVersion
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return st, nil
+	}
+	if err := st.replay(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// replay loads every valid row and truncates the file to the valid prefix.
+func (s *Store) replay(size int64) error {
+	var hdr [headerLen]byte
+	if size < headerLen {
+		return fmt.Errorf("metricstore: %s: %d bytes is smaller than a store header", s.path, size)
+	}
+	if _, err := s.f.ReadAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if string(hdr[:4]) != storeMagic {
+		return fmt.Errorf("metricstore: %s is not a metrics store (bad magic)", s.path)
+	}
+	if hdr[4] != storeVersion {
+		return fmt.Errorf("metricstore: %s: unsupported store version %d", s.path, hdr[4])
+	}
+	off := int64(headerLen)
+	for {
+		var frame [8]byte
+		if n, err := s.f.ReadAt(frame[:], off); err != nil {
+			if n == 0 && err == io.EOF && off == size {
+				break // clean end
+			}
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn frame header
+			}
+			return err
+		}
+		plen := int64(binary.LittleEndian.Uint32(frame[0:]))
+		want := binary.LittleEndian.Uint32(frame[4:])
+		if plen == 0 || plen > maxRowLen || off+8+plen > size {
+			break // implausible or torn row
+		}
+		payload := make([]byte, plen)
+		if _, err := s.f.ReadAt(payload, off+8); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt row: end of trusted prefix
+		}
+		var run Run
+		if err := json.Unmarshal(payload, &run); err != nil {
+			break
+		}
+		s.attach(&run)
+		off += 8 + plen
+	}
+	if off < size {
+		// Crash-only repair: drop the torn tail so the next append starts
+		// at a row boundary.
+		if err := s.f.Truncate(off); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attach registers a replayed or freshly ingested row in memory. Duplicate
+// hashes (possible only from a hand-edited file) keep the first row, mirroring
+// Ingest's semantics.
+func (s *Store) attach(run *Run) {
+	if _, dup := s.byHash[run.Hash]; dup {
+		return
+	}
+	s.runs = append(s.runs, run)
+	s.byHash[run.Hash] = run
+}
+
+// Close closes the store file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Path returns the store file path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of stored runs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// Runs returns the stored runs in insertion order. The slice is a copy;
+// the rows are shared and must be treated as immutable.
+func (s *Store) Runs() []*Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Run(nil), s.runs...)
+}
+
+// ByHash returns the run with the exact content hash, or nil.
+func (s *Store) ByHash(hash string) *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byHash[strings.ToLower(hash)]
+}
+
+// Find resolves a run by ID, full hash, or unique hash prefix.
+func (s *Store) Find(idOrPrefix string) (*Run, error) {
+	q := strings.ToLower(strings.TrimSpace(idOrPrefix))
+	if q == "" {
+		return nil, fmt.Errorf("%w: empty run id", ErrNotFound)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.byHash[q]; ok {
+		return r, nil
+	}
+	var matches []*Run
+	for _, r := range s.runs {
+		if strings.HasPrefix(r.Hash, q) {
+			matches = append(matches, r)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, idOrPrefix)
+	case 1:
+		return matches[0], nil
+	}
+	ids := make([]string, len(matches))
+	for i, m := range matches {
+		ids[i] = m.ID
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("metricstore: run id %q is ambiguous (%s)", idOrPrefix, strings.Join(ids, ", "))
+}
+
+// Ingest appends run to the store unless a row with the same content hash
+// already exists. It returns the canonical row — the existing one on a
+// dedupe — and whether a new row was added. The append is CRC-framed and
+// fsynced before Ingest returns; a crash mid-append leaves a torn tail the
+// next Open truncates, never a half-visible row.
+func (s *Store) Ingest(run *Run) (*Run, bool, error) {
+	if err := run.normalize(); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.byHash[run.Hash]; ok {
+		return existing, false, nil
+	}
+	run.Seq = int64(len(s.runs)) + 1
+	if run.IngestedAt.IsZero() {
+		run.IngestedAt = time.Now().UTC()
+	} else {
+		run.IngestedAt = run.IngestedAt.UTC()
+	}
+	payload, err := json.Marshal(run)
+	if err != nil {
+		return nil, false, err
+	}
+	end, err := s.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, false, err
+	}
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := s.f.Write(frame); err != nil {
+		// Roll back a partial append so in-memory and on-disk state agree.
+		s.f.Truncate(end)
+		return nil, false, err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Truncate(end)
+		return nil, false, err
+	}
+	s.attach(run)
+	return run, true, nil
+}

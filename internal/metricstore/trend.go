@@ -1,0 +1,158 @@
+package metricstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// A metricFn extracts one comparable number from a run; ok=false means the
+// run does not carry that metric (e.g. per-slot figures on a plain trace
+// row) and is skipped by Trend.
+type metricFn struct {
+	help string
+	get  func(*Run) (float64, bool)
+}
+
+var metrics = map[string]metricFn{
+	"meankbs": {"mean wire bandwidth (kbs)", func(r *Run) (float64, bool) {
+		return r.Summary.MeanKbs, r.Records > 0
+	}},
+	"p50kbs": {"p50 of per-minute bandwidth (kbs)", minuteKbs(func(r *Run) float64 { return r.Summary.MinuteKbs.P50 })},
+	"p90kbs": {"p90 of per-minute bandwidth (kbs)", minuteKbs(func(r *Run) float64 { return r.Summary.MinuteKbs.P90 })},
+	"p95kbs": {"p95 of per-minute bandwidth (kbs)", minuteKbs(func(r *Run) float64 { return r.Summary.MinuteKbs.P95 })},
+	"p99kbs": {"p99 of per-minute bandwidth (kbs)", minuteKbs(func(r *Run) float64 { return r.Summary.MinuteKbs.P99 })},
+	"maxkbs": {"busiest minute (kbs)", minuteKbs(func(r *Run) float64 { return r.Summary.MinuteKbs.Max })},
+	"pps": {"mean packet rate (packets/s)", func(r *Run) (float64, bool) {
+		return r.Summary.MeanPPS, r.Records > 0
+	}},
+	"records": {"record count", func(r *Run) (float64, bool) {
+		return float64(r.Records), true
+	}},
+	"bprecord": {"on-disk bytes per record", func(r *Run) (float64, bool) {
+		v := r.BytesPerRecord()
+		return v, v > 0
+	}},
+	"ia-in-p50us": {"inbound interarrival p50 (µs)", func(r *Run) (float64, bool) {
+		return float64(r.Summary.IAInP50Micros), r.Summary.IAInP50Micros > 0
+	}},
+	"ia-out-p50us": {"outbound interarrival p50 (µs)", func(r *Run) (float64, bool) {
+		return float64(r.Summary.IAOutP50Micros), r.Summary.IAOutP50Micros > 0
+	}},
+	"perslotkbs":    {"mean bandwidth per slot (kbs, scenario runs)", perSlot(func(r *Run) float64 { return r.Summary.MeanKbs })},
+	"p95perslotkbs": {"p95 minute bandwidth per slot (kbs, scenario runs)", perSlot(func(r *Run) float64 { return r.Summary.MinuteKbs.P95 })},
+}
+
+func minuteKbs(get func(*Run) float64) func(*Run) (float64, bool) {
+	return func(r *Run) (float64, bool) {
+		// A run with no minute series (window rows) has an all-zero
+		// percentile block; skip it rather than flatten the trend.
+		z := r.Summary.MinuteKbs
+		if z.Max == 0 && z.P50 == 0 {
+			return 0, false
+		}
+		return get(r), true
+	}
+}
+
+func perSlot(get func(*Run) float64) func(*Run) (float64, bool) {
+	return func(r *Run) (float64, bool) {
+		slots := r.TotalSlots()
+		if slots <= 0 {
+			return 0, false
+		}
+		return get(r) / float64(slots), true
+	}
+}
+
+// Metrics lists the trendable metric names with a one-line description,
+// sorted by name.
+func Metrics() []string {
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = fmt.Sprintf("%-14s %s", name, metrics[name].help)
+	}
+	return out
+}
+
+// TrendPoint is one run's value of a trended metric.
+type TrendPoint struct {
+	Seq        int64
+	ID         string
+	Kind       string
+	Label      string `json:",omitempty"`
+	IngestedAt time.Time
+	Value      float64
+}
+
+// Trend extracts metric across stored runs in insertion order, keeping the
+// last n points (n <= 0 keeps all). kinds, when non-empty, restricts the
+// runs considered (e.g. only "scenario" rows for per-slot trends). Runs
+// not carrying the metric are skipped before the last-n cut.
+func Trend(st *Store, metric string, n int, kinds ...string) ([]TrendPoint, error) {
+	m, ok := metrics[metric]
+	if !ok {
+		return nil, fmt.Errorf("metricstore: unknown metric %q (see `cstrace -mode trend -metric help`)", metric)
+	}
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		if k != "" {
+			want[k] = true
+		}
+	}
+	var pts []TrendPoint
+	for _, r := range st.Runs() {
+		if len(want) > 0 && !want[r.Kind] {
+			continue
+		}
+		v, ok := m.get(r)
+		if !ok {
+			continue
+		}
+		pts = append(pts, TrendPoint{
+			Seq:        r.Seq,
+			ID:         r.ID,
+			Kind:       r.Kind,
+			Label:      r.Label,
+			IngestedAt: r.IngestedAt,
+			Value:      v,
+		})
+	}
+	if n > 0 && len(pts) > n {
+		pts = pts[len(pts)-n:]
+	}
+	return pts, nil
+}
+
+// WriteTrend renders a trend as a text table with a normalized bar per
+// point — the terminal version of the provisioning curve over time.
+func WriteTrend(w io.Writer, metric string, pts []TrendPoint) {
+	fmt.Fprintf(w, "trend %s (%d runs)\n", metric, len(pts))
+	if len(pts) == 0 {
+		return
+	}
+	max := pts[0].Value
+	for _, p := range pts {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	for _, p := range pts {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(p.Value/max*30+0.5))
+		}
+		label := p.Label
+		if label != "" {
+			label = " " + label
+		}
+		fmt.Fprintf(w, "  %4d  %s  %-8s %14.2f  %s%s\n", p.Seq, p.ID, p.Kind, p.Value, bar, label)
+	}
+}

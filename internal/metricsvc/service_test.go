@@ -1,0 +1,264 @@
+package metricsvc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	cstrace "cstrace"
+	"cstrace/internal/analysis"
+	"cstrace/internal/metricstore"
+	"cstrace/internal/metricsvc"
+	"cstrace/internal/trace"
+)
+
+// spoolRecords builds one spool file's worth of records: deterministic,
+// multi-kind, both directions, ending exactly at span.
+func spoolRecords(seed, count int, span time.Duration) []trace.Record {
+	kinds := []trace.Kind{trace.KindGame, trace.KindGame, trace.KindGame,
+		trace.KindHandshake, trace.KindText, trace.KindVoice}
+	recs := make([]trace.Record, count)
+	for i := range recs {
+		recs[i] = trace.Record{
+			T:      span * time.Duration(i) / time.Duration(count-1),
+			Dir:    trace.Direction((i + seed) & 1),
+			Kind:   kinds[(i*7+seed)%len(kinds)],
+			Client: uint32((i*3+seed)%17 + 1),
+			App:    uint16(30 + (i*11+seed*5)%200),
+		}
+	}
+	return recs
+}
+
+func writeSpoolFile(t *testing.T, dir, name string, recs []trace.Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	w.SegmentPayload = 512
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixedClock() func() time.Time {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return base }
+}
+
+// TestServiceMatchesOneShotAnalysis is the golden-equality check the
+// package doc promises: a spool of traces fed through the engine must
+// leave the cumulative suite in exactly the state one-shot AnalyzeTrace
+// reaches on the concatenation of those traces rebased onto one timeline.
+func TestServiceMatchesOneShotAnalysis(t *testing.T) {
+	spool := t.TempDir()
+	files := [][]trace.Record{
+		spoolRecords(1, 3000, 150*time.Second),
+		spoolRecords(2, 2000, 100*time.Second),
+		spoolRecords(3, 2500, 130*time.Second),
+	}
+	for i, recs := range files {
+		writeSpoolFile(t, spool, string(rune('a'+i))+".cst", recs)
+	}
+
+	// Golden: the concatenation, each file shifted by the running offset.
+	var concat bytes.Buffer
+	cw := trace.NewWriter(&concat)
+	var offset time.Duration
+	for _, recs := range files {
+		var end time.Duration
+		for _, r := range recs {
+			if r.T > end {
+				end = r.T
+			}
+			r.T += offset
+			if err := cw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		offset += end
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := cstrace.AnalyzeTrace(bytes.NewReader(concat.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.Summarize(ta.Suite, 0)
+
+	st, err := metricstore.Open(filepath.Join(t.TempDir(), "m.csms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng, err := metricsvc.New(metricsvc.Config{
+		Store:       st,
+		Spool:       spool,
+		Window:      time.Minute,
+		Parallelism: 4,
+		Label:       "golden",
+		Now:         fixedClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := eng.Sweep(); err != nil || n != 3 {
+		t.Fatalf("Sweep = %d, %v; want 3, nil", n, err)
+	}
+	svc, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.FinalSummary()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("service summary diverges from one-shot analysis:\n got %+v\nwant %+v", got, want)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Errorf("summary JSON diverges:\n got %s\nwant %s", gj, wj)
+	}
+
+	if svc == nil || svc.Kind != metricstore.KindService {
+		t.Fatalf("service row = %+v", svc)
+	}
+	if svc.Records != 7500 {
+		t.Errorf("service row records = %d, want 7500", svc.Records)
+	}
+	// 380s of rebased trace time at 1-minute windows: windows 0..6, the
+	// last flushed partial on Close.
+	if eng.Windows() != 7 {
+		t.Errorf("windows = %d, want 7", eng.Windows())
+	}
+	var traces, wins, svcs int
+	for _, r := range st.Runs() {
+		switch r.Kind {
+		case metricstore.KindTrace:
+			traces++
+		case metricstore.KindWindow:
+			wins++
+		case metricstore.KindService:
+			svcs++
+		}
+	}
+	if traces != 3 || wins != 7 || svcs != 1 {
+		t.Errorf("store rows: %d traces, %d windows, %d service; want 3, 7, 1",
+			traces, wins, svcs)
+	}
+}
+
+// TestServiceReplayIsIdempotent re-runs a fresh engine over the same spool
+// and store: every file row, window row, and the service row must dedupe
+// on content hash, leaving the store byte-for-byte unchanged.
+func TestServiceReplayIsIdempotent(t *testing.T) {
+	spool := t.TempDir()
+	writeSpoolFile(t, spool, "a.cst", spoolRecords(1, 2000, 90*time.Second))
+	writeSpoolFile(t, spool, "b.cst", spoolRecords(2, 1500, 70*time.Second))
+	storePath := filepath.Join(t.TempDir(), "m.csms")
+
+	runOnce := func() *metricstore.Run {
+		st, err := metricstore.Open(storePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		eng, err := metricsvc.New(metricsvc.Config{
+			Store: st, Spool: spool, Window: time.Minute,
+			Parallelism: 2, Now: fixedClock(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		svc, err := eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+
+	svc1 := runOnce()
+	before, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := runOnce()
+	after, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("store file changed on replay: %d -> %d bytes", len(before), len(after))
+	}
+	if svc1 == nil || svc2 == nil || svc1.Hash != svc2.Hash || svc1.Seq != svc2.Seq {
+		t.Errorf("service rows differ across replay: %+v vs %+v", svc1, svc2)
+	}
+}
+
+// TestServiceRunLoop drives the polling loop itself: files dropped into
+// the spool while Run is live are picked up, and cancellation stops it.
+func TestServiceRunLoop(t *testing.T) {
+	spool := t.TempDir()
+	writeSpoolFile(t, spool, "a.cst", spoolRecords(1, 1000, 30*time.Second))
+
+	st, err := metricstore.Open(filepath.Join(t.TempDir(), "m.csms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var report strings.Builder
+	eng, err := metricsvc.New(metricsvc.Config{
+		Store: st, Spool: spool, Poll: 5 * time.Millisecond,
+		Window: time.Minute, Report: &report, Now: fixedClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx) }()
+
+	deadline := time.After(5 * time.Second)
+	for st.Len() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("first file never ingested")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	writeSpoolFile(t, spool, "b.cst", spoolRecords(2, 1000, 30*time.Second))
+	for st.Len() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("second file never ingested")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "files=") {
+		t.Errorf("no report lines emitted: %q", report.String())
+	}
+}

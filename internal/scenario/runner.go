@@ -8,6 +8,7 @@ import (
 	"cstrace/internal/gamesim"
 	"cstrace/internal/sched"
 	"cstrace/internal/trace"
+	"cstrace/internal/units"
 )
 
 // streamDepth bounds each server's in-flight block channel: enough to keep
@@ -88,6 +89,24 @@ type ServerResult struct {
 	// Slim is the server's closed slim collector set; nil unless
 	// Config.PerServer is PerServerSlim.
 	Slim *analysis.SlimSuite
+}
+
+// WireBytes returns the server's total wire bytes under the paper's
+// accounting (application payload plus per-packet framing overhead).
+func (sr ServerResult) WireBytes() int64 {
+	st := sr.Stats
+	return st.AppBytesIn + st.AppBytesOut +
+		(st.PacketsIn+st.PacketsOut)*units.WireOverhead
+}
+
+// MeanKbs returns the server's mean wire bandwidth over its own run
+// duration, in decimal kilobits per second.
+func (sr ServerResult) MeanKbs() float64 {
+	sec := sr.Stats.Duration.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(8*sr.WireBytes()) / sec / 1e3
 }
 
 // Result is a completed fleet run.

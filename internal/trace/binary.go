@@ -305,6 +305,9 @@ func (w *Writer) Write(r Record) error {
 	if w.err != nil {
 		return w.err
 	}
+	if r.T > MaxSpan {
+		return fmt.Errorf("record at %v is beyond the format's %v span cap", r.T, MaxSpan)
+	}
 	if !w.wrote {
 		if err := w.writeHeader(); err != nil {
 			return err
@@ -800,6 +803,12 @@ func (r *Reader) Read() (Record, error) {
 	}
 	if client > 1<<32-1 || app > 1<<16-1 {
 		return Record{}, ErrCorrupt
+	}
+	// The uint64 comparison first: a near-2^64 delta would wrap the
+	// Duration sum before the span check could see it.
+	if delta > uint64(MaxSpan) || r.last+time.Duration(delta) > MaxSpan {
+		return Record{}, r.latch(ErrCorrupt,
+			fmt.Errorf("timestamp jumps past the %v span cap", MaxSpan))
 	}
 	r.last += time.Duration(delta)
 	return Record{

@@ -186,6 +186,9 @@ func decodeDeltaRun(run []byte, si SegmentInfo, blocks []*Block) (int, error) {
 			} else {
 				return i, errColTruncated("delta", i)
 			}
+			if delta > uint64(MaxSpan) || last+time.Duration(delta) > MaxSpan {
+				return i, fmt.Errorf("%w: timestamp jump past the span cap at record %d", ErrCorrupt, i)
+			}
 			last += time.Duration(delta)
 			recs[j].T = last
 			i++
@@ -434,6 +437,9 @@ func decodeDeltaCols(run []byte, si SegmentInfo, cbs []*ColumnBlock) (int, error
 				delta, run = d, run[n:]
 			} else {
 				return i, errColTruncated("delta", i)
+			}
+			if delta > uint64(MaxSpan) || last+time.Duration(delta) > MaxSpan {
+				return i, fmt.Errorf("%w: timestamp jump past the span cap at record %d", ErrCorrupt, i)
 			}
 			last += time.Duration(delta)
 			ts[j] = last

@@ -233,6 +233,9 @@ func readColumnarCut(ra io.ReaderAt, si SegmentInfo, version int, sc *segScratch
 		if err != nil {
 			return nil, errColTruncated("delta", len(times))
 		}
+		if delta > uint64(MaxSpan) || last+time.Duration(delta) > MaxSpan {
+			return nil, fmt.Errorf("%w: timestamp jump past the span cap at record %d", ErrCorrupt, len(times))
+		}
 		last += time.Duration(delta)
 		if len(times) == 0 && last != si.MinT {
 			return nil, fmt.Errorf("%w: first record at %v, header says %v", ErrCorrupt, last, si.MinT)

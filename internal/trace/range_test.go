@@ -195,3 +195,107 @@ func recordsEqual(a, b []Record) bool {
 	}
 	return true
 }
+
+// TestReadRangeEdgeCases pins the degenerate inputs down one by one:
+// empty and inverted ranges, from == to, ranges entirely past the end of
+// the trace, and a range falling entirely inside a single segment — each
+// on both the indexed and the serial (v1) path.
+func TestReadRangeEdgeCases(t *testing.T) {
+	const count = 2000
+	gap := time.Millisecond
+	for _, v1 := range []bool{false, true} {
+		name := "indexed"
+		if v1 {
+			name = "serial-v1"
+		}
+		raw := rangeTrace(t, v1, count, gap)
+		read := func(from, to time.Duration) ([]Record, int64, error) {
+			t.Helper()
+			var got Collect
+			n, err := NewReader(bytes.NewReader(raw)).ReadRange(from, to, &got)
+			if n != int64(len(got.Records)) {
+				t.Fatalf("%s [%v,%v): returned n=%d but delivered %d records", name, from, to, n, len(got.Records))
+			}
+			return got.Records, n, err
+		}
+
+		t.Run(name+"/from==to", func(t *testing.T) {
+			for _, at := range []time.Duration{0, time.Second, 10 * time.Hour} {
+				if recs, n, err := read(at, at); n != 0 || err != nil || len(recs) != 0 {
+					t.Errorf("[%v,%v) = %d records, %v; want 0, nil", at, at, n, err)
+				}
+			}
+		})
+		t.Run(name+"/empty and inverted", func(t *testing.T) {
+			if _, n, err := read(time.Second, 0); n != 0 || err != nil {
+				t.Errorf("inverted range = %d, %v; want 0, nil", n, err)
+			}
+			if _, n, err := read(2*time.Second, time.Second); n != 0 || err != nil {
+				t.Errorf("backwards range = %d, %v; want 0, nil", n, err)
+			}
+			if _, n, err := read(-time.Second, 0); n != 0 || err != nil {
+				t.Errorf("negative-to-zero range = %d, %v; want 0, nil", n, err)
+			}
+		})
+		t.Run(name+"/past EOF", func(t *testing.T) {
+			// The last record is at (count-1)*gap; anything at or after
+			// the record following it is empty.
+			for _, from := range []time.Duration{count * gap, time.Hour} {
+				if recs, n, err := read(from, from+time.Minute); n != 0 || err != nil || len(recs) != 0 {
+					t.Errorf("[%v,%v) = %d records, %v; want empty", from, from+time.Minute, n, err)
+				}
+			}
+		})
+		t.Run(name+"/straddling EOF", func(t *testing.T) {
+			recs, n, err := read((count-10)*gap, time.Hour)
+			if err != nil || n != 10 {
+				t.Errorf("tail range = %d records, %v; want 10, nil", n, err)
+			}
+			if len(recs) > 0 && recs[len(recs)-1].T != (count-1)*gap {
+				t.Errorf("last record at %v, want %v", recs[len(recs)-1].T, (count-1)*gap)
+			}
+		})
+	}
+
+	// Range entirely inside one segment: a single-segment trace (huge
+	// payload target) with an interior slice, checked against the
+	// straightforward filter of a full scan.
+	t.Run("inside one segment", func(t *testing.T) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := 0; i < count; i++ {
+			if err := w.Write(Record{T: time.Duration(i) * gap, Client: 1, App: uint16(i % 200)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ix.Segments) != 1 {
+			t.Fatalf("test wants a single-segment trace, got %d segments", len(ix.Segments))
+		}
+		var all Collect
+		if _, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAll(&all); err != nil {
+			t.Fatal(err)
+		}
+		from, to := 500*time.Millisecond, 700*time.Millisecond
+		var want Collect
+		for _, r := range all.Records {
+			if r.T >= from && r.T < to {
+				want.Handle(r)
+			}
+		}
+		var got Collect
+		n, err := NewReader(bytes.NewReader(buf.Bytes())).ReadRange(from, to, &got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(want.Records)) || !recordsEqual(got.Records, want.Records) {
+			t.Errorf("interior single-segment range: %d records, want %d", n, len(want.Records))
+		}
+	})
+}

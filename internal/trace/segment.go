@@ -137,7 +137,8 @@ func parseSegmentHeader(hdr []byte, version int) (SegmentInfo, error) {
 	if !si.Compressed() {
 		si.RawLen = si.PayloadLen
 	}
-	if si.Count <= 0 || si.PayloadLen <= 0 || si.MinT < si.BaseT || si.MaxT < si.MinT {
+	if si.Count <= 0 || si.PayloadLen <= 0 || si.BaseT < 0 ||
+		si.MinT < si.BaseT || si.MaxT < si.MinT || si.MaxT > MaxSpan {
 		return SegmentInfo{}, fmt.Errorf("%w: implausible segment header", ErrCorrupt)
 	}
 	return si, nil
@@ -263,6 +264,9 @@ func decodePayload(p []byte, si SegmentInfo) ([]*Block, error) {
 		p = p[n:]
 		if client > 1<<32-1 || app > 1<<16-1 {
 			return closePayload(blocks, blk), fmt.Errorf("%w: out-of-range field at record %d", ErrCorrupt, i)
+		}
+		if delta > uint64(MaxSpan) || last+time.Duration(delta) > MaxSpan {
+			return closePayload(blocks, blk), fmt.Errorf("%w: timestamp jump past the span cap at record %d", ErrCorrupt, i)
 		}
 		last += time.Duration(delta)
 		if len(*blk) == cap(*blk) {

@@ -97,6 +97,19 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// MaxSpan is the longest trace-time timestamp the format accepts: 30 days,
+// four times the paper's week-long capture. The Writer rejects records
+// beyond it, and every decode path treats a timestamp decoding past it as
+// corruption (ErrCorrupt) rather than delivering the record. The cap is a
+// plausibility bound, not a storage limit: a flipped bit in a varint
+// timestamp delta otherwise decodes to a centuries-long jump, and the
+// time-binned collectors downstream would grind through (or allocate) that
+// entire span bin by bin. Rejecting the poisoned record at decode keeps a
+// corrupt or adversarial trace from turning analysis into a hang — the
+// records before the damage still deliver, consistent with the
+// records-before-error contract everywhere else.
+const MaxSpan = 30 * 24 * time.Hour
+
 // Record is one captured datagram.
 type Record struct {
 	// T is the offset from the start of the trace.

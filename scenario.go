@@ -10,7 +10,6 @@ import (
 	"cstrace/internal/report"
 	"cstrace/internal/scenario"
 	"cstrace/internal/trace"
-	"cstrace/internal/units"
 )
 
 // Scenario re-exports the declarative fleet spec: server count, size and
@@ -217,12 +216,7 @@ func (r *ScenarioResults) WriteFleetReport(w io.Writer) error {
 		"server", "slots", "tick", "packets", "mean-kbs", "kbs/slot", "estab", "players")
 	for _, s := range r.Servers {
 		st := s.Stats
-		wireBits := 8 * (st.AppBytesIn + st.AppBytesOut +
-			(st.PacketsIn+st.PacketsOut)*units.WireOverhead)
-		kbs := 0.0
-		if sec := st.Duration.Seconds(); sec > 0 {
-			kbs = float64(wireBits) / sec / 1e3
-		}
+		kbs := s.MeanKbs()
 		fmt.Fprintf(w, "  %-8s %5d %6s %12d %10.1f %10.1f %8d %8.2f\n",
 			s.Name, s.Game.Slots, s.Game.TickInterval, st.PacketsIn+st.PacketsOut,
 			kbs, kbs/float64(s.Game.Slots), st.Established, st.MeanPlayers())
